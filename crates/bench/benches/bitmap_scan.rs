@@ -1,0 +1,37 @@
+//! Scan throughput of the hierarchy cursor (the §4.4 software scanner) at
+//! different densities and depths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smash_core::{Bitmap, BitmapHierarchy};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bitmap_with_density(bits: usize, every: usize) -> Bitmap {
+    let mut b = Bitmap::zeros(bits);
+    for i in (0..bits).step_by(every) {
+        b.set(i, true);
+    }
+    b
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitmap_scan");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for every in [2usize, 16, 256] {
+        let bm0 = bitmap_with_density(1 << 20, every);
+        for ratios in [&[2u32][..], &[2, 4, 16]] {
+            let h = BitmapHierarchy::from_level0(&bm0, ratios).expect("valid ratios");
+            let label = format!("1/{every} dense, {} levels", ratios.len());
+            group.bench_with_input(BenchmarkId::new("blocks", &label), &h, |b, h| {
+                b.iter(|| black_box(h.blocks().count()))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Encode/decode throughput of the SMASH format (the cost behind the
+//! paper's Fig. 20 conversion overheads).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smash_core::{SmashConfig, SmashMatrix};
+use smash_matrix::generators;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encoding");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    let a = generators::clustered(2048, 2048, 120_000, 6, 42);
+    for ratios in [&[2u32][..], &[2, 4], &[2, 4, 16]] {
+        let cfg = SmashConfig::row_major(ratios).expect("valid ratios");
+        let label = format!("{cfg}");
+        group.bench_with_input(BenchmarkId::new("encode", &label), &a, |b, a| {
+            b.iter(|| black_box(SmashMatrix::encode(a, cfg.clone())))
+        });
+        let sm = SmashMatrix::encode(&a, cfg.clone());
+        group.bench_with_input(BenchmarkId::new("decode", &label), &sm, |b, sm| {
+            b.iter(|| black_box(sm.decode()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

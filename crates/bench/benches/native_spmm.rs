@@ -1,0 +1,45 @@
+//! Wall-clock inner-product SpMM across the software-only mechanisms
+//! (Fig. 9, SpMM column).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smash_core::{SmashConfig, SmashMatrix};
+use smash_kernels::native;
+use smash_matrix::{suite::paper_suite, Bcsr};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("native_spmm");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    for id in [2usize, 8] {
+        let spec = &paper_suite()[id - 1];
+        let a = spec.generate(48, 42);
+        let b = spec.generate(48, 43);
+        let bc = b.to_csc();
+        let ab = Bcsr::from_csr(&a, 2, 2).expect("valid");
+        let btb = Bcsr::from_csr(&b.transpose(), 2, 2).expect("valid");
+        let sa = SmashMatrix::encode(&a, SmashConfig::row_major(&[2]).expect("valid"));
+        let sb = SmashMatrix::encode(&b, SmashConfig::col_major(&[2]).expect("valid"));
+        let label = spec.label();
+
+        group.bench_with_input(BenchmarkId::new("csr", &label), &a, |bch, a| {
+            bch.iter(|| black_box(native::spmm_csr(a, &bc)))
+        });
+        group.bench_with_input(BenchmarkId::new("csr_opt(mkl)", &label), &a, |bch, a| {
+            bch.iter(|| black_box(native::spmm_csr_opt(a, &bc)))
+        });
+        group.bench_with_input(BenchmarkId::new("bcsr", &label), &ab, |bch, m| {
+            bch.iter(|| black_box(native::spmm_bcsr(m, &btb)))
+        });
+        group.bench_with_input(BenchmarkId::new("sw_smash", &label), &sa, |bch, m| {
+            bch.iter(|| black_box(native::spmm_smash(m, &sb)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

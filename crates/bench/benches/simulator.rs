@@ -1,0 +1,32 @@
+//! Throughput of the timing simulator itself (uops per second), which
+//! bounds how large the figure experiments can run.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use smash_core::SmashConfig;
+use smash_kernels::{harness, Mechanism};
+use smash_matrix::generators;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let a = generators::uniform(512, 512, 10_000, 42);
+    let cfg = SmashConfig::row_major(&[2, 4, 16]).expect("valid");
+    let sys = smash_sim::SystemConfig::paper_table2_scaled(16);
+    let uops = harness::count_spmv(Mechanism::TacoCsr, &a, &cfg).instructions();
+    group.throughput(Throughput::Elements(uops));
+    group.bench_function("sim_spmv_csr", |b| {
+        b.iter(|| black_box(harness::sim_spmv(Mechanism::TacoCsr, &a, &cfg, &sys)))
+    });
+    group.bench_function("count_spmv_csr", |b| {
+        b.iter(|| black_box(harness::count_spmv(Mechanism::TacoCsr, &a, &cfg)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

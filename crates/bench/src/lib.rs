@@ -1,0 +1,1 @@
+//! Criterion benchmark harness for the SMASH reproduction (see `benches/`).

@@ -1,0 +1,452 @@
+//! The Bitmap Management Unit and its five-instruction ISA (paper §4.2–4.3,
+//! Table 1).
+
+use crate::group::{BmuGroup, ScanStep, BUFFER_BITS};
+use crate::{BUFFER_BYTES, MAX_HW_LEVELS, NUM_GROUPS};
+use smash_core::BitmapHierarchy;
+use smash_sim::{Engine, UopId};
+
+/// Scan/pbmap latency when the next set bit is already buffered, in cycles
+/// (a single-cycle priority encode over the SRAM buffer).
+const SCAN_LATENCY: u32 = 1;
+
+/// Register-read latency of `rdind`/`matinfo`/`bmapinfo`, in cycles.
+const REG_LATENCY: u32 = 1;
+
+/// Binding of a BMU group to the in-memory image of a compressed matrix:
+/// the hierarchy to scan plus the base address of each stored bitmap level
+/// (for refill traffic addressing).
+#[derive(Debug, Clone, Copy)]
+pub struct BmuBinding<'a> {
+    /// The bitmap hierarchy being scanned.
+    pub hierarchy: &'a BitmapHierarchy,
+    /// Base address of each level's stored bitmap in the simulated address
+    /// space, level 0 first.
+    pub level_addrs: [u64; MAX_HW_LEVELS],
+}
+
+/// Outcome of a `pbmap` instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pbmap {
+    /// Uop whose completion publishes the output registers.
+    pub uop: UopId,
+    /// Logical Bitmap-0 index of the block found (`None` once exhausted).
+    pub block: Option<usize>,
+}
+
+/// Outcome of an `rdind` instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rdind {
+    /// Uop producing the two destination registers.
+    pub uop: UopId,
+    /// Row index of the current non-zero block.
+    pub row: u64,
+    /// Column index (of the block's first element) in the original matrix.
+    pub col: u64,
+}
+
+/// The Bitmap Management Unit: [`NUM_GROUPS`] groups, each with
+/// [`MAX_HW_LEVELS`] 256-byte SRAM bitmap buffers, parameter registers and
+/// row/column output registers (paper Fig. 6).
+///
+/// Every architectural operation is exposed as one of the five SMASH ISA
+/// instructions. Each takes the [`Engine`] so that the instruction itself
+/// and any memory traffic it triggers are accounted in the simulation.
+///
+/// # Example
+///
+/// ```
+/// use smash_bmu::{Bmu, BmuBinding};
+/// use smash_core::{SmashConfig, SmashMatrix};
+/// use smash_matrix::generators;
+/// use smash_sim::CountEngine;
+///
+/// let a = generators::uniform(32, 32, 64, 5);
+/// let sm = SmashMatrix::encode(&a, SmashConfig::row_major(&[2, 4]).unwrap());
+///
+/// let mut e = CountEngine::new();
+/// let mut bmu = Bmu::new();
+/// let binding = BmuBinding { hierarchy: sm.hierarchy(), level_addrs: [0x1000, 0x2000, 0] };
+/// bmu.matinfo(&mut e, 0, 32, 32);
+/// bmu.bmapinfo(&mut e, 0, 0, 2);
+/// bmu.bmapinfo(&mut e, 0, 1, 4);
+/// bmu.rdbmap(&mut e, 0, 1, 0x2000, &binding);
+/// bmu.rdbmap(&mut e, 0, 0, 0x1000, &binding);
+/// let p = bmu.pbmap(&mut e, 0, &binding);
+/// assert!(p.block.is_some());
+/// let ind = bmu.rdind(&mut e, 0);
+/// let (row, col) = sm.block_row_col(p.block.unwrap());
+/// assert_eq!((ind.row, ind.col), (row as u64, col as u64));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bmu {
+    groups: Vec<BmuGroup>,
+    /// Last pbmap's uop per group, so consecutive scans serialize on the
+    /// unit's internal state.
+    last_scan: Vec<UopId>,
+    /// Statistics: pbmap count, refill count.
+    pub stats: BmuStats,
+}
+
+/// Aggregate BMU activity counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BmuStats {
+    /// `pbmap` instructions executed.
+    pub pbmaps: u64,
+    /// SRAM buffer refills (each moves [`BUFFER_BYTES`] bytes).
+    pub refills: u64,
+    /// `rdbmap` instructions executed.
+    pub rdbmaps: u64,
+}
+
+impl Bmu {
+    /// A BMU with all groups idle.
+    pub fn new() -> Self {
+        Bmu {
+            groups: vec![BmuGroup::default(); NUM_GROUPS],
+            last_scan: vec![UopId::NONE; NUM_GROUPS],
+            stats: BmuStats::default(),
+        }
+    }
+
+    /// Read-only view of a group's architectural state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grp >= NUM_GROUPS`.
+    pub fn group(&self, grp: usize) -> &BmuGroup {
+        &self.groups[grp]
+    }
+
+    /// `matinfo row, col, grp` — loads the matrix dimensions into the
+    /// group's parameter registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grp >= NUM_GROUPS`.
+    pub fn matinfo<E: Engine>(&mut self, e: &mut E, grp: usize, rows: u32, cols: u32) -> UopId {
+        let g = &mut self.groups[grp];
+        g.rows = rows;
+        g.cols = cols;
+        e.coproc(REG_LATENCY, &[])
+    }
+
+    /// `bmapinfo comp, lvl, grp` — loads the compression ratio of bitmap
+    /// level `lvl`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grp >= NUM_GROUPS` or `lvl >= MAX_HW_LEVELS`.
+    pub fn bmapinfo<E: Engine>(&mut self, e: &mut E, grp: usize, lvl: usize, comp: u32) -> UopId {
+        assert!(lvl < MAX_HW_LEVELS, "bitmap level {lvl} out of range");
+        let g = &mut self.groups[grp];
+        g.ratios[lvl] = comp;
+        g.ratio_set[lvl] = true;
+        e.coproc(REG_LATENCY, &[])
+    }
+
+    /// `rdbmap [mem], buf, grp` — loads one 256-byte bitmap block starting
+    /// at `addr` into SRAM buffer `buf`. Loading the *top* level's buffer
+    /// (re)arms the scan at the bit offset `addr` implies; loading lower
+    /// buffers only pre-fills their windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grp`/`buf` are out of range, if `addr` precedes the bound
+    /// level's base address, or if a non-zero offset is used on a
+    /// multi-level hierarchy (see [`BmuGroup::reset_scan`]).
+    pub fn rdbmap<E: Engine>(
+        &mut self,
+        e: &mut E,
+        grp: usize,
+        buf: usize,
+        addr: u64,
+        binding: &BmuBinding<'_>,
+    ) -> UopId {
+        assert!(buf < MAX_HW_LEVELS, "buffer {buf} out of range");
+        self.stats.rdbmaps += 1;
+        let base = binding.level_addrs[buf];
+        assert!(addr >= base, "rdbmap address below level base");
+        let bit = ((addr - base) * 8) as usize;
+        let top = binding.hierarchy.num_levels() - 1;
+        // Tag check: if the SRAM buffer already holds the requested window
+        // (common when SpMM re-scans nearby lines), skip the memory fetch.
+        let already_buffered = self.groups[grp].windows[buf].covers(bit);
+        if !already_buffered {
+            let g = &mut self.groups[grp];
+            g.windows[buf] = crate::group::Window {
+                start_bit: (bit / BUFFER_BITS) * BUFFER_BITS,
+                valid: true,
+            };
+        }
+        if buf == top {
+            self.groups[grp].reset_scan(binding.hierarchy, bit);
+            self.last_scan[grp] = UopId::NONE;
+        }
+        let isa = e.coproc(REG_LATENCY, &[]);
+        if already_buffered {
+            isa
+        } else {
+            // The buffer fill moves 256 bytes through the memory hierarchy.
+            let window_byte = (bit / BUFFER_BITS) * BUFFER_BYTES;
+            e.coproc_mem(base + window_byte as u64, BUFFER_BYTES as u32, &[isa])
+        }
+    }
+
+    /// `pbmap grp` — scans the buffers for the next non-zero block and
+    /// latches its row/column indices into the output registers. Buffer
+    /// window crossings refill from memory through the engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grp >= NUM_GROUPS` or if the scan was never armed with a
+    /// top-level `rdbmap`.
+    pub fn pbmap<E: Engine>(&mut self, e: &mut E, grp: usize, binding: &BmuBinding<'_>) -> Pbmap {
+        self.stats.pbmaps += 1;
+        let step: ScanStep = self.groups[grp].scan_step(binding.hierarchy);
+        // Refill traffic: each window move fetches 256 bytes; the scan
+        // depends on all of them.
+        let mut deps = vec![self.last_scan[grp]];
+        for &(level, start_bit) in &step.refills {
+            self.stats.refills += 1;
+            let addr = binding.level_addrs[level] + (start_bit / 8) as u64;
+            let dep = self.last_scan[grp];
+            let fill = e.coproc_mem(addr, BUFFER_BYTES as u32, &[dep]);
+            deps.push(fill);
+            // The scan walks each level sequentially, so the BMU prefetches
+            // the next window while the core consumes the current one.
+            let level_bytes = binding.hierarchy.stored_level(level).len().div_ceil(8) as u64;
+            let next = (start_bit / 8 + BUFFER_BYTES) as u64;
+            if next < level_bytes {
+                e.prefetch_hint(binding.level_addrs[level] + next, BUFFER_BYTES as u32);
+            }
+        }
+        let uop = e.coproc(SCAN_LATENCY, &deps);
+        self.last_scan[grp] = uop;
+        if let Some(block) = step.block {
+            self.groups[grp].latch_indices(block);
+        }
+        Pbmap {
+            uop,
+            block: step.block,
+        }
+    }
+
+    /// `rdind rd1, rd2, grp` — reads the row/column output registers into
+    /// two destination registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grp >= NUM_GROUPS`.
+    pub fn rdind<E: Engine>(&mut self, e: &mut E, grp: usize) -> Rdind {
+        let dep = self.last_scan[grp];
+        let uop = e.coproc(REG_LATENCY, &[dep]);
+        let g = &self.groups[grp];
+        Rdind {
+            uop,
+            row: g.row_index,
+            col: g.col_index,
+        }
+    }
+}
+
+impl Default for Bmu {
+    fn default() -> Self {
+        Bmu::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smash_core::{SmashConfig, SmashMatrix};
+    use smash_matrix::generators;
+    use smash_sim::{CountEngine, SimEngine, SystemConfig};
+
+    fn encode(ratios: &[u32]) -> SmashMatrix<f64> {
+        let a = generators::uniform(48, 48, 300, 7);
+        SmashMatrix::encode(&a, SmashConfig::row_major(ratios).unwrap())
+    }
+
+    fn binding(sm: &SmashMatrix<f64>) -> BmuBinding<'_> {
+        BmuBinding {
+            hierarchy: sm.hierarchy(),
+            level_addrs: [0x1_0000, 0x2_0000, 0x3_0000],
+        }
+    }
+
+    /// Drives the full ISA sequence of Algorithm 1 and collects all indices.
+    fn scan_all(sm: &SmashMatrix<f64>) -> Vec<(u64, u64)> {
+        let mut e = CountEngine::new();
+        let mut bmu = Bmu::new();
+        let b = binding(sm);
+        bmu.matinfo(&mut e, 0, sm.rows() as u32, sm.cols() as u32);
+        for (lvl, &r) in sm.config().ratios().iter().enumerate() {
+            bmu.bmapinfo(&mut e, 0, lvl, r);
+        }
+        let top = sm.hierarchy().num_levels() - 1;
+        for lvl in (0..=top).rev() {
+            bmu.rdbmap(&mut e, 0, lvl, b.level_addrs[lvl], &b);
+        }
+        let mut out = Vec::new();
+        loop {
+            let p = bmu.pbmap(&mut e, 0, &b);
+            if p.block.is_none() {
+                break;
+            }
+            let ind = bmu.rdind(&mut e, 0);
+            out.push((ind.row, ind.col));
+        }
+        out
+    }
+
+    #[test]
+    fn indices_match_software_cursor() {
+        for ratios in [&[2u32][..], &[2, 4], &[2, 4, 16], &[8, 4, 2]] {
+            let sm = encode(ratios);
+            let got = scan_all(&sm);
+            let want: Vec<(u64, u64)> = sm
+                .hierarchy()
+                .blocks()
+                .map(|b| {
+                    let (r, c) = sm.block_row_col(b);
+                    (r as u64, c as u64)
+                })
+                .collect();
+            assert_eq!(got, want, "ratios {ratios:?}");
+        }
+    }
+
+    #[test]
+    fn pbmap_counts_and_refills() {
+        let sm = encode(&[2, 4]);
+        let mut e = CountEngine::new();
+        let mut bmu = Bmu::new();
+        let b = binding(&sm);
+        bmu.matinfo(&mut e, 0, 48, 48);
+        bmu.bmapinfo(&mut e, 0, 0, 2);
+        bmu.bmapinfo(&mut e, 0, 1, 4);
+        bmu.rdbmap(&mut e, 0, 1, b.level_addrs[1], &b);
+        bmu.rdbmap(&mut e, 0, 0, b.level_addrs[0], &b);
+        let mut n = 0;
+        while bmu.pbmap(&mut e, 0, &b).block.is_some() {
+            n += 1;
+        }
+        assert_eq!(n, sm.num_blocks());
+        assert_eq!(bmu.stats.pbmaps as usize, n + 1);
+    }
+
+    #[test]
+    fn groups_are_independent() {
+        let sm_a = encode(&[2, 4]);
+        let a2 = generators::clustered(48, 48, 200, 4, 9);
+        let sm_b = SmashMatrix::encode(&a2, SmashConfig::row_major(&[2, 4]).unwrap());
+        let mut e = CountEngine::new();
+        let mut bmu = Bmu::new();
+        let ba = binding(&sm_a);
+        let bb = BmuBinding {
+            hierarchy: sm_b.hierarchy(),
+            level_addrs: [0x9_0000, 0xA_0000, 0xB_0000],
+        };
+        bmu.matinfo(&mut e, 0, 48, 48);
+        bmu.matinfo(&mut e, 1, 48, 48);
+        for lvl in [1usize, 0] {
+            bmu.bmapinfo(&mut e, 0, lvl, sm_a.config().ratios()[lvl]);
+            bmu.bmapinfo(&mut e, 1, lvl, sm_b.config().ratios()[lvl]);
+            bmu.rdbmap(&mut e, 0, lvl, ba.level_addrs[lvl], &ba);
+            bmu.rdbmap(&mut e, 1, lvl, bb.level_addrs[lvl], &bb);
+        }
+        // Interleave the two scans; both must stay correct.
+        let mut got_a = Vec::new();
+        let mut got_b = Vec::new();
+        loop {
+            let pa = bmu.pbmap(&mut e, 0, &ba);
+            let pb = bmu.pbmap(&mut e, 1, &bb);
+            if let Some(x) = pa.block {
+                got_a.push(x);
+            }
+            if let Some(x) = pb.block {
+                got_b.push(x);
+            }
+            if pa.block.is_none() && pb.block.is_none() {
+                break;
+            }
+        }
+        assert_eq!(got_a, sm_a.hierarchy().blocks().collect::<Vec<_>>());
+        assert_eq!(got_b, sm_b.hierarchy().blocks().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn refill_traffic_reaches_memory_hierarchy() {
+        // Wide sparse matrix so the top bitmap exceeds one 256 B buffer.
+        let a = generators::uniform(256, 1024, 4000, 3);
+        let sm = SmashMatrix::encode(&a, SmashConfig::row_major(&[2]).unwrap());
+        let mut e = SimEngine::new(SystemConfig::paper_table2());
+        let bits = sm.hierarchy().stored_level(0).len();
+        assert!(bits > BUFFER_BITS, "test needs multiple windows");
+        let addr = e.alloc(bits.div_ceil(8), 64);
+        let mut bmu = Bmu::new();
+        let b = BmuBinding {
+            hierarchy: sm.hierarchy(),
+            level_addrs: [addr, 0, 0],
+        };
+        bmu.matinfo(&mut e, 0, 256, 1024);
+        bmu.bmapinfo(&mut e, 0, 0, 2);
+        bmu.rdbmap(&mut e, 0, 0, addr, &b);
+        while bmu.pbmap(&mut e, 0, &b).block.is_some() {}
+        let expected_refills = (bits - 1) / BUFFER_BITS; // first window via rdbmap
+        assert_eq!(bmu.stats.refills as usize, expected_refills);
+        let s = e.finish();
+        // Each 256-byte window fill touches 4 lines; with the BMU's
+        // next-window prefetcher most arrive as prefetch fills, the rest as
+        // demand misses — together they must cover every window line.
+        assert!(
+            s.l1.misses + s.l1.prefetch_fills >= 4 * (expected_refills as u64),
+            "misses {} + prefetch fills {}",
+            s.l1.misses,
+            s.l1.prefetch_fills
+        );
+        assert!(s.l1.prefetch_fills > 0, "next-window prefetch never fired");
+    }
+
+    #[test]
+    fn spmm_style_row_rescan() {
+        // 1-level row-major matrix; scan row 2 twice via rdbmap offsets.
+        let a = generators::uniform(16, 64, 200, 11);
+        let sm = SmashMatrix::encode(&a, SmashConfig::row_major(&[2]).unwrap());
+        let bpl = sm.blocks_per_line();
+        assert_eq!(bpl % 8, 0, "row offset must be byte-aligned");
+        let mut e = CountEngine::new();
+        let mut bmu = Bmu::new();
+        let base = 0x5_0000u64;
+        let b = BmuBinding {
+            hierarchy: sm.hierarchy(),
+            level_addrs: [base, 0, 0],
+        };
+        bmu.matinfo(&mut e, 0, 16, 64);
+        bmu.bmapinfo(&mut e, 0, 0, 2);
+        let row = 2usize;
+        let row_addr = base + (row * bpl / 8) as u64;
+        let collect = |bmu: &mut Bmu, e: &mut CountEngine| {
+            bmu.rdbmap(e, 0, 0, row_addr, &b);
+            let mut v = Vec::new();
+            loop {
+                let p = bmu.pbmap(e, 0, &b);
+                match p.block {
+                    Some(blk) if blk < (row + 1) * bpl => v.push(blk),
+                    _ => break,
+                }
+            }
+            v
+        };
+        let first = collect(&mut bmu, &mut e);
+        let second = collect(&mut bmu, &mut e);
+        assert_eq!(first, second);
+        let want: Vec<usize> = sm
+            .hierarchy()
+            .blocks()
+            .filter(|&blk| blk / bpl == row)
+            .collect();
+        assert_eq!(first, want);
+    }
+}

@@ -1,0 +1,142 @@
+//! Assembly-level representation of the five SMASH instructions (paper
+//! Table 1), useful for printing the instruction sequences the examples and
+//! experiments execute.
+
+use std::fmt;
+
+/// One SMASH ISA instruction with its operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instruction {
+    /// `matinfo row, col, grp` — load matrix dimensions into the BMU.
+    Matinfo {
+        /// Number of matrix rows.
+        rows: u32,
+        /// Number of matrix columns.
+        cols: u32,
+        /// BMU group selector.
+        grp: u8,
+    },
+    /// `bmapinfo comp, lvl, grp` — load one level's compression ratio.
+    Bmapinfo {
+        /// Compression ratio.
+        comp: u32,
+        /// Bitmap level.
+        lvl: u8,
+        /// BMU group selector.
+        grp: u8,
+    },
+    /// `rdbmap [mem], buf, grp` — load a bitmap block into an SRAM buffer.
+    Rdbmap {
+        /// Source memory address.
+        mem: u64,
+        /// Destination buffer (= bitmap level).
+        buf: u8,
+        /// BMU group selector.
+        grp: u8,
+    },
+    /// `pbmap grp` — scan for the next non-zero block.
+    Pbmap {
+        /// BMU group selector.
+        grp: u8,
+    },
+    /// `rdind rd1, rd2, grp` — read the row/column output registers.
+    Rdind {
+        /// Destination register for the row index.
+        rd1: u8,
+        /// Destination register for the column index.
+        rd2: u8,
+        /// BMU group selector.
+        grp: u8,
+    },
+}
+
+impl Instruction {
+    /// Mnemonic without operands.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Instruction::Matinfo { .. } => "matinfo",
+            Instruction::Bmapinfo { .. } => "bmapinfo",
+            Instruction::Rdbmap { .. } => "rdbmap",
+            Instruction::Pbmap { .. } => "pbmap",
+            Instruction::Rdind { .. } => "rdind",
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instruction::Matinfo { rows, cols, grp } => {
+                write!(f, "matinfo {rows}, {cols}, {grp}")
+            }
+            Instruction::Bmapinfo { comp, lvl, grp } => {
+                write!(f, "bmapinfo {comp}, {lvl}, {grp}")
+            }
+            Instruction::Rdbmap { mem, buf, grp } => {
+                write!(f, "rdbmap [{mem:#x}], {buf}, {grp}")
+            }
+            Instruction::Pbmap { grp } => write!(f, "pbmap {grp}"),
+            Instruction::Rdind { rd1, rd2, grp } => {
+                write!(f, "rdind r{rd1}, r{rd2}, {grp}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_table1_shapes() {
+        assert_eq!(
+            Instruction::Matinfo {
+                rows: 4,
+                cols: 4,
+                grp: 0
+            }
+            .to_string(),
+            "matinfo 4, 4, 0"
+        );
+        assert_eq!(
+            Instruction::Rdbmap {
+                mem: 0x1000,
+                buf: 2,
+                grp: 0
+            }
+            .to_string(),
+            "rdbmap [0x1000], 2, 0"
+        );
+        assert_eq!(Instruction::Pbmap { grp: 1 }.to_string(), "pbmap 1");
+    }
+
+    #[test]
+    fn mnemonics_cover_all_five() {
+        let all = [
+            Instruction::Matinfo {
+                rows: 0,
+                cols: 0,
+                grp: 0,
+            },
+            Instruction::Bmapinfo {
+                comp: 0,
+                lvl: 0,
+                grp: 0,
+            },
+            Instruction::Rdbmap {
+                mem: 0,
+                buf: 0,
+                grp: 0,
+            },
+            Instruction::Pbmap { grp: 0 },
+            Instruction::Rdind {
+                rd1: 0,
+                rd2: 0,
+                grp: 0,
+            },
+        ];
+        let mut names: Vec<_> = all.iter().map(|i| i.mnemonic()).collect();
+        names.dedup();
+        assert_eq!(names.len(), 5);
+    }
+}

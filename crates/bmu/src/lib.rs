@@ -1,0 +1,61 @@
+//! The Bitmap Management Unit (BMU) — the hardware half of the SMASH
+//! paper's contribution (§4.2) — together with the five-instruction SMASH
+//! ISA (§4.3, Table 1) and the §7.6 area model.
+//!
+//! The BMU buffers 256-byte blocks of the stored bitmap hierarchy in
+//! per-group SRAM buffers, walks them depth-first to find set Bitmap-0 bits,
+//! computes each non-zero block's row/column indices with the §4.2.3 index
+//! equation and publishes them in output registers. Software drives it with
+//! `matinfo` / `bmapinfo` / `rdbmap` / `pbmap` / `rdind`.
+//!
+//! The model is *functional + timing*: scans return real indices (checked
+//! against the software cursor in `smash-core`), while every ISA instruction
+//! and every buffer refill is charged to the `smash-sim` engine so kernels
+//! see realistic instruction counts and memory traffic.
+//!
+//! # Example
+//!
+//! ```
+//! use smash_bmu::{Bmu, BmuBinding};
+//! use smash_core::{SmashConfig, SmashMatrix};
+//! use smash_matrix::generators;
+//! use smash_sim::CountEngine;
+//!
+//! let a = generators::banded(32, 32, 2, 100, 1);
+//! let sm = SmashMatrix::encode(&a, SmashConfig::row_major(&[2]).unwrap());
+//!
+//! let mut e = CountEngine::new();
+//! let mut bmu = Bmu::new();
+//! let b = BmuBinding { hierarchy: sm.hierarchy(), level_addrs: [0x1000, 0, 0] };
+//! bmu.matinfo(&mut e, 0, 32, 32);
+//! bmu.bmapinfo(&mut e, 0, 0, 2);
+//! bmu.rdbmap(&mut e, 0, 0, 0x1000, &b);
+//! let mut blocks = 0;
+//! while bmu.pbmap(&mut e, 0, &b).block.is_some() {
+//!     blocks += 1;
+//! }
+//! assert_eq!(blocks, sm.num_blocks());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod area;
+mod bmu;
+mod group;
+mod isa;
+
+pub use area::AreaModel;
+pub use bmu::{Bmu, BmuBinding, BmuStats, Pbmap, Rdind};
+pub use group::{BmuGroup, ScanStep, Window, BUFFER_BITS};
+pub use isa::Instruction;
+
+/// Number of BMU groups (concurrent sparse operands, §7.6: "a BMU with 4
+/// groups of 3 bitmap buffers").
+pub const NUM_GROUPS: usize = 4;
+
+/// Bitmap levels the hardware can buffer per group (3 SRAM buffers).
+pub const MAX_HW_LEVELS: usize = 3;
+
+/// Size of one SRAM bitmap buffer in bytes (§4.2.1).
+pub const BUFFER_BYTES: usize = 256;

@@ -1,0 +1,228 @@
+use crate::SmashError;
+
+/// Maximum number of bitmap levels the encoding supports.
+///
+/// The paper's system "is designed to support a certain maximum number of
+/// levels of the hierarchy" (§3.2); its examples use up to three. We allow
+/// one extra level in software; the BMU hardware model enforces its own
+/// (3-level) buffering limit.
+pub const MAX_LEVELS: usize = 4;
+
+/// Maximum compression ratio at any level.
+///
+/// With the paper's 256-byte BMU SRAM buffers, "the maximum compression
+/// ratio supported in the BMU is 256 × 8 = 2048:1" (§4.2.1).
+pub const MAX_RATIO: u32 = 2048;
+
+/// Traversal order of the linearized matrix.
+///
+/// SpMV compresses the operand row-major; the paper's SpMM keeps the `B`
+/// operand column-major (CSC-style) so its columns scan contiguously (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Layout {
+    /// Blocks cover consecutive elements of a row.
+    #[default]
+    RowMajor,
+    /// Blocks cover consecutive elements of a column.
+    ColMajor,
+}
+
+/// Configuration of a SMASH bitmap hierarchy.
+///
+/// `ratios[0]` is the Bitmap-0 compression ratio (matrix elements per
+/// level-0 bit, i.e. the NZA block size); `ratios[i]` for `i > 0` is the
+/// number of level-`i-1` bits covered by one level-`i` bit. The paper's
+/// `Mi.b2.b1.b0` annotation therefore maps to `ratios = [b0, b1, b2]`.
+///
+/// # Example
+///
+/// ```
+/// use smash_core::{Layout, SmashConfig};
+///
+/// // The paper's default SpMV configuration "16.4.2".
+/// let cfg = SmashConfig::row_major(&[2, 4, 16])?;
+/// assert_eq!(cfg.block_size(), 2);
+/// assert_eq!(cfg.levels(), 3);
+/// assert_eq!(cfg.layout(), Layout::RowMajor);
+/// # Ok::<(), smash_core::SmashError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SmashConfig {
+    ratios: Vec<u32>,
+    layout: Layout,
+}
+
+impl SmashConfig {
+    /// Creates a configuration with the given per-level ratios (level 0
+    /// first) and layout.
+    ///
+    /// # Errors
+    ///
+    /// * [`SmashError::NoLevels`] if `ratios` is empty,
+    /// * [`SmashError::TooManyLevels`] if more than [`MAX_LEVELS`] levels,
+    /// * [`SmashError::InvalidRatio`] if `ratios[0] == 0`, any upper-level
+    ///   ratio is `< 2`, or any ratio exceeds [`MAX_RATIO`].
+    pub fn new(ratios: &[u32], layout: Layout) -> Result<Self, SmashError> {
+        if ratios.is_empty() {
+            return Err(SmashError::NoLevels);
+        }
+        if ratios.len() > MAX_LEVELS {
+            return Err(SmashError::TooManyLevels {
+                got: ratios.len(),
+                max: MAX_LEVELS,
+            });
+        }
+        for (level, &r) in ratios.iter().enumerate() {
+            let min = if level == 0 { 1 } else { 2 };
+            if r < min || r > MAX_RATIO {
+                return Err(SmashError::InvalidRatio { level, ratio: r });
+            }
+        }
+        Ok(SmashConfig {
+            ratios: ratios.to_vec(),
+            layout,
+        })
+    }
+
+    /// Row-major configuration (the common case).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SmashConfig::new`].
+    pub fn row_major(ratios: &[u32]) -> Result<Self, SmashError> {
+        SmashConfig::new(ratios, Layout::RowMajor)
+    }
+
+    /// Column-major configuration (the SpMM `B` operand).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SmashConfig::new`].
+    pub fn col_major(ratios: &[u32]) -> Result<Self, SmashError> {
+        SmashConfig::new(ratios, Layout::ColMajor)
+    }
+
+    /// Builds a configuration from the paper's `b2.b1.b0` notation.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SmashConfig::new`].
+    pub fn from_paper_notation(b2: u32, b1: u32, b0: u32, layout: Layout) -> Result<Self, SmashError> {
+        SmashConfig::new(&[b0, b1, b2], layout)
+    }
+
+    /// Per-level compression ratios, level 0 first.
+    pub fn ratios(&self) -> &[u32] {
+        &self.ratios
+    }
+
+    /// Number of bitmap levels.
+    pub fn levels(&self) -> usize {
+        self.ratios.len()
+    }
+
+    /// The Bitmap-0 ratio: elements per level-0 bit, i.e. the NZA block size.
+    pub fn block_size(&self) -> usize {
+        self.ratios[0] as usize
+    }
+
+    /// Traversal order.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// Returns a copy with a different Bitmap-0 ratio (used by the Fig 14/15
+    /// sensitivity sweep, which varies `b0` while keeping upper levels).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SmashConfig::new`].
+    pub fn with_block_size(&self, b0: u32) -> Result<Self, SmashError> {
+        let mut ratios = self.ratios.clone();
+        ratios[0] = b0;
+        SmashConfig::new(&ratios, self.layout)
+    }
+
+    /// Returns a copy with the opposite layout.
+    pub fn transposed(&self) -> Self {
+        SmashConfig {
+            ratios: self.ratios.clone(),
+            layout: match self.layout {
+                Layout::RowMajor => Layout::ColMajor,
+                Layout::ColMajor => Layout::RowMajor,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for SmashConfig {
+    /// Formats in the paper's dotted top-down notation (e.g. `16.4.2`).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, r) in self.ratios.iter().rev().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            write!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_paper_configs() {
+        for ratios in [&[2u32, 4, 16][..], &[2, 4, 8], &[2, 4, 2], &[8][..], &[2, 4]] {
+            assert!(SmashConfig::row_major(ratios).is_ok(), "{ratios:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(matches!(
+            SmashConfig::row_major(&[]),
+            Err(SmashError::NoLevels)
+        ));
+    }
+
+    #[test]
+    fn rejects_too_many_levels() {
+        assert!(matches!(
+            SmashConfig::row_major(&[2; 5]),
+            Err(SmashError::TooManyLevels { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_ratios() {
+        assert!(SmashConfig::row_major(&[0]).is_err());
+        assert!(SmashConfig::row_major(&[2, 1]).is_err());
+        assert!(SmashConfig::row_major(&[4096]).is_err());
+        // b0 = 1 (a bit per element) is allowed, upper levels need >= 2.
+        assert!(SmashConfig::row_major(&[1, 2]).is_ok());
+    }
+
+    #[test]
+    fn paper_notation_order() {
+        let cfg = SmashConfig::from_paper_notation(16, 4, 2, Layout::RowMajor).unwrap();
+        assert_eq!(cfg.ratios(), &[2, 4, 16]);
+        assert_eq!(cfg.to_string(), "16.4.2");
+        assert_eq!(cfg.block_size(), 2);
+    }
+
+    #[test]
+    fn with_block_size_keeps_upper_levels() {
+        let cfg = SmashConfig::row_major(&[2, 4, 16]).unwrap();
+        let cfg8 = cfg.with_block_size(8).unwrap();
+        assert_eq!(cfg8.ratios(), &[8, 4, 16]);
+    }
+
+    #[test]
+    fn transposed_flips_layout() {
+        let cfg = SmashConfig::row_major(&[2]).unwrap();
+        assert_eq!(cfg.transposed().layout(), Layout::ColMajor);
+        assert_eq!(cfg.transposed().transposed().layout(), Layout::RowMajor);
+    }
+}

@@ -1,0 +1,60 @@
+use std::fmt;
+
+/// Errors produced when configuring or constructing the SMASH encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SmashError {
+    /// A hierarchy must have at least one bitmap level.
+    NoLevels,
+    /// More levels than the implementation supports.
+    TooManyLevels {
+        /// Number of levels requested.
+        got: usize,
+        /// Supported maximum ([`crate::MAX_LEVELS`]).
+        max: usize,
+    },
+    /// A per-level compression ratio is out of range.
+    InvalidRatio {
+        /// Level of the offending ratio (0 = Bitmap-0).
+        level: usize,
+        /// The rejected ratio.
+        ratio: u32,
+    },
+    /// Stored arrays are mutually inconsistent (e.g. an NZA whose length is
+    /// not `set_bits(Bitmap-0) * block_size`).
+    Inconsistent(String),
+}
+
+impl fmt::Display for SmashError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SmashError::NoLevels => write!(f, "bitmap hierarchy needs at least one level"),
+            SmashError::TooManyLevels { got, max } => {
+                write!(f, "requested {got} bitmap levels, supported maximum is {max}")
+            }
+            SmashError::InvalidRatio { level, ratio } => {
+                write!(f, "invalid compression ratio {ratio} at level {level}")
+            }
+            SmashError::Inconsistent(msg) => write!(f, "inconsistent encoding: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SmashError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(SmashError::NoLevels.to_string().contains("level"));
+        assert!(SmashError::TooManyLevels { got: 9, max: 4 }
+            .to_string()
+            .contains('9'));
+        assert!(SmashError::InvalidRatio { level: 1, ratio: 0 }
+            .to_string()
+            .contains("level 1"));
+        assert!(SmashError::Inconsistent("x".into()).to_string().contains('x'));
+    }
+}

@@ -1,0 +1,598 @@
+use crate::{Bitmap, BitmapHierarchy, Layout, Nza, SmashConfig, SmashError};
+use smash_matrix::{Coo, Csr, Dense, Scalar};
+
+/// A sparse matrix compressed with the SMASH encoding: a hierarchy of
+/// bitmaps plus the Non-Zero Values Array (paper §3.2, §4.1).
+///
+/// The matrix is linearized in the configured [`Layout`] with every line
+/// (row, or column for [`Layout::ColMajor`]) padded to a multiple of the
+/// Bitmap-0 ratio, so blocks never straddle lines and a line's bitmap slice
+/// is addressable — which is what `rdbmap [bitmap + rowOffset]` relies on in
+/// the paper's SpMM (Algorithm 2).
+///
+/// # Example
+///
+/// ```
+/// use smash_core::{SmashConfig, SmashMatrix};
+/// use smash_matrix::generators;
+///
+/// let a = generators::banded(64, 64, 3, 300, 1);
+/// let sm = SmashMatrix::encode(&a, SmashConfig::row_major(&[2, 4, 16])?);
+/// assert_eq!(sm.decode(), a);              // lossless
+/// assert_eq!(sm.nnz(), a.nnz());           // no non-zeros lost
+/// assert_eq!(sm.nza().len() % 2, 0);       // whole 2-element blocks
+/// # Ok::<(), smash_core::SmashError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmashMatrix<T> {
+    rows: usize,
+    cols: usize,
+    config: SmashConfig,
+    hierarchy: BitmapHierarchy,
+    nza: Nza<T>,
+}
+
+impl<T: Scalar> SmashMatrix<T> {
+    /// Compresses a CSR matrix with the given configuration.
+    ///
+    /// This is the conversion procedure of paper §4.1.3: discover the
+    /// non-zero blocks, append them to the NZA, then build Bitmap-0 and the
+    /// higher levels.
+    pub fn encode(csr: &Csr<T>, config: SmashConfig) -> Self {
+        match config.layout() {
+            Layout::RowMajor => {
+                Self::encode_lines(csr.rows(), csr.cols(), config, |l| csr.row(l))
+            }
+            Layout::ColMajor => {
+                // Column-major encoding walks the CSC transpose-view.
+                let csc = csr.to_csc();
+                Self::encode_lines(csr.rows(), csr.cols(), config, |l| csc.col(l))
+            }
+        }
+    }
+
+    /// Shared encoder over an abstract "line" accessor (CSR rows or CSC
+    /// columns), each line yielding sorted `(offset, value)` entries.
+    fn encode_lines<'m, F>(rows: usize, cols: usize, config: SmashConfig, line_entries: F) -> Self
+    where
+        T: 'm,
+        F: Fn(usize) -> (&'m [u32], &'m [T]),
+    {
+        let b0 = config.block_size();
+        let (lines, line_len) = match config.layout() {
+            Layout::RowMajor => (rows, cols),
+            Layout::ColMajor => (cols, rows),
+        };
+        let blocks_per_line = line_len.div_ceil(b0);
+        let mut bm0 = Bitmap::zeros(lines * blocks_per_line);
+
+        // Pass 1: mark occupied blocks.
+        for line in 0..lines {
+            let (offsets, _) = line_entries(line);
+            for &o in offsets {
+                bm0.set(line * blocks_per_line + o as usize / b0, true);
+            }
+        }
+
+        let hierarchy = BitmapHierarchy::from_level0(&bm0, config.ratios())
+            .expect("config was validated at construction");
+
+        // Pass 2: fill the NZA in bit order (which is line order, then block
+        // order within the line).
+        let mut nza = Nza::new(b0);
+        let mut block = vec![T::ZERO; b0];
+        for line in 0..lines {
+            let (offsets, values) = line_entries(line);
+            let mut k = 0usize; // cursor into this line's entries
+            let base = line * blocks_per_line;
+            let mut bit = bm0.next_one(base);
+            while let Some(idx) = bit {
+                if idx >= base + blocks_per_line {
+                    break;
+                }
+                let block_start = (idx - base) * b0;
+                block.iter_mut().for_each(|v| *v = T::ZERO);
+                while k < offsets.len() && (offsets[k] as usize) < block_start + b0 {
+                    let o = offsets[k] as usize;
+                    debug_assert!(o >= block_start, "entries must be sorted");
+                    block[o - block_start] = values[k];
+                    k += 1;
+                }
+                nza.push_block(&block);
+                bit = bm0.next_one(idx + 1);
+            }
+            debug_assert_eq!(k, offsets.len(), "all line entries consumed");
+        }
+
+        SmashMatrix {
+            rows,
+            cols,
+            config,
+            hierarchy,
+            nza,
+        }
+    }
+
+    /// Decompresses back to CSR. Explicit zeros inside NZA blocks are
+    /// dropped, so `decode(encode(m)) == m` for any matrix without stored
+    /// zeros.
+    pub fn decode(&self) -> Csr<T> {
+        let mut coo = Coo::with_capacity(self.rows, self.cols, self.nza.nnz());
+        let b0 = self.config.block_size();
+        let bpl = self.blocks_per_line();
+        let line_len = self.line_len();
+        for (ordinal, logical) in self.hierarchy.blocks().enumerate() {
+            let line = logical / bpl;
+            let start = (logical % bpl) * b0;
+            let block = self.nza.block(ordinal);
+            for (e, &v) in block.iter().enumerate() {
+                let off = start + e;
+                if off >= line_len || v.is_zero() {
+                    continue;
+                }
+                let (r, c) = match self.config.layout() {
+                    Layout::RowMajor => (line, off),
+                    Layout::ColMajor => (off, line),
+                };
+                coo.push(r, c, v);
+            }
+        }
+        Csr::from_coo(&coo)
+    }
+
+    /// Expands to a dense matrix.
+    pub fn to_dense(&self) -> Dense<T> {
+        self.decode().to_dense()
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The encoding configuration.
+    pub fn config(&self) -> &SmashConfig {
+        &self.config
+    }
+
+    /// The bitmap hierarchy.
+    pub fn hierarchy(&self) -> &BitmapHierarchy {
+        &self.hierarchy
+    }
+
+    /// The non-zero values array.
+    pub fn nza(&self) -> &Nza<T> {
+        &self.nza
+    }
+
+    /// Number of logical non-zeros (explicit zeros in NZA blocks excluded).
+    pub fn nnz(&self) -> usize {
+        self.nza.nnz()
+    }
+
+    /// Number of NZA blocks (= set bits of Bitmap-0).
+    pub fn num_blocks(&self) -> usize {
+        self.nza.num_blocks()
+    }
+
+    /// Lines in the configured layout (rows, or columns for col-major).
+    pub fn line_count(&self) -> usize {
+        match self.config.layout() {
+            Layout::RowMajor => self.rows,
+            Layout::ColMajor => self.cols,
+        }
+    }
+
+    /// Elements per line before padding (cols, or rows for col-major).
+    pub fn line_len(&self) -> usize {
+        match self.config.layout() {
+            Layout::RowMajor => self.cols,
+            Layout::ColMajor => self.rows,
+        }
+    }
+
+    /// Level-0 bits per line.
+    pub fn blocks_per_line(&self) -> usize {
+        self.line_len().div_ceil(self.config.block_size())
+    }
+
+    /// Maps a logical level-0 bit index to `(line, element offset)` of the
+    /// block start.
+    pub fn block_position(&self, logical: usize) -> (usize, usize) {
+        let bpl = self.blocks_per_line();
+        (logical / bpl, (logical % bpl) * self.config.block_size())
+    }
+
+    /// Maps a logical level-0 bit index to the `(row, col)` of the block
+    /// start in the original matrix, layout-aware. This is the
+    /// `row_index`/`column_index` pair the BMU publishes via `RDIND`.
+    pub fn block_row_col(&self, logical: usize) -> (usize, usize) {
+        let (line, off) = self.block_position(logical);
+        match self.config.layout() {
+            Layout::RowMajor => (line, off),
+            Layout::ColMajor => (off, line),
+        }
+    }
+
+    /// Iterates over `(row, col_of_block_start, block_values)` in storage
+    /// order — what a software SpMV walks.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (usize, usize, &[T])> + '_ {
+        self.hierarchy
+            .blocks()
+            .enumerate()
+            .map(move |(ordinal, logical)| {
+                let (r, c) = self.block_row_col(logical);
+                (r, c, self.nza.block(ordinal))
+            })
+    }
+
+    /// Reconstructs the full (uncompacted) Bitmap-0, whose bit `line *
+    /// blocks_per_line + b` covers block `b` of that line. Single-level
+    /// hierarchies store Bitmap-0 in this form already.
+    pub fn full_bitmap0(&self) -> Bitmap {
+        self.hierarchy.expand_full(0)
+    }
+
+    /// Per-line starting NZA block ordinal (length `line_count() + 1`): the
+    /// rank of each line's first bit in the full Bitmap-0. SpMM uses this to
+    /// address a line's blocks directly.
+    pub fn line_block_starts(&self) -> Vec<u32> {
+        let full = self.full_bitmap0();
+        let bpl = self.blocks_per_line();
+        let mut starts = Vec::with_capacity(self.line_count() + 1);
+        let mut acc = 0u32;
+        starts.push(0);
+        let mut ones = full.iter_ones().peekable();
+        for line in 0..self.line_count() {
+            let end = (line + 1) * bpl;
+            while ones.peek().is_some_and(|&i| i < end) {
+                ones.next();
+                acc += 1;
+            }
+            starts.push(acc);
+        }
+        starts
+    }
+
+    /// Total compressed footprint in bytes: all bitmap levels (compacted, as
+    /// stored per Fig. 4(b)) plus the NZA. This is the SMASH side of the
+    /// Fig. 19 storage comparison.
+    pub fn storage_bytes(&self) -> usize {
+        self.hierarchy.storage_bits().div_ceil(8) + self.nza.storage_bytes()
+    }
+
+    /// Ratio of the uncompressed dense footprint to [`storage_bytes`]
+    /// (paper Fig. 19's "total compression ratio").
+    ///
+    /// [`storage_bytes`]: SmashMatrix::storage_bytes
+    pub fn total_compression_ratio(&self) -> f64 {
+        let dense = self.rows * self.cols * std::mem::size_of::<T>();
+        dense as f64 / self.storage_bytes().max(1) as f64
+    }
+
+    /// Measured locality of sparsity (§7.2.3): average non-zeros per NZA
+    /// block divided by the block size.
+    pub fn locality_of_sparsity(&self) -> f64 {
+        if self.nza.is_empty() {
+            0.0
+        } else {
+            1.0 - self.nza.zero_fraction()
+        }
+    }
+
+    /// Sparse matrix addition directly on the encoding (paper §5.2.1 lists
+    /// SpAdd among the operations SMASH accelerates): the output Bitmap-0
+    /// is the word-wise OR of the operands' bitmaps, and the output NZA is
+    /// a block-level merge — no per-element index discovery at all.
+    ///
+    /// Both operands must share dimensions, layout and block size; the
+    /// result uses `self`'s configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmashError::Inconsistent`] if the operands' shapes,
+    /// layouts or block sizes differ.
+    pub fn add(&self, other: &SmashMatrix<T>) -> Result<SmashMatrix<T>, SmashError> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(SmashError::Inconsistent(format!(
+                "operand shapes differ: {}x{} vs {}x{}",
+                self.rows, self.cols, other.rows, other.cols
+            )));
+        }
+        if self.config.layout() != other.config.layout() {
+            return Err(SmashError::Inconsistent("operand layouts differ".into()));
+        }
+        let b0 = self.config.block_size();
+        if b0 != other.config.block_size() {
+            return Err(SmashError::Inconsistent(format!(
+                "block sizes differ: {b0} vs {}",
+                other.config.block_size()
+            )));
+        }
+        // Two-cursor block-level merge over the set Bitmap-0 bits.
+        let mut bm0 = Bitmap::zeros(self.line_count() * self.blocks_per_line());
+        let mut nza = Nza::new(b0);
+        let mut ia = self.hierarchy.blocks().enumerate().peekable();
+        let mut ib = other.hierarchy.blocks().enumerate().peekable();
+        let mut sum = vec![T::ZERO; b0];
+        loop {
+            let (take_a, take_b) = match (ia.peek(), ib.peek()) {
+                (None, None) => break,
+                (Some(_), None) => (true, false),
+                (None, Some(_)) => (false, true),
+                (Some(&(_, la)), Some(&(_, lb))) => (la <= lb, lb <= la),
+            };
+            let logical = match (take_a, take_b) {
+                (true, true) => {
+                    let (oa, la) = ia.next().expect("peeked");
+                    let (ob, _) = ib.next().expect("peeked");
+                    for (s, (x, y)) in sum
+                        .iter_mut()
+                        .zip(self.nza.block(oa).iter().zip(other.nza.block(ob)))
+                    {
+                        *s = *x + *y;
+                    }
+                    la
+                }
+                (true, false) => {
+                    let (oa, la) = ia.next().expect("peeked");
+                    sum.copy_from_slice(self.nza.block(oa));
+                    la
+                }
+                (false, true) => {
+                    let (ob, lb) = ib.next().expect("peeked");
+                    sum.copy_from_slice(other.nza.block(ob));
+                    lb
+                }
+                (false, false) => unreachable!("merge invariant"),
+            };
+            // Entries may cancel to exactly zero; an all-zero block is
+            // dropped entirely (its Bitmap-0 bit stays clear).
+            if sum.iter().any(|v| !v.is_zero()) {
+                bm0.set(logical, true);
+                nza.push_block(&sum);
+            }
+        }
+        let hierarchy = BitmapHierarchy::from_level0(&bm0, self.config.ratios())?;
+        let out = SmashMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            config: self.config.clone(),
+            hierarchy,
+            nza,
+        };
+        debug_assert!(out.validate().is_ok());
+        Ok(out)
+    }
+
+    /// Checks all structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmashError::Inconsistent`] on the first violation.
+    pub fn validate(&self) -> Result<(), SmashError> {
+        self.hierarchy.validate()?;
+        if self.nza.num_blocks() != self.hierarchy.num_blocks() {
+            return Err(SmashError::Inconsistent(format!(
+                "NZA holds {} blocks but Bitmap-0 has {} set bits",
+                self.nza.num_blocks(),
+                self.hierarchy.num_blocks()
+            )));
+        }
+        if self.nza.block_size() != self.config.block_size() {
+            return Err(SmashError::Inconsistent(
+                "NZA block size differs from configured Bitmap-0 ratio".into(),
+            ));
+        }
+        let expect_bits = self.line_count() * self.blocks_per_line();
+        if self.hierarchy.logical_bits(0) != expect_bits {
+            return Err(SmashError::Inconsistent(format!(
+                "Bitmap-0 logical length {} != lines * blocks_per_line = {}",
+                self.hierarchy.logical_bits(0),
+                expect_bits
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smash_matrix::generators;
+
+    fn cfg(ratios: &[u32]) -> SmashConfig {
+        SmashConfig::row_major(ratios).unwrap()
+    }
+
+    #[test]
+    fn paper_fig1_matrix_roundtrips() {
+        let mut coo = Coo::new(4, 4);
+        for &(r, c, v) in &[
+            (0usize, 0usize, 3.2),
+            (1, 0, 1.2),
+            (1, 2, 4.2),
+            (2, 3, 5.1),
+            (3, 0, 5.3),
+            (3, 1, 3.3),
+        ] {
+            coo.push(r, c, v);
+        }
+        let a = Csr::from_coo(&coo);
+        for ratios in [&[2u32][..], &[2, 2], &[4, 2, 2], &[1, 4]] {
+            let sm = SmashMatrix::encode(&a, cfg(ratios));
+            sm.validate().unwrap();
+            assert_eq!(sm.decode(), a, "ratios {ratios:?}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_many_shapes_and_configs() {
+        let mats = [
+            generators::uniform(33, 57, 200, 3),
+            generators::banded(64, 64, 4, 400, 4),
+            generators::clustered(50, 41, 300, 6, 5),
+            generators::block_dense(48, 48, 512, 8, 6),
+            generators::power_law(40, 80, 350, 1.1, 7),
+        ];
+        for a in &mats {
+            for ratios in [&[2u32][..], &[4, 4], &[2, 4, 16], &[8, 4, 2]] {
+                let sm = SmashMatrix::encode(a, cfg(ratios));
+                sm.validate().unwrap();
+                assert_eq!(&sm.decode(), a, "ratios {ratios:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn col_major_roundtrips() {
+        let a = generators::uniform(37, 53, 400, 9);
+        let sm = SmashMatrix::encode(&a, SmashConfig::col_major(&[2, 4]).unwrap());
+        sm.validate().unwrap();
+        assert_eq!(sm.decode(), a);
+        assert_eq!(sm.line_count(), 53);
+        assert_eq!(sm.line_len(), 37);
+    }
+
+    #[test]
+    fn blocks_never_straddle_lines() {
+        // 5 columns with block size 4: each row pads to 8 elements.
+        let a = generators::uniform(16, 5, 30, 11);
+        let sm = SmashMatrix::encode(&a, cfg(&[4]));
+        assert_eq!(sm.blocks_per_line(), 2);
+        for (_, col_start, _) in sm.iter_blocks() {
+            assert!(col_start % 4 == 0 && col_start < 8);
+        }
+        assert_eq!(sm.decode(), a);
+    }
+
+    #[test]
+    fn nza_holds_whole_blocks_with_padding() {
+        let a = generators::uniform(32, 32, 64, 13);
+        let sm = SmashMatrix::encode(&a, cfg(&[8]));
+        assert_eq!(sm.nza().len() % 8, 0);
+        assert!(sm.nza().len() >= a.nnz());
+        assert_eq!(sm.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn zero_matrix_is_tiny() {
+        let a = Csr::<f64>::from_coo(&Coo::new(256, 256));
+        let sm = SmashMatrix::encode(&a, cfg(&[2, 16, 16]));
+        assert_eq!(sm.num_blocks(), 0);
+        assert_eq!(sm.nza().len(), 0);
+        // Only the top-level bitmap remains: ceil(256*128 / 16 / 16) = 128 bits.
+        assert_eq!(sm.storage_bytes(), 16);
+        assert_eq!(sm.decode(), a);
+    }
+
+    #[test]
+    fn block_row_col_matches_decode_positions() {
+        let a = generators::clustered(20, 30, 100, 4, 17);
+        let sm = SmashMatrix::encode(&a, cfg(&[4, 4]));
+        for (logical, (r, c, block)) in sm.hierarchy().blocks().zip(sm.iter_blocks()) {
+            assert_eq!(sm.block_row_col(logical), (r, c));
+            assert_eq!(block.len(), 4);
+        }
+    }
+
+    #[test]
+    fn line_block_starts_are_consistent() {
+        let a = generators::uniform(24, 24, 100, 19);
+        let sm = SmashMatrix::encode(&a, cfg(&[2, 4]));
+        let starts = sm.line_block_starts();
+        assert_eq!(starts.len(), 25);
+        assert_eq!(*starts.last().unwrap() as usize, sm.num_blocks());
+        // Each line's blocks, addressed via starts, must reproduce the row.
+        let full = sm.full_bitmap0();
+        let bpl = sm.blocks_per_line();
+        for line in 0..24 {
+            let count = full.rank((line + 1) * bpl) - full.rank(line * bpl);
+            assert_eq!((starts[line + 1] - starts[line]) as usize, count);
+        }
+    }
+
+    #[test]
+    fn add_matches_csr_add() {
+        let a = generators::uniform(48, 56, 300, 41);
+        let b = generators::clustered(48, 56, 280, 4, 42);
+        for ratios in [&[2u32][..], &[4, 4], &[2, 4, 16]] {
+            let sa = SmashMatrix::encode(&a, cfg(ratios));
+            let sb = SmashMatrix::encode(&b, cfg(ratios));
+            let sum = sa.add(&sb).unwrap();
+            sum.validate().unwrap();
+            assert_eq!(sum.decode(), a.add(&b).unwrap(), "ratios {ratios:?}");
+        }
+    }
+
+    #[test]
+    fn add_drops_cancelled_blocks() {
+        let mut pos = Coo::new(4, 4);
+        pos.push(1, 1, 2.5);
+        pos.push(2, 3, 1.0);
+        let mut neg = Coo::new(4, 4);
+        neg.push(1, 1, -2.5);
+        let a = SmashMatrix::encode(&Csr::from_coo(&pos), cfg(&[2]));
+        let b = SmashMatrix::encode(&Csr::from_coo(&neg), cfg(&[2]));
+        let sum = a.add(&b).unwrap();
+        assert_eq!(sum.nnz(), 1, "cancelled entry must vanish");
+        assert_eq!(sum.num_blocks(), 1, "cancelled block must be dropped");
+    }
+
+    #[test]
+    fn add_rejects_mismatched_operands() {
+        let a = generators::uniform(8, 8, 10, 1);
+        let b = generators::uniform(8, 9, 10, 1);
+        let sa = SmashMatrix::encode(&a, cfg(&[2]));
+        let sb = SmashMatrix::encode(&b, cfg(&[2]));
+        assert!(sa.add(&sb).is_err());
+        let sb2 = SmashMatrix::encode(&a, cfg(&[4]));
+        assert!(sa.add(&sb2).is_err());
+        let sb3 = SmashMatrix::encode(&a, SmashConfig::col_major(&[2]).unwrap());
+        assert!(sa.add(&sb3).is_err());
+    }
+
+    #[test]
+    fn higher_b0_lowers_locality_for_scattered_matrices() {
+        let a = generators::uniform(128, 128, 400, 23);
+        let l2 = SmashMatrix::encode(&a, cfg(&[2])).locality_of_sparsity();
+        let l8 = SmashMatrix::encode(&a, cfg(&[8])).locality_of_sparsity();
+        assert!(l8 < l2, "l8 {l8} >= l2 {l2}");
+    }
+
+    #[test]
+    fn compression_ratio_beats_csr_for_clustered_dense() {
+        // Dense blocks at ~12% density: SMASH should compress better than
+        // CSR's 12 bytes/non-zero (paper Fig. 19, right side).
+        let a = generators::block_dense(128, 128, 2048, 8, 29);
+        let sm = SmashMatrix::encode(&a, cfg(&[2, 4, 16]));
+        let csr_ratio =
+            (a.rows() * a.cols() * 8) as f64 / a.storage_bytes() as f64;
+        assert!(
+            sm.total_compression_ratio() > csr_ratio,
+            "smash {} vs csr {csr_ratio}",
+            sm.total_compression_ratio()
+        );
+    }
+
+    #[test]
+    fn csr_beats_smash_for_extremely_sparse() {
+        // ~0.0006% density, scattered: CSR stores 12 B/nnz; SMASH pays for
+        // the full top-level bitmap plus half-empty 2-element blocks
+        // (paper Fig. 19, left side, M1-M4).
+        let a = generators::uniform(4096, 4096, 100, 31);
+        let sm = SmashMatrix::encode(&a, cfg(&[2, 4, 16]));
+        let csr_ratio =
+            (a.rows() * a.cols() * 8) as f64 / a.storage_bytes() as f64;
+        assert!(
+            sm.total_compression_ratio() < csr_ratio,
+            "smash {} vs csr {csr_ratio}",
+            sm.total_compression_ratio()
+        );
+    }
+}

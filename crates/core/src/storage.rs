@@ -1,0 +1,111 @@
+//! Storage-efficiency accounting for the Fig. 19 experiment.
+//!
+//! The paper's "total compression ratio" is the size of the original
+//! uncompressed matrix divided by the total size of every data structure the
+//! compressed format needs. For CSR that is `row_ptr + col_ind + values`;
+//! for SMASH it is every stored bitmap level (compacted, per Fig. 4(b))
+//! plus the NZA.
+
+use crate::{SmashConfig, SmashMatrix};
+use smash_matrix::{Csr, Scalar};
+
+/// Side-by-side storage footprint of one matrix under CSR and SMASH.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StorageReport {
+    /// Uncompressed dense footprint in bytes.
+    pub dense_bytes: usize,
+    /// CSR footprint in bytes.
+    pub csr_bytes: usize,
+    /// SMASH footprint in bytes (bitmap hierarchy + NZA).
+    pub smash_bytes: usize,
+    /// Bytes of the SMASH footprint occupied by bitmap metadata.
+    pub smash_bitmap_bytes: usize,
+    /// Explicit zeros stored in the NZA.
+    pub nza_zeros: usize,
+}
+
+impl StorageReport {
+    /// CSR total compression ratio (dense / CSR).
+    pub fn csr_ratio(&self) -> f64 {
+        self.dense_bytes as f64 / self.csr_bytes.max(1) as f64
+    }
+
+    /// SMASH total compression ratio (dense / SMASH).
+    pub fn smash_ratio(&self) -> f64 {
+        self.dense_bytes as f64 / self.smash_bytes.max(1) as f64
+    }
+
+    /// SMASH ratio relative to CSR (> 1 means SMASH stores the matrix in
+    /// less space; the paper reports up to 2.48x at high densities).
+    pub fn smash_over_csr(&self) -> f64 {
+        self.smash_ratio() / self.csr_ratio()
+    }
+}
+
+/// Measures both footprints for `csr` with the given SMASH configuration.
+///
+/// # Example
+///
+/// ```
+/// use smash_core::{storage, SmashConfig};
+/// use smash_matrix::generators;
+///
+/// let m = generators::block_dense(128, 128, 2000, 8, 5);
+/// let report = storage::compare(&m, &SmashConfig::row_major(&[2, 4, 16])?);
+/// assert!(report.smash_ratio() > 1.0);
+/// # Ok::<(), smash_core::SmashError>(())
+/// ```
+pub fn compare<T: Scalar>(csr: &Csr<T>, config: &SmashConfig) -> StorageReport {
+    let sm = SmashMatrix::encode(csr, config.clone());
+    StorageReport {
+        dense_bytes: csr.rows() * csr.cols() * std::mem::size_of::<T>(),
+        csr_bytes: csr.storage_bytes(),
+        smash_bytes: sm.storage_bytes(),
+        smash_bitmap_bytes: sm.hierarchy().storage_bits().div_ceil(8),
+        nza_zeros: sm.nza().len() - sm.nza().nnz(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smash_matrix::generators;
+
+    fn cfg() -> SmashConfig {
+        SmashConfig::row_major(&[2, 4, 16]).unwrap()
+    }
+
+    #[test]
+    fn report_fields_are_consistent() {
+        let m = generators::uniform(100, 100, 500, 3);
+        let r = compare(&m, &cfg());
+        assert_eq!(r.dense_bytes, 100 * 100 * 8);
+        assert!(r.smash_bitmap_bytes < r.smash_bytes);
+        assert!(r.csr_ratio() > 1.0);
+        assert!(r.smash_ratio() > 1.0);
+    }
+
+    #[test]
+    fn clustered_matrices_store_fewer_nza_zeros() {
+        let scattered = generators::uniform(128, 128, 1000, 5);
+        let clustered = generators::clustered(128, 128, 1000, 8, 5);
+        let rs = compare(&scattered, &cfg());
+        let rc = compare(&clustered, &cfg());
+        assert!(rc.nza_zeros < rs.nza_zeros);
+        assert!(rc.smash_over_csr() > rs.smash_over_csr());
+    }
+
+    #[test]
+    fn highly_sparse_favours_csr() {
+        let m = generators::uniform(4096, 4096, 100, 7);
+        let r = compare(&m, &cfg());
+        assert!(r.smash_over_csr() < 1.0, "ratio {}", r.smash_over_csr());
+    }
+
+    #[test]
+    fn dense_clustered_favours_smash() {
+        let m = generators::block_dense(128, 128, 2500, 8, 9);
+        let r = compare(&m, &cfg());
+        assert!(r.smash_over_csr() > 1.0);
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's fig12 13 experiment. Flags: --fast,
+//! --scale-spmv N, --scale-spmm N, --scale-graph N, --seed N.
+
+fn main() {
+    let cfg = smash_experiments::ExpConfig::from_args();
+    smash_experiments::print_tables(&smash_experiments::figs::fig10_13::run_spmm(&cfg));
+}

@@ -1,0 +1,65 @@
+//! Figures 14/15: sensitivity of SMASH's speedup to the Bitmap-0
+//! compression ratio (2:1, 4:1, 8:1), for SpMV and SpMM. Results are
+//! normalized to the 2:1 configuration, as in the paper.
+
+use crate::config::ExpConfig;
+use crate::paper_ref;
+use crate::report::{geomean, r2, Table};
+use crate::figs::suite_subset;
+use smash_core::SmashConfig;
+use smash_kernels::{harness, Mechanism};
+
+const B0S: [u32; 3] = [2, 4, 8];
+
+/// Runs the experiment for both kernels.
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let mut out = Vec::new();
+    for (kernel, scale, sys) in [
+        ("SpMV (Figure 14)", cfg.scale_spmv, cfg.system_spmv()),
+        ("SpMM (Figure 15)", cfg.scale_spmm, cfg.system_spmm()),
+    ] {
+        let mut t = Table::new(
+            format!("Bitmap-0 ratio sensitivity, {kernel}: speedup vs B0=2:1"),
+            &["matrix", "B0-2:1", "B0-4:1", "B0-8:1"],
+        );
+        let mut per_b0: Vec<Vec<f64>> = vec![Vec::new(); 3];
+        for (spec, a) in suite_subset(cfg, scale) {
+            // Upper levels fixed at the paper's per-matrix b2.b1; only
+            // Bitmap-0 varies (the figures are labelled Mi.b2.b1).
+            let mut row = vec![format!(
+                "{}.{}.{}",
+                spec.label(),
+                spec.bitmap_cfg.b2,
+                spec.bitmap_cfg.b1
+            )];
+            let mut base_cycles = None;
+            for (k, &b0) in B0S.iter().enumerate() {
+                let cycles = if kernel.starts_with("SpMV") {
+                    let ratios = [b0, spec.bitmap_cfg.b1, spec.bitmap_cfg.b2];
+                    let sc = SmashConfig::row_major(&ratios).expect("valid ratios");
+                    harness::sim_spmv(Mechanism::Smash, &a, &sc, &sys).cycles
+                } else {
+                    let b = spec.generate(scale, cfg.seed + 1);
+                    let sc = SmashConfig::row_major(&[b0]).expect("valid ratio");
+                    harness::sim_spmm(Mechanism::Smash, &a, &b, &sc, &sys).cycles
+                };
+                let base = *base_cycles.get_or_insert(cycles);
+                let rel = base as f64 / cycles as f64;
+                row.push(r2(rel));
+                per_b0[k].push(rel);
+            }
+            t.push_row(row);
+        }
+        t.note(format!(
+            "AVG at 8:1: {} (paper: ~{} for SpMV, ~{} for SpMM; clustered \
+             matrices like M12/M14 gain instead: paper {} and {})",
+            r2(geomean(&per_b0[2])),
+            r2(paper_ref::FIG14_AVG_8TO1_SLOWDOWN),
+            r2(paper_ref::FIG15_AVG_8TO1_SLOWDOWN),
+            r2(paper_ref::FIG14_M12_8TO1),
+            r2(paper_ref::FIG14_M14_8TO1),
+        ));
+        out.push(t);
+    }
+    out
+}

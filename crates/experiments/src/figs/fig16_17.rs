@@ -1,0 +1,86 @@
+//! Figures 16/17: sensitivity of SMASH's speedup to the *locality of
+//! sparsity* (§7.2.3), for SpMV and SpMM.
+//!
+//! Three matrices with the sparsities of M2 (0.06 %), M8 (0.85 %) and M13
+//! (4.97 %) are regenerated at controlled locality from 12.5 % to 100 %
+//! (NZA block size 8, so 12.5 % = one non-zero per block); results are
+//! normalized to the 12.5 % point, as in the paper.
+
+use crate::config::ExpConfig;
+use crate::paper_ref;
+use crate::report::{r2, Table};
+use smash_core::SmashConfig;
+use smash_kernels::{harness, Mechanism};
+use smash_matrix::locality::with_locality;
+use smash_matrix::suite::paper_suite;
+
+/// Locality points of the paper's x-axis (fractions of a full block).
+const POINTS: [f64; 8] = [0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0];
+
+/// The matrices the paper sweeps (ids into Table 3).
+const TARGETS: [usize; 3] = [2, 8, 13];
+
+/// Runs the experiment for both kernels.
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let specs = paper_suite();
+    let points: Vec<f64> = if cfg.fast {
+        vec![0.125, 0.5, 1.0]
+    } else {
+        POINTS.to_vec()
+    };
+    let mut out = Vec::new();
+    for (kernel, scale, sys) in [
+        ("SpMV (Figure 16)", cfg.scale_spmv, cfg.system_spmv()),
+        ("SpMM (Figure 17)", cfg.scale_spmm, cfg.system_spmm()),
+    ] {
+        let mut headers: Vec<String> = vec!["matrix".into()];
+        headers.extend(points.iter().map(|p| format!("{:.1}%", p * 100.0)));
+        let mut t = Table::new(
+            format!("Locality-of-sparsity sensitivity, {kernel}: speedup vs 12.5% locality"),
+            &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+        );
+        for &id in &TARGETS {
+            let spec = &specs[id - 1];
+            let n = spec.scaled_rows(scale);
+            let nnz = spec.scaled_nnz(scale);
+            let mut row = vec![format!(
+                "{}.{}.{}.8",
+                spec.label(),
+                spec.bitmap_cfg.b2,
+                spec.bitmap_cfg.b1
+            )];
+            let mut base = None;
+            for (pi, &p) in points.iter().enumerate() {
+                let a = with_locality(n, n, nnz, 8, p, cfg.seed ^ (id as u64) << 8);
+                let cycles = if kernel.starts_with("SpMV") {
+                    // The paper annotates these runs Mi.b2.b1.8: B0 = 8.
+                    let ratios = [8, spec.bitmap_cfg.b1, spec.bitmap_cfg.b2];
+                    let sc = SmashConfig::row_major(&ratios).expect("valid ratios");
+                    harness::sim_spmv(Mechanism::Smash, &a, &sc, &sys).cycles
+                } else {
+                    let b = with_locality(n, n, nnz, 8, p, cfg.seed ^ (id as u64) << 9);
+                    let sc = SmashConfig::row_major(&[8]).expect("valid ratio");
+                    harness::sim_spmm(Mechanism::Smash, &a, &b, &sc, &sys).cycles
+                };
+                let b = *base.get_or_insert(cycles);
+                row.push(r2(b as f64 / cycles as f64));
+                let _ = pi;
+            }
+            t.push_row(row);
+        }
+        t.note(format!(
+            "paper: speedup grows with locality, up to {} for M13 SpMV; the \
+             benefit shrinks as the matrix gets sparser (indexing dominates)",
+            r2(paper_ref::FIG16_M13_MAX_GAIN)
+        ));
+        t.note(
+            "known divergence: the monotone trend reproduces but our \
+             magnitudes are larger — the simulated BMU skips all-zero \
+             regions in constant time, so block compute (proportional to \
+             1/locality at fixed nnz) dominates the sweep, whereas the \
+             paper's scan cost flattens the curve",
+        );
+        out.push(t);
+    }
+    out
+}

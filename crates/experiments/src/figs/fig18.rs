@@ -1,0 +1,83 @@
+//! Figure 18: PageRank and Betweenness Centrality on the Table 4 graphs,
+//! SMASH-based vs CSR-based, speedup and normalized instructions.
+
+use crate::config::ExpConfig;
+use crate::paper_ref;
+use crate::report::{geomean, r2, Table};
+use smash_graph::{
+    betweenness, generate_graphs, pagerank, BcConfig, GraphMechanism, PageRankConfig,
+};
+use smash_sim::SimEngine;
+
+/// Runs the experiment.
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let sys = cfg.system_graph();
+    let graphs = generate_graphs(cfg.scale_graph, cfg.seed);
+    let pr_cfg = PageRankConfig {
+        iterations: if cfg.fast { 3 } else { 5 },
+        ..Default::default()
+    };
+    let bc_cfg = BcConfig {
+        sources: if cfg.fast { vec![0, 1] } else { vec![0, 1, 2, 3] },
+        max_levels: 16,
+        ..Default::default()
+    };
+
+    let mut t = Table::new(
+        "Figure 18: graph applications, SMASH vs CSR",
+        &[
+            "graph",
+            "PR speedup",
+            "PR norm. instr",
+            "BC speedup",
+            "BC norm. instr",
+        ],
+    );
+    let (mut prs, mut bcs) = (Vec::new(), Vec::new());
+    for (spec, g) in &graphs {
+        let mut row = vec![format!("{} ({})", spec.label(), spec.name)];
+        // PageRank.
+        let mut e = SimEngine::new(sys.clone());
+        pagerank(&mut e, GraphMechanism::Csr, g, &pr_cfg);
+        let base = e.finish();
+        let mut e = SimEngine::new(sys.clone());
+        pagerank(&mut e, GraphMechanism::Smash, g, &pr_cfg);
+        let s = e.finish();
+        let speedup = base.cycles as f64 / s.cycles as f64;
+        prs.push(speedup);
+        row.push(r2(speedup));
+        row.push(r2(s.instructions() as f64 / base.instructions() as f64));
+        // Betweenness Centrality.
+        let mut e = SimEngine::new(sys.clone());
+        betweenness(&mut e, GraphMechanism::Csr, g, &bc_cfg);
+        let base = e.finish();
+        let mut e = SimEngine::new(sys.clone());
+        betweenness(&mut e, GraphMechanism::Smash, g, &bc_cfg);
+        let s = e.finish();
+        let speedup = base.cycles as f64 / s.cycles as f64;
+        bcs.push(speedup);
+        row.push(r2(speedup));
+        row.push(r2(s.instructions() as f64 / base.instructions() as f64));
+        t.push_row(row);
+    }
+    t.note(format!(
+        "AVG PageRank {} (paper {}), BC {} (paper {})",
+        r2(geomean(&prs)),
+        r2(paper_ref::FIG18_PAGERANK),
+        r2(geomean(&bcs)),
+        r2(paper_ref::FIG18_BC)
+    ));
+    t.note(format!(
+        "graphs scaled 1/{}; gains are smaller than raw SpMV because vector \
+         updates dilute indexing time (paper §7.3)",
+        cfg.scale_graph
+    ));
+    t.note(
+        "known divergence: the paper compares against Ligra's CSR-based \
+         graph framework (per-edge frontier checks and degree loads), while \
+         our CSR baseline is already a bare SpMV — so both pipelines here \
+         execute nearly identical work on these low-locality power-law \
+         matrices and the result is near-parity instead of +27/31%",
+    );
+    vec![t]
+}

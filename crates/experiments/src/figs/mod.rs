@@ -1,0 +1,28 @@
+//! One module per reproduced figure/table; each exposes
+//! `run(&ExpConfig) -> Vec<Table>` so binaries stay thin and `run_all`
+//! can regenerate everything in-process.
+
+pub mod area;
+pub mod fig03;
+pub mod fig09;
+pub mod fig10_13;
+pub mod fig14_15;
+pub mod fig16_17;
+pub mod fig18;
+pub mod fig19;
+pub mod fig20;
+pub mod tables;
+
+use crate::config::ExpConfig;
+use smash_matrix::suite::{generate_suite, MatrixSpec};
+use smash_matrix::Csr;
+
+/// The Table 3 suite restricted to this run's matrix subset, at the given
+/// scale.
+pub fn suite_subset(cfg: &ExpConfig, scale: usize) -> Vec<(MatrixSpec, Csr<f64>)> {
+    let all = generate_suite(scale, cfg.seed);
+    cfg.matrix_indices()
+        .into_iter()
+        .map(|i| all[i].clone())
+        .collect()
+}

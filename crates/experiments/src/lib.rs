@@ -1,0 +1,24 @@
+//! Experiment harness that regenerates every table and figure of the SMASH
+//! paper's evaluation (see DESIGN.md for the experiment index).
+//!
+//! Each figure lives in [`figs`] as a `run(&ExpConfig) -> Vec<Table>`
+//! function; the binaries in `src/bin/` are thin wrappers, and
+//! `run_all` regenerates everything for EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod figs;
+pub mod paper_ref;
+pub mod report;
+
+pub use config::ExpConfig;
+pub use report::Table;
+
+/// Prints a set of tables to stdout.
+pub fn print_tables(tables: &[Table]) {
+    for t in tables {
+        println!("{t}");
+    }
+}

@@ -1,0 +1,90 @@
+//! Reference numbers extracted from the paper's evaluation, shown next to
+//! our measured values in every experiment report.
+
+/// Figure 3: speedup of ideal indexing over CSR (SpAdd, SpMV, SpMM).
+pub const FIG3_SPEEDUP: [(&str, f64); 3] =
+    [("SpAdd", 2.21), ("SpMV", 2.13), ("SpMM", 2.81)];
+
+/// Figure 3: normalized instructions of ideal indexing (1 − reduction:
+/// 49 %, 42 %, 65 %).
+pub const FIG3_INSTR: [(&str, f64); 3] = [("SpAdd", 0.51), ("SpMV", 0.58), ("SpMM", 0.35)];
+
+/// Figure 9 (real system, normalized to TACO-CSR): §7.1 reports MKL +15 %
+/// SpMV / +25 % SpMM, MKL over BCSR +3 % / +4 %, SW-SMASH +5 % / +10 %.
+pub const FIG9_SPMV: [(&str, f64); 4] = [
+    ("TACO-CSR", 1.00),
+    ("TACO-BCSR", 1.12),
+    ("MKL-CSR", 1.15),
+    ("Software-only SMASH", 1.05),
+];
+
+/// Figure 9, SpMM column.
+pub const FIG9_SPMM: [(&str, f64); 4] = [
+    ("TACO-CSR", 1.00),
+    ("TACO-BCSR", 1.20),
+    ("MKL-CSR", 1.25),
+    ("Software-only SMASH", 1.10),
+];
+
+/// Figures 10/12: average SMASH speedup over TACO-CSR (38 % SpMV, 44 %
+/// SpMM) and over TACO-BCSR (32 % / 30 %).
+pub const FIG10_AVG_SPEEDUP: f64 = 1.38;
+/// Average SMASH SpMM speedup (Fig. 12).
+pub const FIG12_AVG_SPEEDUP: f64 = 1.44;
+/// Average indexing-instruction reduction vs TACO-CSR (§7.2.1).
+pub const INSTR_REDUCTION_VS_CSR: f64 = 0.47;
+
+/// Figures 14/15: average slowdown when Bitmap-0 goes 2:1 -> 8:1 (4 % SpMV,
+/// 5 % SpMM) and the clustered outliers that speed up instead.
+pub const FIG14_AVG_8TO1_SLOWDOWN: f64 = 0.96;
+/// SpMM average for the same sweep.
+pub const FIG15_AVG_8TO1_SLOWDOWN: f64 = 0.95;
+/// M12's speedup at 8:1 relative to 2:1 (clustered).
+pub const FIG14_M12_8TO1: f64 = 1.18;
+/// M14's speedup at 8:1 relative to 2:1 (clustered).
+pub const FIG14_M14_8TO1: f64 = 1.40;
+
+/// Figure 16: up to 25 % gain for M13 SpMV going from 12.5 % to 100 %
+/// locality of sparsity.
+pub const FIG16_M13_MAX_GAIN: f64 = 1.25;
+
+/// Figure 18: PageRank and Betweenness Centrality speedups (27 % / 31 %).
+pub const FIG18_PAGERANK: f64 = 1.27;
+/// Betweenness Centrality speedup.
+pub const FIG18_BC: f64 = 1.31;
+
+/// Figure 19: SMASH's total compression ratio is up to 2.48x CSR's at high
+/// density; CSR wins for the highly sparse M1–M4.
+pub const FIG19_MAX_SMASH_OVER_CSR: f64 = 2.48;
+
+/// Figure 20: end-to-end time breakdown percentages
+/// (CSR→SMASH, kernel, SMASH→CSR).
+pub const FIG20: [(&str, [f64; 3]); 3] = [
+    ("SpMV", [30.0, 45.0, 25.0]),
+    ("SpMM", [6.0, 90.0, 4.0]),
+    ("PageRank", [0.2, 99.5, 0.3]),
+];
+
+/// §7.6: BMU area overhead bound.
+pub const AREA_OVERHEAD_PERCENT: f64 = 0.076;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdowns_sum_to_one_hundred() {
+        for (name, parts) in FIG20 {
+            let sum: f64 = parts.iter().sum();
+            assert!((sum - 100.0).abs() < 0.5, "{name} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn speedups_are_positive() {
+        for (_, s) in FIG3_SPEEDUP {
+            assert!(s > 1.0);
+        }
+        assert!(FIG10_AVG_SPEEDUP > 1.0 && FIG12_AVG_SPEEDUP > FIG10_AVG_SPEEDUP);
+    }
+}

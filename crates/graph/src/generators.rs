@@ -1,0 +1,216 @@
+//! Seeded graph generators standing in for the SNAP inputs of Table 4.
+//!
+//! * R-MAT with power-law degree skew models the social/co-purchase graphs
+//!   (`com-Youtube`, `com-DBLP`, `amazon0601`);
+//! * a jittered 2-D lattice models the planar, low-degree, high-diameter
+//!   `roadNet-CA`.
+
+use crate::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One graph of the paper's Table 4.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphSpec {
+    /// Paper id, 1–4 (`G1`…`G4`).
+    pub id: u8,
+    /// SNAP name as printed in Table 4.
+    pub name: &'static str,
+    /// Vertices at full scale.
+    pub vertices: usize,
+    /// Edges at full scale.
+    pub edges: usize,
+    /// Whether the graph is a road network (lattice) rather than power-law.
+    pub road: bool,
+}
+
+impl GraphSpec {
+    /// `Gi` label as used in the paper's Fig. 18.
+    pub fn label(&self) -> String {
+        format!("G{}", self.id)
+    }
+
+    /// Generates the graph scaled down by the linear factor `scale`
+    /// (vertices and edges both shrink by `scale`, preserving the average
+    /// degree that drives SpMV behaviour).
+    pub fn generate(&self, scale: usize, seed: u64) -> Graph {
+        let n = (self.vertices / scale.max(1)).max(64);
+        let m = (self.edges / scale.max(1)).max(n);
+        if self.road {
+            road_network(n, m, seed ^ self.id as u64)
+        } else {
+            rmat(n, m, seed ^ self.id as u64)
+        }
+    }
+}
+
+/// The four graphs of Table 4.
+pub fn paper_graphs() -> Vec<GraphSpec> {
+    vec![
+        GraphSpec {
+            id: 1,
+            name: "com-Youtube",
+            vertices: 1_100_000,
+            edges: 2_900_000,
+            road: false,
+        },
+        GraphSpec {
+            id: 2,
+            name: "com-DBLP",
+            vertices: 317_000,
+            edges: 1_000_000,
+            road: false,
+        },
+        GraphSpec {
+            id: 3,
+            name: "roadNet-CA",
+            vertices: 1_900_000,
+            edges: 2_700_000,
+            road: true,
+        },
+        GraphSpec {
+            id: 4,
+            name: "amazon0601",
+            vertices: 403_000,
+            edges: 3_300_000,
+            road: false,
+        },
+    ]
+}
+
+/// R-MAT generator (Chakrabarti et al.) with the classic skewed partition
+/// `(a, b, c, d) = (0.57, 0.19, 0.19, 0.05)`, symmetrized.
+pub fn rmat(vertices: usize, edges: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let levels = (vertices.max(2) as f64).log2().ceil() as u32;
+    let n = 1usize << levels;
+    let mut list = Vec::with_capacity(edges * 2);
+    let (a, b, c) = (0.57, 0.19, 0.19);
+    for _ in 0..edges {
+        let (mut u, mut v) = (0usize, 0usize);
+        for _ in 0..levels {
+            let r: f64 = rng.gen();
+            let (du, dv) = if r < a {
+                (0, 0)
+            } else if r < a + b {
+                (0, 1)
+            } else if r < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u = (u << 1) | du;
+            v = (v << 1) | dv;
+        }
+        let (u, v) = (u % vertices.max(1), v % vertices.max(1));
+        if u != v {
+            list.push((u as u32, v as u32));
+            list.push((v as u32, u as u32));
+        }
+    }
+    let _ = n;
+    Graph::from_edges(vertices, &list)
+}
+
+/// Road-network generator: a `w x h` lattice (4-neighbourhood) with a few
+/// random shortcuts, symmetrized — planar-ish, degree ~4, high diameter.
+pub fn road_network(vertices: usize, edges: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let w = (vertices as f64).sqrt().ceil() as usize;
+    let h = vertices.div_ceil(w);
+    let n = w * h;
+    let idx = |x: usize, y: usize| (y * w + x) as u32;
+    let mut list = Vec::with_capacity(edges * 2);
+    for y in 0..h {
+        for x in 0..w {
+            // Drop a small fraction of lattice edges so the network is not
+            // perfectly regular.
+            if x + 1 < w && rng.gen::<f64>() > 0.05 {
+                list.push((idx(x, y), idx(x + 1, y)));
+                list.push((idx(x + 1, y), idx(x, y)));
+            }
+            if y + 1 < h && rng.gen::<f64>() > 0.05 {
+                list.push((idx(x, y), idx(x, y + 1)));
+                list.push((idx(x, y + 1), idx(x, y)));
+            }
+        }
+    }
+    // Shortcuts up to the requested edge count.
+    while list.len() < edges * 2 {
+        let u = rng.gen_range(0..n) as u32;
+        let v = rng.gen_range(0..n) as u32;
+        if u != v {
+            list.push((u, v));
+            list.push((v, u));
+        }
+    }
+    Graph::from_edges(n, &list)
+}
+
+/// Generates the whole Table 4 set at a given scale.
+pub fn generate_graphs(scale: usize, seed: u64) -> Vec<(GraphSpec, Graph)> {
+    paper_graphs()
+        .into_iter()
+        .map(|spec| {
+            let g = spec.generate(scale, seed);
+            (spec, g)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_specs_in_paper_order() {
+        let specs = paper_graphs();
+        assert_eq!(specs.len(), 4);
+        assert_eq!(specs[0].label(), "G1");
+        assert!(specs[2].road);
+    }
+
+    #[test]
+    fn rmat_is_deterministic_and_skewed() {
+        let g1 = rmat(512, 2048, 7);
+        let g2 = rmat(512, 2048, 7);
+        assert_eq!(g1, g2);
+        let mut degrees: Vec<usize> = (0..g1.vertices()).map(|u| g1.out_degree(u)).collect();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        let top: usize = degrees.iter().take(16).sum();
+        assert!(
+            top * 4 > g1.edges(),
+            "top-16 vertices hold {top} of {} edges",
+            g1.edges()
+        );
+    }
+
+    #[test]
+    fn road_network_has_low_degree() {
+        let g = road_network(1024, 2048, 9);
+        let max_degree = (0..g.vertices()).map(|u| g.out_degree(u)).max().unwrap();
+        assert!(max_degree <= 10, "max degree {max_degree}");
+        let avg = g.edges() as f64 / g.vertices() as f64;
+        assert!(avg >= 3.0 && avg <= 5.0, "average degree {avg}");
+    }
+
+    #[test]
+    fn scaled_generation_matches_degree() {
+        let spec = &paper_graphs()[1]; // com-DBLP: avg degree ~3.2
+        let g = spec.generate(64, 3);
+        let avg = g.edges() as f64 / g.vertices() as f64;
+        let want = spec.edges as f64 / spec.vertices as f64;
+        // Symmetrization and dedup allow some slack.
+        assert!(
+            (avg - 2.0 * want).abs() < 2.5,
+            "avg degree {avg}, paper (directed) {want}"
+        );
+    }
+
+    #[test]
+    fn graphs_are_symmetric() {
+        let g = rmat(128, 512, 5);
+        let t = g.adjacency_transpose();
+        assert_eq!(&t, g.adjacency());
+    }
+}

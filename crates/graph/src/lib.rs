@@ -1,0 +1,29 @@
+//! Graph substrate and applications for the SMASH reproduction: the
+//! PageRank and Betweenness Centrality workloads of the paper's §6 and
+//! Fig. 18, built as iterated SpMV over the mechanisms of `smash-kernels`.
+//!
+//! # Example
+//!
+//! ```
+//! use smash_graph::{generators, pagerank, GraphMechanism, PageRankConfig};
+//! use smash_sim::CountEngine;
+//!
+//! let g = generators::rmat(128, 512, 42);
+//! let cfg = PageRankConfig { iterations: 3, ..Default::default() };
+//! let mut e = CountEngine::new();
+//! let ranks = pagerank::pagerank(&mut e, GraphMechanism::Csr, &g, &cfg);
+//! assert_eq!(ranks.len(), g.vertices());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bc;
+pub mod generators;
+mod graph;
+pub mod pagerank;
+
+pub use bc::{betweenness, betweenness_reference, BcConfig};
+pub use generators::{generate_graphs, paper_graphs, GraphSpec};
+pub use graph::Graph;
+pub use pagerank::{pagerank, pagerank_reference, GraphMechanism, PageRankConfig};

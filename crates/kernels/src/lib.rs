@@ -1,0 +1,44 @@
+//! Sparse kernels for every mechanism of the SMASH paper's evaluation.
+//!
+//! Two families:
+//!
+//! * **Instrumented kernels** ([`spmv`], [`spmm`], [`spadd`], [`convert`]) —
+//!   compute the real result *and* describe their instruction stream
+//!   (with data dependencies) to a `smash-sim` [`Engine`](smash_sim::Engine),
+//!   so the simulator can time them on the Table 2 machine. These power the
+//!   Fig. 3 and Figs. 10–17/20 experiments.
+//! * **Native kernels** ([`native`]) — plain Rust for wall-clock runs on
+//!   the host (the paper's real-system Fig. 9 experiment and the Criterion
+//!   benches).
+//!
+//! The [`harness`] module dispatches by [`Mechanism`], building the right
+//! operand encodings (CSR, 2x2 BCSR, SMASH bitmaps + NZA) internally.
+//!
+//! # Example
+//!
+//! ```
+//! use smash_kernels::{harness, Mechanism};
+//! use smash_core::SmashConfig;
+//! use smash_matrix::generators;
+//! use smash_sim::SystemConfig;
+//!
+//! let a = generators::uniform(64, 64, 400, 1);
+//! let cfg = SmashConfig::row_major(&[2, 4, 16])?;
+//! let csr = harness::sim_spmv(Mechanism::TacoCsr, &a, &cfg, &SystemConfig::paper_table2());
+//! let smash = harness::sim_spmv(Mechanism::Smash, &a, &cfg, &SystemConfig::paper_table2());
+//! assert!(smash.cycles < csr.cycles, "SMASH must win on this workload");
+//! # Ok::<(), smash_core::SmashError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod common;
+pub mod convert;
+pub mod harness;
+pub mod native;
+pub mod spadd;
+pub mod spmm;
+pub mod spmv;
+
+pub use common::{test_vector, Mechanism, VEC_WIDTH};

@@ -1,0 +1,207 @@
+//! Instrumented Sparse Matrix Addition (`C = A + B`), the third kernel of
+//! the paper's Fig. 3 motivation experiment.
+//!
+//! CSR SpAdd merges each pair of sorted rows: every step loads both column
+//! indices, compares, branches on the data-dependent outcome, and emits one
+//! output entry — so *all* of its memory-index traffic is indexing work.
+
+use crate::common::{sites, streams};
+use smash_matrix::{Coo, Csr};
+use smash_sim::{Engine, UopId};
+
+/// CSR SpAdd via row-wise sorted merge.
+///
+/// # Panics
+///
+/// Panics if the operand shapes differ.
+pub fn spadd_csr<E: Engine>(e: &mut E, a: &Csr<f64>, b: &Csr<f64>) -> Csr<f64> {
+    assert_eq!(
+        (a.rows(), a.cols()),
+        (b.rows(), b.cols()),
+        "operand shapes must agree"
+    );
+    let a_ind = e.alloc(4 * a.nnz(), 64);
+    let a_val = e.alloc(8 * a.nnz(), 64);
+    let b_ind = e.alloc(4 * b.nnz(), 64);
+    let b_val = e.alloc(8 * b.nnz(), 64);
+    let c_ind = e.alloc(4 * (a.nnz() + b.nnz()), 64);
+    let c_val = e.alloc(8 * (a.nnz() + b.nnz()), 64);
+
+    let mut c = Coo::with_capacity(a.rows(), a.cols(), a.nnz() + b.nnz());
+    let mut out = 0u64;
+    for i in 0..a.rows() {
+        let a_lo = a.row_ptr()[i] as u64;
+        let b_lo = b.row_ptr()[i] as u64;
+        let (ac, av) = a.row(i);
+        let (bc, bv) = b.row(i);
+        e.load(streams::PTR, a_ind, &[]);
+        e.load(streams::PTR_B, b_ind, &[]);
+        let (mut p, mut q) = (0usize, 0usize);
+        while p < ac.len() || q < bc.len() {
+            let take_a = q >= bc.len() || (p < ac.len() && ac[p] <= bc[q]);
+            let take_b = p >= ac.len() || (q < bc.len() && bc[q] <= ac[p]);
+            // Load whichever indices are still live and compare.
+            let mut deps: Vec<UopId> = Vec::with_capacity(2);
+            if p < ac.len() {
+                deps.push(e.load(streams::IND, a_ind + 4 * (a_lo + p as u64), &[]));
+            }
+            if q < bc.len() {
+                deps.push(e.load(streams::IND_B, b_ind + 4 * (b_lo + q as u64), &[]));
+            }
+            let cmp = e.alu(&deps);
+            e.branch(sites::ADD_CMP, take_a && take_b, &[cmp]);
+            let (col, val, vdep) = match (take_a, take_b) {
+                (true, true) => {
+                    let va = e.load(streams::VAL, a_val + 8 * (a_lo + p as u64), &[]);
+                    let vb = e.load(streams::VAL_B, b_val + 8 * (b_lo + q as u64), &[]);
+                    let s = e.fadd(&[va, vb]);
+                    let out = (ac[p], av[p] + bv[q], s);
+                    p += 1;
+                    q += 1;
+                    out
+                }
+                (true, false) => {
+                    let va = e.load(streams::VAL, a_val + 8 * (a_lo + p as u64), &[]);
+                    let out = (ac[p], av[p], va);
+                    p += 1;
+                    out
+                }
+                (false, true) => {
+                    let vb = e.load(streams::VAL_B, b_val + 8 * (b_lo + q as u64), &[]);
+                    let out = (bc[q], bv[q], vb);
+                    q += 1;
+                    out
+                }
+                (false, false) => unreachable!("merge invariant"),
+            };
+            // Emit the output entry: column index and value.
+            e.store(streams::OUT, c_ind + 4 * out, &[cmp]);
+            e.store(streams::OUT, c_val + 8 * out, &[vdep]);
+            if val != 0.0 {
+                c.push(i, col as usize, val);
+            }
+            out += 1;
+        }
+        e.alu(&[]);
+        e.branch(sites::SPMV_OUTER, i + 1 < a.rows(), &[]);
+    }
+    Csr::from_coo(&c)
+}
+
+/// Idealized SpAdd (Fig. 3): output positions are known for free — only the
+/// value loads, adds and stores remain.
+///
+/// # Panics
+///
+/// Panics if the operand shapes differ.
+pub fn spadd_ideal<E: Engine>(e: &mut E, a: &Csr<f64>, b: &Csr<f64>) -> Csr<f64> {
+    assert_eq!(
+        (a.rows(), a.cols()),
+        (b.rows(), b.cols()),
+        "operand shapes must agree"
+    );
+    let a_val = e.alloc(8 * a.nnz(), 64);
+    let b_val = e.alloc(8 * b.nnz(), 64);
+    let c_val = e.alloc(8 * (a.nnz() + b.nnz()), 64);
+
+    let mut c = Coo::with_capacity(a.rows(), a.cols(), a.nnz() + b.nnz());
+    let mut out = 0u64;
+    for i in 0..a.rows() {
+        let a_lo = a.row_ptr()[i] as u64;
+        let b_lo = b.row_ptr()[i] as u64;
+        let (ac, av) = a.row(i);
+        let (bc, bv) = b.row(i);
+        let (mut p, mut q) = (0usize, 0usize);
+        while p < ac.len() || q < bc.len() {
+            let take_a = q >= bc.len() || (p < ac.len() && ac[p] <= bc[q]);
+            let take_b = p >= ac.len() || (q < bc.len() && bc[q] <= ac[p]);
+            // Positions are free but the merge still compares and branches.
+            let cmp = e.alu(&[]);
+            e.branch(sites::ADD_CMP, take_a && take_b, &[cmp]);
+            let (col, val, vdep) = match (take_a, take_b) {
+                (true, true) => {
+                    let va = e.load(streams::VAL, a_val + 8 * (a_lo + p as u64), &[]);
+                    let vb = e.load(streams::VAL_B, b_val + 8 * (b_lo + q as u64), &[]);
+                    let s = e.fadd(&[va, vb]);
+                    let o = (ac[p], av[p] + bv[q], s);
+                    p += 1;
+                    q += 1;
+                    o
+                }
+                (true, false) => {
+                    let va = e.load(streams::VAL, a_val + 8 * (a_lo + p as u64), &[]);
+                    let o = (ac[p], av[p], va);
+                    p += 1;
+                    o
+                }
+                (false, true) => {
+                    let vb = e.load(streams::VAL_B, b_val + 8 * (b_lo + q as u64), &[]);
+                    let o = (bc[q], bv[q], vb);
+                    q += 1;
+                    o
+                }
+                (false, false) => unreachable!("merge invariant"),
+            };
+            e.store(streams::OUT, c_val + 8 * out, &[vdep]);
+            if val != 0.0 {
+                c.push(i, col as usize, val);
+            }
+            out += 1;
+        }
+        e.branch(sites::SPMV_OUTER, i + 1 < a.rows(), &[]);
+    }
+    Csr::from_coo(&c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smash_matrix::generators;
+    use smash_sim::CountEngine;
+
+    #[test]
+    fn both_variants_match_reference() {
+        let a = generators::uniform(50, 60, 300, 3);
+        let b = generators::banded(50, 60, 4, 250, 4);
+        let want = a.add(&b).unwrap();
+        let mut e = CountEngine::new();
+        assert_eq!(spadd_csr(&mut e, &a, &b), want);
+        let mut e = CountEngine::new();
+        assert_eq!(spadd_ideal(&mut e, &a, &b), want);
+    }
+
+    #[test]
+    fn ideal_cuts_instructions_roughly_in_half() {
+        let a = generators::uniform(80, 80, 600, 5);
+        let b = generators::uniform(80, 80, 600, 6);
+        let mut e1 = CountEngine::new();
+        spadd_csr(&mut e1, &a, &b);
+        let csr = e1.finish().instructions();
+        let mut e2 = CountEngine::new();
+        spadd_ideal(&mut e2, &a, &b);
+        let ideal = e2.finish().instructions();
+        let ratio = ideal as f64 / csr as f64;
+        // Paper Fig. 3 reports ~0.51 normalized instructions for SpMatAdd;
+        // our model lands somewhat lower because the ideal variant also
+        // skips the output-index stores.
+        assert!((0.25..0.7).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn disjoint_and_overlapping_entries_combine() {
+        let mut ca = Coo::new(2, 4);
+        ca.push(0, 1, 1.0);
+        ca.push(1, 2, 2.0);
+        let mut cb = Coo::new(2, 4);
+        cb.push(0, 1, 3.0);
+        cb.push(1, 3, 4.0);
+        let a = Csr::from_coo(&ca);
+        let b = Csr::from_coo(&cb);
+        let mut e = CountEngine::new();
+        let c = spadd_csr(&mut e, &a, &b);
+        let d = c.to_dense();
+        assert_eq!(d.get(0, 1), 4.0);
+        assert_eq!(d.get(1, 2), 2.0);
+        assert_eq!(d.get(1, 3), 4.0);
+    }
+}

@@ -1,0 +1,502 @@
+//! Instrumented Sparse Matrix–Vector multiplication (`y = A * x`) for every
+//! mechanism of the paper's evaluation.
+//!
+//! Each kernel both *computes* the result (returned, and checked against the
+//! dense reference in tests) and *describes* its instruction stream to an
+//! [`Engine`], including the data dependencies that make CSR's
+//! `x[col_ind[j]]` a pointer chase (paper §2.1.1).
+
+use crate::common::{sites, streams, vector_ops, VEC_WIDTH};
+use smash_bmu::{Bmu, BmuBinding, MAX_HW_LEVELS};
+use smash_core::SmashMatrix;
+use smash_matrix::{Bcsr, Csr};
+use smash_sim::{Engine, UopId};
+
+/// CSR SpMV exactly as TACO emits it (paper Code Listing 1): for each
+/// non-zero, load the column index, use it to address `x` (a dependent
+/// load), multiply with the value and accumulate.
+pub fn spmv_csr<E: Engine>(e: &mut E, a: &Csr<f64>, x: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), a.cols(), "vector length must equal cols");
+    let rows = a.rows();
+    let row_ptr_a = e.alloc(4 * (rows + 1), 64);
+    let col_a = e.alloc(4 * a.nnz(), 64);
+    let val_a = e.alloc(8 * a.nnz(), 64);
+    let x_a = e.alloc(8 * x.len(), 64);
+    let y_a = e.alloc(8 * rows, 64);
+
+    let mut y = vec![0.0f64; rows];
+    // Hoisted load of row_ptr[0].
+    let mut hi_load = e.load(streams::PTR, row_ptr_a, &[]);
+    let _ = hi_load;
+    for i in 0..rows {
+        let lo = a.row_ptr()[i] as u64;
+        let (cols_i, vals_i) = a.row(i);
+        // Load row_ptr[i + 1]; the inner-loop bound depends on it.
+        hi_load = e.load(streams::PTR, row_ptr_a + 4 * (i as u64 + 1), &[]);
+        let mut acc = UopId::NONE;
+        let mut yv = 0.0f64;
+        let n = cols_i.len();
+        for (k, (&c, &v)) in cols_i.iter().zip(vals_i).enumerate() {
+            let j = lo + k as u64;
+            // j = A2_crd[jA]  — the indexing load...
+            let cld = e.load(streams::IND, col_a + 4 * j, &[]);
+            // ...sign-extend + address generation depend on it...
+            let addr = e.alu(&[cld]);
+            // ...and x[j] is the dependent (pointer-chasing) load.
+            let xld = e.load(streams::X, x_a + 8 * c as u64, &[addr]);
+            let vld = e.load(streams::VAL, val_a + 8 * j, &[]);
+            let m = e.fmul(&[xld, vld]);
+            acc = e.fadd(&[m, acc]);
+            yv += v * x[c as usize];
+            e.alu(&[]); // jA++
+            e.branch(sites::SPMV_INNER, k + 1 < n, &[hi_load]);
+        }
+        y[i] = yv;
+        e.store(streams::OUT, y_a + 8 * i as u64, &[acc]);
+        e.alu(&[]); // i++
+        e.branch(sites::SPMV_OUTER, i + 1 < rows, &[]);
+    }
+    y
+}
+
+/// Idealized CSR SpMV (paper Fig. 3): identical computation, but the
+/// positions of non-zeros are known for free — no `col_ind` loads, no
+/// dependent address generation, no `row_ptr` loads.
+pub fn spmv_ideal<E: Engine>(e: &mut E, a: &Csr<f64>, x: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), a.cols(), "vector length must equal cols");
+    let rows = a.rows();
+    let val_a = e.alloc(8 * a.nnz(), 64);
+    let x_a = e.alloc(8 * x.len(), 64);
+    let y_a = e.alloc(8 * rows, 64);
+
+    let mut y = vec![0.0f64; rows];
+    let mut j = 0u64;
+    for i in 0..rows {
+        let (cols_i, vals_i) = a.row(i);
+        let mut acc = UopId::NONE;
+        let mut yv = 0.0f64;
+        let n = cols_i.len();
+        for (k, (&c, &v)) in cols_i.iter().zip(vals_i).enumerate() {
+            // Position is known: x is loaded with no producing dependency.
+            let xld = e.load(streams::X, x_a + 8 * c as u64, &[]);
+            let vld = e.load(streams::VAL, val_a + 8 * j, &[]);
+            let m = e.fmul(&[xld, vld]);
+            acc = e.fadd(&[m, acc]);
+            yv += v * x[c as usize];
+            e.alu(&[]); // loop counter
+            e.branch(sites::SPMV_INNER, k + 1 < n, &[]);
+            j += 1;
+        }
+        y[i] = yv;
+        e.store(streams::OUT, y_a + 8 * i as u64, &[acc]);
+        e.branch(sites::SPMV_OUTER, i + 1 < rows, &[]);
+    }
+    y
+}
+
+/// BCSR SpMV (TACO-BCSR baseline): one index per block, dense SIMD compute
+/// inside each block — including its explicit zeros.
+pub fn spmv_bcsr<E: Engine>(e: &mut E, a: &Bcsr<f64>, x: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), a.cols(), "vector length must equal cols");
+    let (br, bc) = a.block_shape();
+    let n_block_rows = a.num_block_rows();
+    let ptr_a = e.alloc(4 * (n_block_rows + 1), 64);
+    let ind_a = e.alloc(4 * a.num_blocks(), 64);
+    let val_a = e.alloc(8 * a.nnz_stored(), 64);
+    let x_a = e.alloc(8 * x.len(), 64);
+    let y_a = e.alloc(8 * a.rows(), 64);
+
+    let mut y = vec![0.0f64; a.rows()];
+    let bs = br * bc;
+    let mut hi_load = e.load(streams::PTR, ptr_a, &[]);
+    let _ = hi_load;
+    for bi in 0..n_block_rows {
+        hi_load = e.load(streams::PTR, ptr_a + 4 * (bi as u64 + 1), &[]);
+        let lo = a.block_row_ptr()[bi] as usize;
+        let hi = a.block_row_ptr()[bi + 1] as usize;
+        // One accumulator chain per row of the block row.
+        let mut accs = vec![UopId::NONE; br];
+        let mut yvs = vec![0.0f64; br];
+        for k in lo..hi {
+            let bcol = a.block_col_ind()[k] as usize;
+            // Block index load + x base address generation (the only
+            // indexing work per block).
+            let ild = e.load(streams::IND, ind_a + 4 * k as u64, &[]);
+            let addr = e.alu(&[ild]);
+            let tile = &a.values()[k * bs..(k + 1) * bs];
+            for lr in 0..br {
+                let row = bi * br + lr;
+                if row >= a.rows() {
+                    break;
+                }
+                for lane in 0..vector_ops(bc) {
+                    let off = (k * bs + lr * bc + lane * VEC_WIDTH) as u64;
+                    let vld = e.load(streams::VAL, val_a + 8 * off, &[]);
+                    let xoff = (bcol * bc + lane * VEC_WIDTH) as u64;
+                    let xld = e.load(streams::X, x_a + 8 * xoff, &[addr]);
+                    let m = e.fmul(&[vld, xld]);
+                    accs[lr] = e.fadd(&[m, accs[lr]]);
+                }
+                for lc in 0..bc {
+                    let col = bcol * bc + lc;
+                    if col < a.cols() {
+                        yvs[lr] += tile[lr * bc + lc] * x[col];
+                    }
+                }
+            }
+            e.alu(&[]); // k++
+            e.branch(sites::BLOCK_LOOP, k + 1 < hi, &[hi_load]);
+        }
+        for lr in 0..br {
+            let row = bi * br + lr;
+            if row >= a.rows() {
+                break;
+            }
+            y[row] = yvs[lr];
+            e.store(streams::OUT, y_a + 8 * row as u64, &[accs[lr]]);
+        }
+        e.alu(&[]);
+        e.branch(sites::SPMV_OUTER, bi + 1 < n_block_rows, &[]);
+    }
+    y
+}
+
+/// Software-only SMASH SpMV (paper §4.4): the bitmap hierarchy is scanned in
+/// software — word loads, count-trailing-zeros and AND-masking per set bit —
+/// then each non-zero block is processed with SIMD, explicit zeros included.
+pub fn spmv_sw_smash<E: Engine>(e: &mut E, a: &SmashMatrix<f64>, x: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), a.cols(), "vector length must equal cols");
+    let levels = a.hierarchy().num_levels();
+    let b0 = a.config().block_size();
+    let bpl = a.blocks_per_line();
+    let nza_a = e.alloc(8 * a.nza().len(), 64);
+    let x_a = e.alloc(8 * x.len(), 64);
+    let y_a = e.alloc(8 * a.rows(), 64);
+    let bitmap_addrs: Vec<u64> = (0..levels)
+        .map(|l| e.alloc(a.hierarchy().stored_level(l).len().div_ceil(8), 64))
+        .collect();
+
+    let mut y = vec![0.0f64; a.rows()];
+    // Per-level scanning state: last word loaded, its uop, and the serial
+    // CTZ/mask chain (each "find next set bit" consumes the previous
+    // masked word — the §4.4 software loop is inherently sequential).
+    let mut next_word = vec![0usize; levels];
+    let mut word_uop = vec![UopId::NONE; levels];
+    let mut scan_chain = vec![UopId::NONE; levels];
+    let load_words = |e: &mut E,
+                          level: usize,
+                          upto: usize,
+                          next_word: &mut [usize],
+                          word_uop: &mut [UopId]| {
+        while next_word[level] <= upto {
+            word_uop[level] = e.load(
+                streams::bitmap(level),
+                bitmap_addrs[level] + 8 * next_word[level] as u64,
+                &[],
+            );
+            next_word[level] += 1;
+        }
+    };
+
+    let mut ordinal = 0usize;
+    let mut acc = UopId::NONE;
+    let mut yv = 0.0f64;
+    let mut cur_row = usize::MAX;
+    for visit in a.hierarchy().visits() {
+        let word = visit.storage / 64;
+        load_words(e, visit.level, word, &mut next_word, &mut word_uop);
+        // Find the set bit: CTZ on the (previously masked) word, then mask
+        // it off for the next search — a serial dependence chain.
+        let ctz = e.alu(&[word_uop[visit.level], scan_chain[visit.level]]);
+        let mask = e.alu(&[ctz]); // AND-mask
+        scan_chain[visit.level] = mask;
+        e.branch(sites::SCAN_FOUND, true, &[ctz]);
+        if visit.level > 0 {
+            // Descend: update the child-level scan pointer.
+            e.alu(&[ctz]);
+            continue;
+        }
+        // A non-zero block: compute its row/column (2 ALU: div/mod by the
+        // padded stride) and run the SIMD block kernel.
+        let idx1 = e.alu(&[ctz]);
+        let idx2 = e.alu(&[idx1]);
+        let (row, col) = a.block_row_col(visit.logical);
+        if row != cur_row {
+            if cur_row != usize::MAX {
+                y[cur_row] = yv;
+                e.store(streams::OUT, y_a + 8 * cur_row as u64, &[acc]);
+            }
+            e.branch(sites::LINE_CHANGE, true, &[idx2]);
+            cur_row = row;
+            yv = 0.0;
+            acc = UopId::NONE;
+        }
+        let block = a.nza().block(ordinal);
+        for lane in 0..vector_ops(b0) {
+            let off = (ordinal * b0 + lane * VEC_WIDTH) as u64;
+            let vld = e.load(streams::NZA_A, nza_a + 8 * off, &[]);
+            let xld = e.load(
+                streams::X,
+                x_a + 8 * (col + lane * VEC_WIDTH) as u64,
+                &[idx2],
+            );
+            let m = e.fmul(&[vld, xld]);
+            acc = e.fadd(&[m, acc]);
+        }
+        for (k, &v) in block.iter().enumerate() {
+            let c = col + k;
+            if c < a.cols() {
+                yv += v * x[c];
+            }
+        }
+        ordinal += 1;
+    }
+    if cur_row != usize::MAX {
+        y[cur_row] = yv;
+        e.store(streams::OUT, y_a + 8 * cur_row as u64, &[acc]);
+    }
+    // The scan reads each stored bitmap to its end.
+    for level in 0..levels {
+        let total = a.hierarchy().stored_level(level).len().div_ceil(64);
+        while next_word[level] < total {
+            e.load(
+                streams::bitmap(level),
+                bitmap_addrs[level] + 8 * next_word[level] as u64,
+                &[],
+            );
+            next_word[level] += 1;
+        }
+    }
+    let _ = bpl;
+    y
+}
+
+/// Full SMASH SpMV (paper Algorithm 1): the BMU scans the hierarchy; the
+/// core executes one `pbmap`/`rdind` pair per non-zero block and SIMD
+/// compute over the block's elements.
+pub fn spmv_hw_smash<E: Engine>(
+    e: &mut E,
+    bmu: &mut Bmu,
+    grp: usize,
+    a: &SmashMatrix<f64>,
+    x: &[f64],
+) -> Vec<f64> {
+    assert_eq!(x.len(), a.cols(), "vector length must equal cols");
+    let levels = a.hierarchy().num_levels();
+    assert!(
+        levels <= MAX_HW_LEVELS,
+        "hardware buffers at most {MAX_HW_LEVELS} levels"
+    );
+    let b0 = a.config().block_size();
+    let nza_a = e.alloc(8 * a.nza().len(), 64);
+    let x_a = e.alloc(8 * x.len(), 64);
+    let y_a = e.alloc(8 * a.rows(), 64);
+    let mut level_addrs = [0u64; MAX_HW_LEVELS];
+    for l in 0..levels {
+        level_addrs[l] = e.alloc(a.hierarchy().stored_level(l).len().div_ceil(8), 64);
+    }
+    let binding = BmuBinding {
+        hierarchy: a.hierarchy(),
+        level_addrs,
+    };
+
+    // Algorithm 1 lines 2-8: matinfo, bmapinfo per level, rdbmap per level
+    // (top first, which arms the scan).
+    bmu.matinfo(e, grp, a.rows() as u32, a.cols() as u32);
+    for (lvl, &r) in a.config().ratios().iter().enumerate() {
+        bmu.bmapinfo(e, grp, lvl, r);
+    }
+    for lvl in (0..levels).rev() {
+        bmu.rdbmap(e, grp, lvl, level_addrs[lvl], &binding);
+    }
+
+    let mut y = vec![0.0f64; a.rows()];
+    let mut acc = UopId::NONE;
+    let mut yv = 0.0f64;
+    let mut cur_row = usize::MAX;
+    let mut ordinal = 0usize;
+    let num_blocks = a.num_blocks();
+    loop {
+        // Lines 11-12: scan, then read the indices.
+        let p = bmu.pbmap(e, grp, &binding);
+        let Some(block_logical) = p.block else { break };
+        let ind = bmu.rdind(e, grp);
+        let (row, col) = a.block_row_col(block_logical);
+        debug_assert_eq!((ind.row as usize, ind.col as usize), (row, col));
+
+        if row != cur_row {
+            if cur_row != usize::MAX {
+                y[cur_row] = yv;
+                e.store(streams::OUT, y_a + 8 * cur_row as u64, &[acc]);
+            }
+            e.branch(sites::LINE_CHANGE, true, &[ind.uop]);
+            cur_row = row;
+            yv = 0.0;
+            acc = UopId::NONE;
+        }
+        // x base address from the column index register.
+        let addr = e.alu(&[ind.uop]);
+        let block = a.nza().block(ordinal);
+        for lane in 0..vector_ops(b0) {
+            let off = (ordinal * b0 + lane * VEC_WIDTH) as u64;
+            let vld = e.load(streams::NZA_A, nza_a + 8 * off, &[]);
+            let xld = e.load(
+                streams::X,
+                x_a + 8 * (col + lane * VEC_WIDTH) as u64,
+                &[addr],
+            );
+            let m = e.fmul(&[vld, xld]);
+            acc = e.fadd(&[m, acc]);
+        }
+        for (k, &v) in block.iter().enumerate() {
+            let c = col + k;
+            if c < a.cols() {
+                yv += v * x[c];
+            }
+        }
+        ordinal += 1;
+        e.alu(&[]); // ctrNZ++
+        e.branch(sites::SPMV_OUTER, ordinal < num_blocks, &[]);
+    }
+    if cur_row != usize::MAX {
+        y[cur_row] = yv;
+        e.store(streams::OUT, y_a + 8 * cur_row as u64, &[acc]);
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::test_vector;
+    use smash_core::SmashConfig;
+    use smash_matrix::generators;
+    use smash_sim::{CountEngine, SimEngine, SystemConfig, UopClass};
+
+    fn check(y: &[f64], want: &[f64]) {
+        assert_eq!(y.len(), want.len());
+        for (a, b) in y.iter().zip(want) {
+            assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()), "{a} vs {b}");
+        }
+    }
+
+    fn matrices() -> Vec<Csr<f64>> {
+        vec![
+            generators::uniform(60, 80, 400, 3),
+            generators::banded(64, 64, 3, 300, 4),
+            generators::clustered(50, 70, 350, 5, 5),
+            generators::block_dense(48, 48, 400, 4, 6),
+        ]
+    }
+
+    #[test]
+    fn all_mechanisms_compute_the_same_product() {
+        for a in matrices() {
+            let x = test_vector(a.cols());
+            let want = a.spmv(&x);
+
+            let mut e = CountEngine::new();
+            check(&spmv_csr(&mut e, &a, &x), &want);
+
+            let mut e = CountEngine::new();
+            check(&spmv_ideal(&mut e, &a, &x), &want);
+
+            let mut e = CountEngine::new();
+            let bcsr = Bcsr::from_csr(&a, 2, 2).unwrap();
+            check(&spmv_bcsr(&mut e, &bcsr, &x), &want);
+
+            for ratios in [&[2u32][..], &[2, 4], &[2, 4, 16], &[8, 4, 2]] {
+                let sm = SmashMatrix::encode(&a, SmashConfig::row_major(ratios).unwrap());
+                let mut e = CountEngine::new();
+                check(&spmv_sw_smash(&mut e, &sm, &x), &want);
+
+                let mut e = CountEngine::new();
+                let mut bmu = Bmu::new();
+                check(&spmv_hw_smash(&mut e, &mut bmu, 0, &sm, &x), &want);
+            }
+        }
+    }
+
+    #[test]
+    fn ideal_executes_fewer_instructions_than_csr() {
+        let a = generators::uniform(100, 100, 1000, 7);
+        let x = test_vector(100);
+        let mut e1 = CountEngine::new();
+        spmv_csr(&mut e1, &a, &x);
+        let csr = e1.finish();
+        let mut e2 = CountEngine::new();
+        spmv_ideal(&mut e2, &a, &x);
+        let ideal = e2.finish();
+        let ratio = ideal.instructions() as f64 / csr.instructions() as f64;
+        assert!(
+            (0.45..0.85).contains(&ratio),
+            "ideal/csr instruction ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn smash_executes_fewer_instructions_than_csr() {
+        let a = generators::clustered(128, 128, 1600, 4, 9);
+        let x = test_vector(128);
+        let mut e1 = CountEngine::new();
+        spmv_csr(&mut e1, &a, &x);
+        let csr = e1.finish();
+
+        let sm = SmashMatrix::encode(&a, SmashConfig::row_major(&[2, 4, 16]).unwrap());
+        let mut e2 = CountEngine::new();
+        let mut bmu = Bmu::new();
+        spmv_hw_smash(&mut e2, &mut bmu, 0, &sm, &x);
+        let smash = e2.finish();
+        let ratio = smash.instructions() as f64 / csr.instructions() as f64;
+        assert!(ratio < 0.8, "smash/csr instruction ratio {ratio}");
+        // And the coproc (SMASH ISA) instructions appear.
+        assert!(smash.count(UopClass::Coproc) > 0);
+    }
+
+    #[test]
+    fn smash_is_faster_than_csr_in_simulation() {
+        let a = generators::uniform(196, 196, 4000, 11);
+        let x = test_vector(196);
+        let mut e1 = SimEngine::new(SystemConfig::paper_table2());
+        spmv_csr(&mut e1, &a, &x);
+        let csr = e1.finish();
+
+        let sm = SmashMatrix::encode(&a, SmashConfig::row_major(&[2, 4, 16]).unwrap());
+        let mut e2 = SimEngine::new(SystemConfig::paper_table2());
+        let mut bmu = Bmu::new();
+        spmv_hw_smash(&mut e2, &mut bmu, 0, &sm, &x);
+        let smash = e2.finish();
+        let speedup = csr.cycles as f64 / smash.cycles as f64;
+        assert!(speedup > 1.05, "speedup {speedup}");
+    }
+
+    #[test]
+    fn sw_smash_charges_bitmap_word_loads() {
+        let a = generators::uniform(64, 64, 256, 13);
+        let sm = SmashMatrix::encode(&a, SmashConfig::row_major(&[2, 4]).unwrap());
+        let x = test_vector(64);
+        let mut e = CountEngine::new();
+        spmv_sw_smash(&mut e, &sm, &x);
+        let s = e.finish();
+        let min_words: u64 = (0..2)
+            .map(|l| sm.hierarchy().stored_level(l).len().div_ceil(64) as u64)
+            .sum();
+        assert!(
+            s.count(UopClass::Load) >= min_words,
+            "only {} loads for {min_words} bitmap words",
+            s.count(UopClass::Load)
+        );
+    }
+
+    #[test]
+    fn empty_matrix_yields_zero_vector() {
+        let a = Csr::<f64>::from_coo(&smash_matrix::Coo::new(8, 8));
+        let x = test_vector(8);
+        let mut e = CountEngine::new();
+        assert_eq!(spmv_csr(&mut e, &a, &x), vec![0.0; 8]);
+        let sm = SmashMatrix::encode(&a, SmashConfig::row_major(&[2, 4]).unwrap());
+        let mut e = CountEngine::new();
+        let mut bmu = Bmu::new();
+        assert_eq!(spmv_hw_smash(&mut e, &mut bmu, 0, &sm, &x), vec![0.0; 8]);
+    }
+}

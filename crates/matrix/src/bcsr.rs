@@ -1,0 +1,340 @@
+use crate::{Csr, Dense, MatrixError, Result, Scalar};
+
+/// Block Compressed Sparse Row matrix (paper’s TACO-BCSR baseline, reference 38).
+///
+/// The matrix is tiled into `block_rows x block_cols` dense blocks; only
+/// blocks containing at least one non-zero are stored, each as a dense
+/// row-major tile. This trades explicit zeros inside stored blocks for one
+/// index per *block* instead of one per *element* — the same storage/compute
+/// trade-off SMASH generalizes with its bitmap hierarchy.
+///
+/// # Example
+///
+/// ```
+/// use smash_matrix::{Bcsr, Coo, Csr};
+///
+/// let mut coo = Coo::<f64>::new(4, 4);
+/// coo.push(0, 0, 1.0);
+/// coo.push(1, 1, 2.0); // same 2x2 block as (0,0)
+/// coo.push(3, 3, 3.0);
+/// let bcsr = Bcsr::from_csr(&Csr::from_coo(&coo), 2, 2).unwrap();
+/// assert_eq!(bcsr.num_blocks(), 2);
+/// assert_eq!(bcsr.nnz_stored(), 8); // two 2x2 tiles
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bcsr<T> {
+    rows: usize,
+    cols: usize,
+    block_rows: usize,
+    block_cols: usize,
+    /// Per block-row extent into `block_col_ind`, length `ceil(rows/br) + 1`.
+    block_row_ptr: Vec<u32>,
+    /// Block-column index of each stored block.
+    block_col_ind: Vec<u32>,
+    /// Dense tiles, `block_rows * block_cols` values each, row-major.
+    values: Vec<T>,
+    /// Number of logical (non-padding) non-zeros.
+    nnz_logical: usize,
+}
+
+impl<T: Scalar> Bcsr<T> {
+    /// Converts a CSR matrix to BCSR with the given block shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::InvalidStructure`] if either block dimension
+    /// is zero.
+    pub fn from_csr(csr: &Csr<T>, block_rows: usize, block_cols: usize) -> Result<Self> {
+        if block_rows == 0 || block_cols == 0 {
+            return Err(MatrixError::InvalidStructure(
+                "block dimensions must be non-zero".into(),
+            ));
+        }
+        let rows = csr.rows();
+        let cols = csr.cols();
+        let n_block_rows = rows.div_ceil(block_rows);
+        let block_size = block_rows * block_cols;
+
+        let mut block_row_ptr = Vec::with_capacity(n_block_rows + 1);
+        block_row_ptr.push(0u32);
+        let mut block_col_ind = Vec::new();
+        let mut values = Vec::new();
+
+        // For each block-row, merge the member rows' columns into block
+        // columns, then fill the tiles.
+        let mut tile_of_block_col: Vec<(u32, usize)> = Vec::new();
+        for bi in 0..n_block_rows {
+            tile_of_block_col.clear();
+            let r_lo = bi * block_rows;
+            let r_hi = (r_lo + block_rows).min(rows);
+            // Discover which block columns are occupied.
+            let mut occupied: Vec<u32> = Vec::new();
+            for r in r_lo..r_hi {
+                let (row_cols, _) = csr.row(r);
+                for &c in row_cols {
+                    occupied.push(c / block_cols as u32);
+                }
+            }
+            occupied.sort_unstable();
+            occupied.dedup();
+            // Allocate tiles in block-column order.
+            for &bc in &occupied {
+                tile_of_block_col.push((bc, values.len()));
+                block_col_ind.push(bc);
+                values.extend(std::iter::repeat(T::ZERO).take(block_size));
+            }
+            // Scatter values into tiles.
+            for r in r_lo..r_hi {
+                let (row_cols, row_vals) = csr.row(r);
+                for (&c, &v) in row_cols.iter().zip(row_vals) {
+                    let bc = c / block_cols as u32;
+                    let tile_base = tile_of_block_col
+                        .iter()
+                        .find(|&&(b, _)| b == bc)
+                        .expect("occupied block column must have a tile")
+                        .1;
+                    let local = (r - r_lo) * block_cols + (c as usize % block_cols);
+                    values[tile_base + local] = v;
+                }
+            }
+            block_row_ptr.push(block_col_ind.len() as u32);
+        }
+
+        Ok(Bcsr {
+            rows,
+            cols,
+            block_rows,
+            block_cols,
+            block_row_ptr,
+            block_col_ind,
+            values,
+            nnz_logical: csr.nnz(),
+        })
+    }
+
+    /// Converts back to CSR (padding zeros inside tiles are dropped).
+    pub fn to_csr(&self) -> Csr<T> {
+        let mut coo = crate::Coo::with_capacity(self.rows, self.cols, self.nnz_logical);
+        let bs = self.block_rows * self.block_cols;
+        for bi in 0..self.num_block_rows() {
+            let lo = self.block_row_ptr[bi] as usize;
+            let hi = self.block_row_ptr[bi + 1] as usize;
+            for k in lo..hi {
+                let bc = self.block_col_ind[k] as usize;
+                let tile = &self.values[k * bs..(k + 1) * bs];
+                for lr in 0..self.block_rows {
+                    let r = bi * self.block_rows + lr;
+                    if r >= self.rows {
+                        break;
+                    }
+                    for lc in 0..self.block_cols {
+                        let c = bc * self.block_cols + lc;
+                        if c >= self.cols {
+                            break;
+                        }
+                        let v = tile[lr * self.block_cols + lc];
+                        if !v.is_zero() {
+                            coo.push(r, c, v);
+                        }
+                    }
+                }
+            }
+        }
+        Csr::from_coo(&coo)
+    }
+
+    /// Expands to a dense matrix.
+    pub fn to_dense(&self) -> Dense<T> {
+        self.to_csr().to_dense()
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Block shape as `(block_rows, block_cols)`.
+    pub fn block_shape(&self) -> (usize, usize) {
+        (self.block_rows, self.block_cols)
+    }
+
+    /// Number of stored blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.block_col_ind.len()
+    }
+
+    /// Number of block rows.
+    pub fn num_block_rows(&self) -> usize {
+        self.block_row_ptr.len() - 1
+    }
+
+    /// Per-block-row extent array.
+    pub fn block_row_ptr(&self) -> &[u32] {
+        &self.block_row_ptr
+    }
+
+    /// Block-column index of each stored block.
+    pub fn block_col_ind(&self) -> &[u32] {
+        &self.block_col_ind
+    }
+
+    /// Raw tile storage (stored values including explicit zeros).
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Number of values physically stored (logical non-zeros plus padding
+    /// zeros inside tiles).
+    pub fn nnz_stored(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of logical non-zeros (as in the source matrix).
+    pub fn nnz_logical(&self) -> usize {
+        self.nnz_logical
+    }
+
+    /// Fraction of stored values that are logical non-zeros — the block-level
+    /// analogue of the paper's "locality of sparsity".
+    pub fn fill_ratio(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.nnz_logical as f64 / self.values.len() as f64
+        }
+    }
+
+    /// BCSR footprint in bytes: block pointers and indices (4 bytes each)
+    /// plus all stored tile values.
+    pub fn storage_bytes(&self) -> usize {
+        4 * self.block_row_ptr.len()
+            + 4 * self.block_col_ind.len()
+            + self.values.len() * std::mem::size_of::<T>()
+    }
+
+    /// Reference blocked product `y = A * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn spmv(&self, x: &[T]) -> Vec<T> {
+        assert_eq!(x.len(), self.cols, "vector length must equal cols");
+        let mut y = vec![T::ZERO; self.rows];
+        let bs = self.block_rows * self.block_cols;
+        for bi in 0..self.num_block_rows() {
+            let lo = self.block_row_ptr[bi] as usize;
+            let hi = self.block_row_ptr[bi + 1] as usize;
+            for k in lo..hi {
+                let bc = self.block_col_ind[k] as usize;
+                let tile = &self.values[k * bs..(k + 1) * bs];
+                for lr in 0..self.block_rows {
+                    let r = bi * self.block_rows + lr;
+                    if r >= self.rows {
+                        break;
+                    }
+                    let mut acc = T::ZERO;
+                    for lc in 0..self.block_cols {
+                        let c = bc * self.block_cols + lc;
+                        if c >= self.cols {
+                            break;
+                        }
+                        acc = tile[lr * self.block_cols + lc].mul_add(x[c], acc);
+                    }
+                    y[r] += acc;
+                }
+            }
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coo;
+
+    fn sample() -> Csr<f64> {
+        let mut coo = Coo::new(5, 6);
+        for &(r, c, v) in &[
+            (0, 0, 1.0),
+            (0, 5, 2.0),
+            (1, 1, 3.0),
+            (2, 2, 4.0),
+            (3, 3, 5.0),
+            (4, 0, 6.0),
+            (4, 4, 7.0),
+        ] {
+            coo.push(r, c, v);
+        }
+        Csr::from_coo(&coo)
+    }
+
+    #[test]
+    fn roundtrip_preserves_matrix() {
+        let a = sample();
+        for &(br, bc) in &[(1, 1), (2, 2), (2, 3), (4, 4), (3, 2)] {
+            let b = Bcsr::from_csr(&a, br, bc).unwrap();
+            assert_eq!(b.to_csr(), a, "block {br}x{bc}");
+        }
+    }
+
+    #[test]
+    fn one_by_one_blocks_store_no_padding() {
+        let a = sample();
+        let b = Bcsr::from_csr(&a, 1, 1).unwrap();
+        assert_eq!(b.nnz_stored(), a.nnz());
+        assert_eq!(b.fill_ratio(), 1.0);
+    }
+
+    #[test]
+    fn spmv_matches_csr() {
+        let a = sample();
+        let x: Vec<f64> = (0..6).map(|i| i as f64 * 0.5 - 1.0).collect();
+        let want = a.spmv(&x);
+        for &(br, bc) in &[(2, 2), (3, 3), (2, 4)] {
+            let b = Bcsr::from_csr(&a, br, bc).unwrap();
+            let got = b.spmv(&x);
+            for (w, g) in want.iter().zip(&got) {
+                assert!((w - g).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn padding_grows_with_block_size() {
+        let a = sample();
+        let b2 = Bcsr::from_csr(&a, 2, 2).unwrap();
+        let b4 = Bcsr::from_csr(&a, 4, 4).unwrap();
+        assert!(b4.fill_ratio() <= b2.fill_ratio());
+        assert_eq!(b2.nnz_logical(), a.nnz());
+    }
+
+    #[test]
+    fn rejects_zero_block() {
+        assert!(Bcsr::from_csr(&sample(), 0, 2).is_err());
+        assert!(Bcsr::from_csr(&sample(), 2, 0).is_err());
+    }
+
+    #[test]
+    fn ragged_edges_handled() {
+        // 5x6 with 4x4 blocks: bottom/right blocks are clipped.
+        let a = sample();
+        let b = Bcsr::from_csr(&a, 4, 4).unwrap();
+        assert_eq!(b.to_dense(), a.to_dense());
+    }
+
+    #[test]
+    fn storage_counts_padding() {
+        let a = sample();
+        let b = Bcsr::from_csr(&a, 2, 2).unwrap();
+        assert_eq!(
+            b.storage_bytes(),
+            4 * b.block_row_ptr().len() + 4 * b.num_blocks() + 8 * b.nnz_stored()
+        );
+    }
+}

@@ -1,0 +1,531 @@
+use crate::{Coo, Csc, Dense, MatrixError, Result, Scalar};
+
+/// Compressed Sparse Row matrix (paper §2.1, Fig. 1).
+///
+/// Three arrays: `row_ptr` (per-row extent into the other two), `col_ind`
+/// (column index of each non-zero) and `values`. This is the baseline format
+/// whose indexing cost SMASH attacks; the index arrays use 4-byte integers,
+/// matching the storage model of the paper's Fig. 19.
+///
+/// # Example
+///
+/// ```
+/// use smash_matrix::{Coo, Csr};
+///
+/// // The 4x4 example of the paper's Figure 1.
+/// let mut coo = Coo::<f64>::new(4, 4);
+/// for &(r, c, v) in &[(0, 0, 3.2), (1, 0, 1.2), (1, 2, 4.2),
+///                     (2, 3, 5.1), (3, 0, 5.3), (3, 1, 3.3)] {
+///     coo.push(r, c, v);
+/// }
+/// let a = Csr::from_coo(&coo);
+/// assert_eq!(a.row_ptr(), &[0, 1, 3, 4, 6]);
+/// assert_eq!(a.col_ind(), &[0, 0, 2, 3, 0, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr<T> {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<u32>,
+    col_ind: Vec<u32>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> Csr<T> {
+    /// Builds a CSR matrix from raw parts, validating the structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::InvalidStructure`] if the arrays are
+    /// inconsistent (wrong lengths, non-monotone `row_ptr`, unsorted or
+    /// duplicate column indices) and [`MatrixError::IndexOutOfBounds`] if a
+    /// column index exceeds `cols`.
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<u32>,
+        col_ind: Vec<u32>,
+        values: Vec<T>,
+    ) -> Result<Self> {
+        if row_ptr.len() != rows + 1 {
+            return Err(MatrixError::InvalidStructure(format!(
+                "row_ptr length {} != rows + 1 = {}",
+                row_ptr.len(),
+                rows + 1
+            )));
+        }
+        if row_ptr.first() != Some(&0) {
+            return Err(MatrixError::InvalidStructure(
+                "row_ptr must start at 0".into(),
+            ));
+        }
+        if col_ind.len() != values.len() {
+            return Err(MatrixError::InvalidStructure(format!(
+                "col_ind length {} != values length {}",
+                col_ind.len(),
+                values.len()
+            )));
+        }
+        if *row_ptr.last().unwrap() as usize != col_ind.len() {
+            return Err(MatrixError::InvalidStructure(format!(
+                "row_ptr end {} != nnz {}",
+                row_ptr.last().unwrap(),
+                col_ind.len()
+            )));
+        }
+        for w in row_ptr.windows(2) {
+            if w[0] > w[1] {
+                return Err(MatrixError::InvalidStructure(
+                    "row_ptr must be non-decreasing".into(),
+                ));
+            }
+        }
+        for i in 0..rows {
+            let (lo, hi) = (row_ptr[i] as usize, row_ptr[i + 1] as usize);
+            let row_cols = &col_ind[lo..hi];
+            for w in row_cols.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(MatrixError::InvalidStructure(format!(
+                        "row {i} columns not strictly increasing"
+                    )));
+                }
+            }
+            if let Some(&c) = row_cols.last() {
+                if c as usize >= cols {
+                    return Err(MatrixError::IndexOutOfBounds {
+                        row: i,
+                        col: c as usize,
+                        rows,
+                        cols,
+                    });
+                }
+            }
+        }
+        Ok(Csr {
+            rows,
+            cols,
+            row_ptr,
+            col_ind,
+            values,
+        })
+    }
+
+    /// Builds a CSR matrix from a COO matrix (compressing a clone first if
+    /// the COO entries are unsorted).
+    pub fn from_coo(coo: &Coo<T>) -> Self {
+        let owned;
+        let coo = if coo.is_compressed() {
+            coo
+        } else {
+            let mut c = coo.clone();
+            c.compress();
+            owned = c;
+            &owned
+        };
+        let rows = coo.rows();
+        let mut row_ptr = vec![0u32; rows + 1];
+        for &(r, _, _) in coo.entries() {
+            row_ptr[r as usize + 1] += 1;
+        }
+        for i in 0..rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let mut col_ind = Vec::with_capacity(coo.nnz());
+        let mut values = Vec::with_capacity(coo.nnz());
+        for &(_, c, v) in coo.entries() {
+            col_ind.push(c);
+            values.push(v);
+        }
+        Csr {
+            rows,
+            cols: coo.cols(),
+            row_ptr,
+            col_ind,
+            values,
+        }
+    }
+
+    /// Builds a CSR matrix from the non-zeros of a dense matrix.
+    pub fn from_dense(dense: &Dense<T>) -> Self {
+        Csr::from_coo(&Coo::from_dense(dense))
+    }
+
+    /// Expands to a dense matrix.
+    pub fn to_dense(&self) -> Dense<T> {
+        let mut d = Dense::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                d.set(i, c as usize, v);
+            }
+        }
+        d
+    }
+
+    /// Converts to COO triplets.
+    pub fn to_coo(&self) -> Coo<T> {
+        let mut coo = Coo::with_capacity(self.rows, self.cols, self.nnz());
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                coo.push(i, c as usize, v);
+            }
+        }
+        coo
+    }
+
+    /// Converts to compressed sparse column.
+    pub fn to_csc(&self) -> Csc<T> {
+        let mut col_ptr = vec![0u32; self.cols + 1];
+        for &c in &self.col_ind {
+            col_ptr[c as usize + 1] += 1;
+        }
+        for j in 0..self.cols {
+            col_ptr[j + 1] += col_ptr[j];
+        }
+        let mut row_ind = vec![0u32; self.nnz()];
+        let mut values = vec![T::ZERO; self.nnz()];
+        let mut next = col_ptr.clone();
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let slot = next[c as usize] as usize;
+                row_ind[slot] = i as u32;
+                values[slot] = v;
+                next[c as usize] += 1;
+            }
+        }
+        Csc::from_raw_unchecked(self.rows, self.cols, col_ptr, row_ind, values)
+    }
+
+    /// Transposed copy (also a CSR matrix).
+    pub fn transpose(&self) -> Csr<T> {
+        let csc = self.to_csc();
+        Csr {
+            rows: self.cols,
+            cols: self.rows,
+            row_ptr: csc.col_ptr().to_vec(),
+            col_ind: csc.row_ind().to_vec(),
+            values: csc.values().to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zero elements.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fraction of non-zero elements over all elements.
+    pub fn density(&self) -> f64 {
+        if self.rows == 0 || self.cols == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / (self.rows as f64 * self.cols as f64)
+        }
+    }
+
+    /// The row-pointer array (`rows + 1` entries, first 0, last `nnz`).
+    pub fn row_ptr(&self) -> &[u32] {
+        &self.row_ptr
+    }
+
+    /// Column index of each stored non-zero, row-major.
+    pub fn col_ind(&self) -> &[u32] {
+        &self.col_ind
+    }
+
+    /// Stored non-zero values, row-major.
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Column indices and values of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn row(&self, i: usize) -> (&[u32], &[T]) {
+        assert!(i < self.rows, "row out of bounds");
+        let (lo, hi) = (self.row_ptr[i] as usize, self.row_ptr[i + 1] as usize);
+        (&self.col_ind[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Number of non-zeros in row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn row_nnz(&self, i: usize) -> usize {
+        assert!(i < self.rows, "row out of bounds");
+        (self.row_ptr[i + 1] - self.row_ptr[i]) as usize
+    }
+
+    /// Iterates over all entries as `(row, col, value)` in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, T)> + '_ {
+        (0..self.rows).flat_map(move |i| {
+            let (cols, vals) = self.row(i);
+            cols.iter()
+                .zip(vals)
+                .map(move |(&c, &v)| (i, c as usize, v))
+        })
+    }
+
+    /// CSR footprint in bytes: `4 * (rows + 1)` for `row_ptr`, `4 * nnz` for
+    /// `col_ind`, plus the values. This is the CSR side of paper Fig. 19.
+    pub fn storage_bytes(&self) -> usize {
+        4 * (self.rows + 1) + 4 * self.nnz() + self.nnz() * std::mem::size_of::<T>()
+    }
+
+    /// Reference sparse matrix-vector product `y = A * x`
+    /// (paper Code Listing 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn spmv(&self, x: &[T]) -> Vec<T> {
+        assert_eq!(x.len(), self.cols, "vector length must equal cols");
+        let mut y = vec![T::ZERO; self.rows];
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            let mut acc = T::ZERO;
+            for (&c, &v) in cols.iter().zip(vals) {
+                acc = v.mul_add(x[c as usize], acc);
+            }
+            y[i] = acc;
+        }
+        y
+    }
+
+    /// Reference inner-product sparse matrix-matrix multiply `C = A * B`
+    /// with `B` in CSC form (paper Code Listing 2, index matching via merge).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] if `self.cols != b.rows`.
+    pub fn spmm_inner(&self, b: &Csc<T>) -> Result<Coo<T>> {
+        if self.cols != b.rows() {
+            return Err(MatrixError::DimensionMismatch {
+                op: "spmm",
+                lhs: (self.rows, self.cols),
+                rhs: (b.rows(), b.cols()),
+            });
+        }
+        let mut c = Coo::new(self.rows, b.cols());
+        for i in 0..self.rows {
+            let (a_cols, a_vals) = self.row(i);
+            if a_cols.is_empty() {
+                continue;
+            }
+            for j in 0..b.cols() {
+                let (b_rows, b_vals) = b.col(j);
+                // Index matching: advance two sorted cursors.
+                let (mut p, mut q) = (0usize, 0usize);
+                let mut acc = T::ZERO;
+                let mut hit = false;
+                while p < a_cols.len() && q < b_rows.len() {
+                    match a_cols[p].cmp(&b_rows[q]) {
+                        std::cmp::Ordering::Less => p += 1,
+                        std::cmp::Ordering::Greater => q += 1,
+                        std::cmp::Ordering::Equal => {
+                            acc = a_vals[p].mul_add(b_vals[q], acc);
+                            hit = true;
+                            p += 1;
+                            q += 1;
+                        }
+                    }
+                }
+                if hit && !acc.is_zero() {
+                    c.push(i, j, acc);
+                }
+            }
+        }
+        c.compress();
+        Ok(c)
+    }
+
+    /// Reference sparse matrix addition `C = A + B` (merge of sorted rows).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] if shapes differ.
+    pub fn add(&self, b: &Csr<T>) -> Result<Csr<T>> {
+        if self.rows != b.rows || self.cols != b.cols {
+            return Err(MatrixError::DimensionMismatch {
+                op: "spadd",
+                lhs: (self.rows, self.cols),
+                rhs: (b.rows, b.cols),
+            });
+        }
+        let mut coo = Coo::with_capacity(self.rows, self.cols, self.nnz() + b.nnz());
+        for i in 0..self.rows {
+            let (ac, av) = self.row(i);
+            let (bc, bv) = b.row(i);
+            let (mut p, mut q) = (0usize, 0usize);
+            while p < ac.len() || q < bc.len() {
+                let take_a = q >= bc.len() || (p < ac.len() && ac[p] <= bc[q]);
+                let take_b = p >= ac.len() || (q < bc.len() && bc[q] <= ac[p]);
+                match (take_a, take_b) {
+                    (true, true) => {
+                        coo.push(i, ac[p] as usize, av[p] + bv[q]);
+                        p += 1;
+                        q += 1;
+                    }
+                    (true, false) => {
+                        coo.push(i, ac[p] as usize, av[p]);
+                        p += 1;
+                    }
+                    (false, true) => {
+                        coo.push(i, bc[q] as usize, bv[q]);
+                        q += 1;
+                    }
+                    (false, false) => unreachable!(),
+                }
+            }
+        }
+        Ok(Csr::from_coo(&coo))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The 4x4 matrix of the paper's Figure 1.
+    fn fig1() -> Csr<f64> {
+        let mut coo = Coo::new(4, 4);
+        for &(r, c, v) in &[
+            (0, 0, 3.2),
+            (1, 0, 1.2),
+            (1, 2, 4.2),
+            (2, 3, 5.1),
+            (3, 0, 5.3),
+            (3, 1, 3.3),
+        ] {
+            coo.push(r, c, v);
+        }
+        Csr::from_coo(&coo)
+    }
+
+    #[test]
+    fn fig1_arrays_match_paper() {
+        let a = fig1();
+        assert_eq!(a.row_ptr(), &[0, 1, 3, 4, 6]);
+        assert_eq!(a.col_ind(), &[0, 0, 2, 3, 0, 1]);
+        assert_eq!(a.values(), &[3.2, 1.2, 4.2, 5.1, 5.3, 3.3]);
+    }
+
+    #[test]
+    fn row_accessor_counts_nonzeros() {
+        let a = fig1();
+        assert_eq!(a.row_nnz(1), 2);
+        let (cols, vals) = a.row(1);
+        assert_eq!(cols, &[0, 2]);
+        assert_eq!(vals, &[1.2, 4.2]);
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let a = fig1();
+        let d = a.to_dense();
+        assert_eq!(Csr::from_dense(&d), a);
+    }
+
+    #[test]
+    fn coo_roundtrip() {
+        let a = fig1();
+        assert_eq!(Csr::from_coo(&a.to_coo()), a);
+    }
+
+    #[test]
+    fn csc_roundtrip_preserves_dense() {
+        let a = fig1();
+        assert_eq!(a.to_csc().to_dense(), a.to_dense());
+    }
+
+    #[test]
+    fn transpose_matches_dense_transpose() {
+        let a = fig1();
+        assert_eq!(a.transpose().to_dense(), a.to_dense().transpose());
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let a = fig1();
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(a.spmv(&x), a.to_dense().spmv(&x));
+    }
+
+    #[test]
+    fn spmm_matches_dense_matmul() {
+        let a = fig1();
+        let b = fig1().transpose();
+        let c = a.spmm_inner(&b.to_csc()).unwrap().to_dense();
+        let expect = a.to_dense().matmul(&b.to_dense()).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((c.get(i, j) - expect.get(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn add_matches_dense_add() {
+        let a = fig1();
+        let b = fig1().transpose();
+        let c = a.add(&b).unwrap();
+        let expect = a.to_dense().add(&b.to_dense()).unwrap();
+        assert_eq!(c.to_dense(), expect);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        // Non-monotone row_ptr.
+        assert!(Csr::<f64>::from_parts(2, 2, vec![0, 2, 1], vec![0], vec![1.0]).is_err());
+        // col_ind / values length mismatch.
+        assert!(Csr::<f64>::from_parts(1, 2, vec![0, 1], vec![0, 1], vec![1.0]).is_err());
+        // Column out of bounds.
+        assert!(Csr::<f64>::from_parts(1, 2, vec![0, 1], vec![5], vec![1.0]).is_err());
+        // Unsorted columns within a row.
+        assert!(
+            Csr::<f64>::from_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).is_err()
+        );
+        // A valid one.
+        assert!(
+            Csr::<f64>::from_parts(1, 3, vec![0, 2], vec![0, 2], vec![1.0, 2.0]).is_ok()
+        );
+    }
+
+    #[test]
+    fn storage_matches_paper_model() {
+        let a = fig1();
+        // 4*(rows+1) + 4*nnz + 8*nnz = 4*5 + 4*6 + 8*6 = 92
+        assert_eq!(a.storage_bytes(), 92);
+    }
+
+    #[test]
+    fn empty_matrix_ok() {
+        let a = Csr::<f64>::from_coo(&Coo::new(3, 3));
+        assert_eq!(a.nnz(), 0);
+        assert_eq!(a.spmv(&[1.0, 1.0, 1.0]), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn iter_visits_row_major() {
+        let a = fig1();
+        let order: Vec<_> = a.iter().map(|(r, c, _)| (r, c)).collect();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(order, sorted);
+        assert_eq!(order.len(), 6);
+    }
+}

@@ -1,0 +1,307 @@
+use crate::{MatrixError, Result, Scalar};
+
+/// Row-major dense matrix.
+///
+/// `Dense` is the uncompressed reference representation: every conversion
+/// and kernel in the workspace is ultimately validated against it, and the
+/// total-compression-ratio experiment (paper Fig. 19) measures compressed
+/// formats against its footprint.
+///
+/// # Example
+///
+/// ```
+/// use smash_matrix::Dense;
+///
+/// let mut m = Dense::<f64>::zeros(2, 3);
+/// m.set(0, 2, 4.5);
+/// assert_eq!(m.get(0, 2), 4.5);
+/// assert_eq!(m.nnz(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dense<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Dense<T> {
+    /// Creates a `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Dense {
+            rows,
+            cols,
+            data: vec![T::ZERO; rows * cols],
+        }
+    }
+
+    /// Builds a matrix from a row-major data vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::InvalidStructure`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(MatrixError::InvalidStructure(format!(
+                "dense data length {} does not match {}x{}",
+                data.len(),
+                rows,
+                cols
+            )));
+        }
+        Ok(Dense { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Value at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows` or `col >= cols`.
+    pub fn get(&self, row: usize, col: usize) -> T {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the value at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows` or `col >= cols`.
+    pub fn set(&mut self, row: usize, col: usize, value: T) {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Borrows row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn row(&self, i: usize) -> &[T] {
+        assert!(i < self.rows, "row out of bounds");
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// The full row-major backing storage.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Number of non-zero elements.
+    pub fn nnz(&self) -> usize {
+        self.data.iter().filter(|v| !v.is_zero()).count()
+    }
+
+    /// Fraction of non-zero elements (the paper's "sparsity" column of
+    /// Table 3, expressed as a fraction rather than percent).
+    pub fn density(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.nnz() as f64 / self.data.len() as f64
+        }
+    }
+
+    /// Iterates over non-zero entries as `(row, col, value)`.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (usize, usize, T)> + '_ {
+        self.data.iter().enumerate().filter_map(move |(k, &v)| {
+            if v.is_zero() {
+                None
+            } else {
+                Some((k / self.cols, k % self.cols, v))
+            }
+        })
+    }
+
+    /// Uncompressed footprint in bytes: `rows * cols * size_of::<T>()`.
+    pub fn storage_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<T>()
+    }
+
+    /// Reference dense matrix-vector product `y = A * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn spmv(&self, x: &[T]) -> Vec<T> {
+        assert_eq!(x.len(), self.cols, "vector length must equal cols");
+        let mut y = vec![T::ZERO; self.rows];
+        for i in 0..self.rows {
+            let mut acc = T::ZERO;
+            for (a, &b) in self.row(i).iter().zip(x) {
+                acc += *a * b;
+            }
+            y[i] = acc;
+        }
+        y
+    }
+
+    /// Reference dense matrix-matrix product `C = A * B`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] if `self.cols != rhs.rows`.
+    pub fn matmul(&self, rhs: &Dense<T>) -> Result<Dense<T>> {
+        if self.cols != rhs.rows {
+            return Err(MatrixError::DimensionMismatch {
+                op: "matmul",
+                lhs: (self.rows, self.cols),
+                rhs: (rhs.rows, rhs.cols),
+            });
+        }
+        let mut c = Dense::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a.is_zero() {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    let cur = c.get(i, j);
+                    c.set(i, j, a.mul_add(rhs.get(k, j), cur));
+                }
+            }
+        }
+        Ok(c)
+    }
+
+    /// Reference dense matrix addition `C = A + B`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] if shapes differ.
+    pub fn add(&self, rhs: &Dense<T>) -> Result<Dense<T>> {
+        if self.rows != rhs.rows || self.cols != rhs.cols {
+            return Err(MatrixError::DimensionMismatch {
+                op: "add",
+                lhs: (self.rows, self.cols),
+                rhs: (rhs.rows, rhs.cols),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| a + b)
+            .collect();
+        Ok(Dense {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Transposed copy of the matrix.
+    pub fn transpose(&self) -> Dense<T> {
+        let mut t = Dense::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t.set(j, i, self.get(i, j));
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dense<f64> {
+        // 3x3: [[1,0,2],[0,0,0],[3,4,0]]
+        Dense::from_vec(3, 3, vec![1.0, 0.0, 2.0, 0.0, 0.0, 0.0, 3.0, 4.0, 0.0]).unwrap()
+    }
+
+    #[test]
+    fn zeros_has_no_nonzeros() {
+        let m = Dense::<f64>::zeros(4, 5);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.density(), 0.0);
+        assert_eq!(m.storage_bytes(), 4 * 5 * 8);
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_length() {
+        assert!(Dense::<f64>::from_vec(2, 2, vec![1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut m = Dense::<f64>::zeros(2, 2);
+        m.set(1, 0, -3.5);
+        assert_eq!(m.get(1, 0), -3.5);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn iter_nonzero_yields_coordinates() {
+        let m = sample();
+        let entries: Vec<_> = m.iter_nonzero().collect();
+        assert_eq!(
+            entries,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)]
+        );
+    }
+
+    #[test]
+    fn spmv_matches_manual() {
+        let m = sample();
+        let y = m.spmv(&[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![7.0, 0.0, 11.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let m = sample();
+        let mut id = Dense::<f64>::zeros(3, 3);
+        for i in 0..3 {
+            id.set(i, i, 1.0);
+        }
+        let c = m.matmul(&id).unwrap();
+        assert_eq!(c, m);
+    }
+
+    #[test]
+    fn matmul_rejects_mismatched_shapes() {
+        let a = Dense::<f64>::zeros(2, 3);
+        let b = Dense::<f64>::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn add_sums_elementwise() {
+        let m = sample();
+        let s = m.add(&m).unwrap();
+        assert_eq!(s.get(2, 1), 8.0);
+        assert_eq!(s.nnz(), m.nnz());
+    }
+
+    #[test]
+    fn transpose_twice_is_identity() {
+        let m = sample();
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn transpose_moves_entries() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.get(0, 2), 3.0);
+        assert_eq!(t.get(2, 0), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn get_out_of_bounds_panics() {
+        sample().get(3, 0);
+    }
+}

@@ -1,0 +1,122 @@
+use std::fmt;
+
+/// Errors produced when constructing or converting sparse matrices.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum MatrixError {
+    /// Two operands have incompatible dimensions.
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Dimensions of the left-hand operand.
+        lhs: (usize, usize),
+        /// Dimensions of the right-hand operand.
+        rhs: (usize, usize),
+    },
+    /// An entry refers to a position outside the matrix.
+    IndexOutOfBounds {
+        /// Row of the offending entry.
+        row: usize,
+        /// Column of the offending entry.
+        col: usize,
+        /// Number of rows in the matrix.
+        rows: usize,
+        /// Number of columns in the matrix.
+        cols: usize,
+    },
+    /// A compressed structure is internally inconsistent (e.g. a row pointer
+    /// array that is not monotonically non-decreasing).
+    InvalidStructure(String),
+    /// A Matrix Market stream could not be parsed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+    /// An underlying I/O operation failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: {}x{} vs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            MatrixError::IndexOutOfBounds {
+                row,
+                col,
+                rows,
+                cols,
+            } => write!(
+                f,
+                "entry ({row}, {col}) is outside a {rows}x{cols} matrix"
+            ),
+            MatrixError::InvalidStructure(msg) => {
+                write!(f, "invalid compressed structure: {msg}")
+            }
+            MatrixError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            MatrixError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MatrixError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for MatrixError {
+    fn from(e: std::io::Error) -> Self {
+        MatrixError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs: Vec<MatrixError> = vec![
+            MatrixError::DimensionMismatch {
+                op: "spmv",
+                lhs: (3, 4),
+                rhs: (5, 1),
+            },
+            MatrixError::IndexOutOfBounds {
+                row: 9,
+                col: 0,
+                rows: 4,
+                cols: 4,
+            },
+            MatrixError::InvalidStructure("row_ptr not monotone".into()),
+            MatrixError::Parse {
+                line: 3,
+                message: "expected 3 fields".into(),
+            },
+            MatrixError::Io(std::io::Error::new(std::io::ErrorKind::Other, "x")),
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn io_error_has_source() {
+        use std::error::Error;
+        let e = MatrixError::Io(std::io::Error::new(std::io::ErrorKind::Other, "disk"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,169 @@
+//! Locality of sparsity: the paper's §7.2.3 metric and a generator that
+//! targets an exact locality value.
+//!
+//! The paper defines *locality of sparsity* as "the ratio of the average
+//! number of non-zero elements per block of the NZA to the size of each NZA
+//! block". A matrix at 100% locality has no zeros inside any non-zero block;
+//! at `1/block` locality every non-zero block holds exactly one non-zero.
+
+use crate::{Coo, Csr};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Measures the locality of sparsity of `m` for a given block size, where a
+/// block covers `block` consecutive elements of a row (rows are padded to a
+/// block multiple, exactly as the SMASH encoding lays them out).
+///
+/// Returns a value in `(0, 1]`, or 0 for an empty matrix.
+///
+/// # Panics
+///
+/// Panics if `block == 0`.
+///
+/// # Example
+///
+/// ```
+/// use smash_matrix::{generators, locality};
+///
+/// let m = generators::clustered(64, 64, 512, 8, 1);
+/// let dense_runs = locality::locality_of_sparsity(&m, 8);
+/// let m2 = generators::uniform(64, 64, 512, 1);
+/// let scattered = locality::locality_of_sparsity(&m2, 8);
+/// assert!(dense_runs > scattered);
+/// ```
+pub fn locality_of_sparsity(m: &Csr<f64>, block: usize) -> f64 {
+    assert!(block > 0, "block must be non-zero");
+    if m.nnz() == 0 {
+        return 0.0;
+    }
+    let blocks_per_row = m.cols().div_ceil(block);
+    let mut occupied: HashSet<u64> = HashSet::new();
+    for (r, c, _) in m.iter() {
+        occupied.insert((r as u64) * blocks_per_row as u64 + (c / block) as u64);
+    }
+    let avg_per_block = m.nnz() as f64 / occupied.len() as f64;
+    avg_per_block / block as f64
+}
+
+/// Generates a matrix whose locality of sparsity (for the given `block`)
+/// is as close as possible to `target` (a fraction in `(0, 1]`).
+///
+/// Non-zero blocks receive exactly `round(target * block)` non-zeros placed
+/// at the start of the block, so the measured locality matches the request
+/// up to rounding. Used by the Fig. 16/17 sensitivity sweep.
+///
+/// # Panics
+///
+/// Panics if `block == 0` or `target` is not in `(0, 1]`.
+pub fn with_locality(
+    rows: usize,
+    cols: usize,
+    nnz: usize,
+    block: usize,
+    target: f64,
+    seed: u64,
+) -> Csr<f64> {
+    assert!(block > 0, "block must be non-zero");
+    assert!(
+        target > 0.0 && target <= 1.0,
+        "target locality must be in (0, 1], got {target}"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let per_block = ((target * block as f64).round() as usize).clamp(1, block);
+    let blocks_needed = nnz.div_ceil(per_block);
+    let blocks_per_row = cols / block; // only whole blocks are used
+    assert!(
+        blocks_per_row > 0,
+        "cols ({cols}) must fit at least one block ({block})"
+    );
+    let max_blocks = rows * blocks_per_row;
+    let n_blocks = blocks_needed.min(max_blocks);
+
+    let mut chosen: HashSet<u64> = HashSet::with_capacity(n_blocks * 2);
+    let mut attempts = 0usize;
+    while chosen.len() < n_blocks && attempts < n_blocks.saturating_mul(30).max(1024) {
+        attempts += 1;
+        let r = rng.gen_range(0..rows) as u64;
+        let b = rng.gen_range(0..blocks_per_row) as u64;
+        chosen.insert(r * blocks_per_row as u64 + b);
+    }
+
+    let mut blocks: Vec<u64> = chosen.into_iter().collect();
+    blocks.sort_unstable();
+    let mut coo = Coo::with_capacity(rows, cols, nnz);
+    let mut placed = 0usize;
+    'outer: for key in blocks {
+        let r = (key / blocks_per_row as u64) as usize;
+        let b = (key % blocks_per_row as u64) as usize;
+        for k in 0..per_block {
+            if placed >= nnz {
+                break 'outer;
+            }
+            let c = b * block + k;
+            let v = rng.gen_range(0.1..1.0);
+            coo.push(r, c, v);
+            placed += 1;
+        }
+    }
+    coo.compress();
+    Csr::from_coo(&coo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_locality_means_full_blocks() {
+        let m = with_locality(64, 64, 512, 8, 1.0, 3);
+        let l = locality_of_sparsity(&m, 8);
+        assert!((l - 1.0).abs() < 1e-9, "locality {l}");
+    }
+
+    #[test]
+    fn minimal_locality_means_one_per_block() {
+        let m = with_locality(64, 64, 256, 8, 0.125, 3);
+        let l = locality_of_sparsity(&m, 8);
+        assert!((l - 0.125).abs() < 1e-9, "locality {l}");
+    }
+
+    #[test]
+    fn intermediate_targets_are_hit() {
+        for &t in &[0.25, 0.375, 0.5, 0.625, 0.75, 0.875] {
+            let m = with_locality(128, 128, 1024, 8, t, 9);
+            let l = locality_of_sparsity(&m, 8);
+            assert!(
+                (l - t).abs() < 0.05,
+                "target {t} measured {l} (nnz {})",
+                m.nnz()
+            );
+        }
+    }
+
+    #[test]
+    fn nnz_is_respected() {
+        let m = with_locality(128, 128, 1000, 8, 0.5, 4);
+        assert!(m.nnz() >= 990 && m.nnz() <= 1000, "nnz {}", m.nnz());
+    }
+
+    #[test]
+    fn metric_for_uniform_matrix_is_low() {
+        let m = crate::generators::uniform(256, 256, 800, 7);
+        // ~1.2% density: most blocks hold a single element.
+        let l = locality_of_sparsity(&m, 8);
+        assert!(l < 0.25, "locality {l}");
+    }
+
+    #[test]
+    #[should_panic(expected = "target locality")]
+    fn rejects_zero_target() {
+        with_locality(8, 8, 4, 4, 0.0, 1);
+    }
+
+    #[test]
+    fn empty_matrix_locality_is_zero() {
+        let m = Csr::<f64>::from_coo(&Coo::new(4, 4));
+        assert_eq!(locality_of_sparsity(&m, 2), 0.0);
+    }
+}

@@ -1,0 +1,251 @@
+//! Minimal Matrix Market (`.mtx`) coordinate-format reader and writer.
+//!
+//! Supports the subset needed to exchange the workloads of this workspace:
+//! `matrix coordinate real {general|symmetric}` and
+//! `matrix coordinate pattern {general|symmetric}` (pattern entries read as
+//! `1.0`). Indices are 1-based on disk, 0-based in memory.
+
+use crate::{Coo, MatrixError, Result, Scalar};
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Symmetry declared in a Matrix Market header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Symmetry {
+    General,
+    Symmetric,
+}
+
+/// Reads a Matrix Market coordinate stream into a [`Coo`] matrix.
+///
+/// A `&mut R` can be passed for readers that must remain usable afterwards.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::Parse`] for malformed content and
+/// [`MatrixError::Io`] for underlying reader failures.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let text = "%%MatrixMarket matrix coordinate real general\n3 3 2\n1 1 1.5\n3 2 -2.0\n";
+/// let m = smash_matrix::market::read_coo::<f64, _>(text.as_bytes())?;
+/// assert_eq!(m.nnz(), 2);
+/// assert_eq!(m.entries()[1], (2, 1, -2.0));
+/// # Ok(())
+/// # }
+/// ```
+pub fn read_coo<T: Scalar, R: Read>(reader: R) -> Result<Coo<T>> {
+    let mut lines = BufReader::new(reader).lines();
+    let mut line_no = 0usize;
+
+    let header = loop {
+        match lines.next() {
+            Some(l) => {
+                line_no += 1;
+                let l = l?;
+                if line_no == 1 {
+                    break l;
+                }
+            }
+            None => {
+                return Err(MatrixError::Parse {
+                    line: 0,
+                    message: "empty stream".into(),
+                })
+            }
+        }
+    };
+
+    let head: Vec<&str> = header.split_whitespace().collect();
+    if head.len() < 4 || !head[0].eq_ignore_ascii_case("%%MatrixMarket") {
+        return Err(MatrixError::Parse {
+            line: 1,
+            message: "expected %%MatrixMarket header".into(),
+        });
+    }
+    if !head[1].eq_ignore_ascii_case("matrix") || !head[2].eq_ignore_ascii_case("coordinate") {
+        return Err(MatrixError::Parse {
+            line: 1,
+            message: format!("unsupported object/format: {} {}", head[1], head[2]),
+        });
+    }
+    let pattern = match head[3].to_ascii_lowercase().as_str() {
+        "real" | "integer" | "double" => false,
+        "pattern" => true,
+        other => {
+            return Err(MatrixError::Parse {
+                line: 1,
+                message: format!("unsupported field type: {other}"),
+            })
+        }
+    };
+    let symmetry = match head.get(4).map(|s| s.to_ascii_lowercase()) {
+        None => Symmetry::General,
+        Some(s) if s == "general" => Symmetry::General,
+        Some(s) if s == "symmetric" => Symmetry::Symmetric,
+        Some(other) => {
+            return Err(MatrixError::Parse {
+                line: 1,
+                message: format!("unsupported symmetry: {other}"),
+            })
+        }
+    };
+
+    // Skip comments, find size line.
+    let size_line = loop {
+        let l = lines.next().ok_or(MatrixError::Parse {
+            line: line_no,
+            message: "missing size line".into(),
+        })?;
+        line_no += 1;
+        let l = l?;
+        let t = l.trim();
+        if !t.is_empty() && !t.starts_with('%') {
+            break l;
+        }
+    };
+    let dims: Vec<&str> = size_line.split_whitespace().collect();
+    if dims.len() != 3 {
+        return Err(MatrixError::Parse {
+            line: line_no,
+            message: "size line must have rows cols nnz".into(),
+        });
+    }
+    let parse_usize = |s: &str, line: usize| -> Result<usize> {
+        s.parse().map_err(|_| MatrixError::Parse {
+            line,
+            message: format!("invalid integer `{s}`"),
+        })
+    };
+    let rows = parse_usize(dims[0], line_no)?;
+    let cols = parse_usize(dims[1], line_no)?;
+    let nnz = parse_usize(dims[2], line_no)?;
+
+    let mut coo = Coo::with_capacity(rows, cols, nnz);
+    let mut seen = 0usize;
+    for l in lines {
+        line_no += 1;
+        let l = l?;
+        let t = l.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let fields: Vec<&str> = t.split_whitespace().collect();
+        let want = if pattern { 2 } else { 3 };
+        if fields.len() < want {
+            return Err(MatrixError::Parse {
+                line: line_no,
+                message: format!("expected {want} fields, found {}", fields.len()),
+            });
+        }
+        let r = parse_usize(fields[0], line_no)?;
+        let c = parse_usize(fields[1], line_no)?;
+        if r == 0 || c == 0 || r > rows || c > cols {
+            return Err(MatrixError::Parse {
+                line: line_no,
+                message: format!("entry ({r}, {c}) outside 1..={rows} x 1..={cols}"),
+            });
+        }
+        let v = if pattern {
+            T::ONE
+        } else {
+            let raw: f64 = fields[2].parse().map_err(|_| MatrixError::Parse {
+                line: line_no,
+                message: format!("invalid value `{}`", fields[2]),
+            })?;
+            T::from_f64(raw)
+        };
+        coo.push(r - 1, c - 1, v);
+        if symmetry == Symmetry::Symmetric && r != c {
+            coo.push(c - 1, r - 1, v);
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(MatrixError::Parse {
+            line: line_no,
+            message: format!("header declared {nnz} entries, found {seen}"),
+        });
+    }
+    coo.compress();
+    Ok(coo)
+}
+
+/// Writes a [`Coo`] matrix as `matrix coordinate real general`.
+///
+/// A `&mut W` can be passed for writers that must remain usable afterwards.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::Io`] if the writer fails.
+pub fn write_coo<T: Scalar, W: Write>(mut writer: W, coo: &Coo<T>) -> Result<()> {
+    writeln!(writer, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(writer, "{} {} {}", coo.rows(), coo.cols(), coo.nnz())?;
+    for &(r, c, v) in coo.entries() {
+        writeln!(writer, "{} {} {}", r + 1, c + 1, v.to_f64())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut coo = Coo::<f64>::new(3, 4);
+        coo.push(0, 0, 1.25);
+        coo.push(2, 3, -7.0);
+        coo.compress();
+        let mut buf = Vec::new();
+        write_coo(&mut buf, &coo).unwrap();
+        let back = read_coo::<f64, _>(&buf[..]).unwrap();
+        assert_eq!(back, coo);
+    }
+
+    #[test]
+    fn pattern_entries_read_as_one() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n2 2\n";
+        let m = read_coo::<f64, _>(text.as_bytes()).unwrap();
+        assert_eq!(m.entries(), &[(0, 0, 1.0), (1, 1, 1.0)]);
+    }
+
+    #[test]
+    fn symmetric_mirrors_off_diagonal() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 5.0\n3 3 1.0\n";
+        let m = read_coo::<f64, _>(text.as_bytes()).unwrap();
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.to_dense().get(0, 1), 5.0);
+        assert_eq!(m.to_dense().get(1, 0), 5.0);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let text =
+            "%%MatrixMarket matrix coordinate real general\n% a comment\n\n2 2 1\n% more\n1 2 3.5\n";
+        let m = read_coo::<f64, _>(text.as_bytes()).unwrap();
+        assert_eq!(m.entries(), &[(0, 1, 3.5)]);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(read_coo::<f64, _>("garbage\n1 1 0\n".as_bytes()).is_err());
+        assert!(read_coo::<f64, _>(
+            "%%MatrixMarket matrix array real general\n1 1 0\n".as_bytes()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_count() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        assert!(read_coo::<f64, _>(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_bounds() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(read_coo::<f64, _>(text.as_bytes()).is_err());
+    }
+}

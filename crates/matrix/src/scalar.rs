@@ -1,0 +1,125 @@
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub};
+
+/// Numeric element type stored in the matrix formats of this workspace.
+///
+/// The SMASH paper evaluates double-precision kernels; this trait keeps the
+/// formats generic over `f32`/`f64` without pulling in a numerics crate.
+///
+/// # Example
+///
+/// ```
+/// use smash_matrix::Scalar;
+///
+/// fn dot<T: Scalar>(a: &[T], b: &[T]) -> T {
+///     a.iter().zip(b).fold(T::ZERO, |acc, (&x, &y)| acc + x * y)
+/// }
+/// assert_eq!(dot(&[1.0f64, 2.0], &[3.0, 4.0]), 11.0);
+/// ```
+pub trait Scalar:
+    Copy
+    + Default
+    + PartialEq
+    + PartialOrd
+    + Debug
+    + Display
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + MulAssign
+    + Sum
+    + Send
+    + Sync
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+
+    /// Converts from `f64`, truncating precision if necessary.
+    fn from_f64(v: f64) -> Self;
+    /// Converts to `f64`, widening if necessary.
+    fn to_f64(self) -> f64;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Fused (or at least combined) multiply-add: `self * a + b`.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+
+    /// Returns `true` for the exact additive identity.
+    ///
+    /// Sparse formats treat exactly-zero values as absent; this is the
+    /// predicate they use.
+    fn is_zero(&self) -> bool {
+        *self == Self::ZERO
+    }
+
+    /// Approximate equality with an absolute/relative tolerance, used by
+    /// kernel-equivalence tests.
+    fn approx_eq(self, other: Self, tol: f64) -> bool {
+        let (a, b) = (self.to_f64(), other.to_f64());
+        let scale = 1.0_f64.max(a.abs()).max(b.abs());
+        (a - b).abs() <= tol * scale
+    }
+}
+
+macro_rules! impl_scalar_float {
+    ($t:ty) => {
+        impl Scalar for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                <$t>::mul_add(self, a, b)
+            }
+        }
+    };
+}
+
+impl_scalar_float!(f32);
+impl_scalar_float!(f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identities() {
+        assert_eq!(f64::ZERO + f64::ONE, 1.0);
+        assert!(f32::ZERO.is_zero());
+        assert!(!f32::ONE.is_zero());
+    }
+
+    #[test]
+    fn conversion_roundtrip() {
+        assert_eq!(f64::from_f64(2.5).to_f64(), 2.5);
+        assert_eq!(f32::from_f64(2.5).to_f64(), 2.5);
+    }
+
+    #[test]
+    fn mul_add_matches_manual() {
+        let x: f64 = 3.0;
+        assert_eq!(x.mul_add(2.0, 1.0), 7.0);
+    }
+
+    #[test]
+    fn approx_eq_tolerates_small_error() {
+        assert!(1.0f64.approx_eq(1.0 + 1e-12, 1e-9));
+        assert!(!1.0f64.approx_eq(1.1, 1e-9));
+        // Relative tolerance for large magnitudes.
+        assert!(1e12f64.approx_eq(1e12 + 1.0, 1e-9));
+    }
+}

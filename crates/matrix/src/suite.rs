@@ -1,0 +1,343 @@
+//! The paper's Table 3 matrix suite, reproduced with seeded synthetic
+//! generators.
+//!
+//! Each [`MatrixSpec`] records the SuiteSparse matrix's published shape
+//! (rows, non-zeros) together with the qualitative structure class we use to
+//! synthesize it and the per-matrix bitmap configuration `b2.b1.b0` the
+//! paper's Figures 10–13 annotate. [`MatrixSpec::generate`] scales the
+//! matrix down by a linear factor while *preserving its sparsity* (rows
+//! shrink by `scale`, non-zeros by `scale²`), which keeps the behaviour the
+//! evaluation depends on (§4.1.2) intact at simulation-friendly sizes.
+
+use crate::{generators, Csr};
+
+/// Qualitative non-zero structure used to synthesize a Table 3 matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Structure {
+    /// Non-zeros within a band around the diagonal.
+    Banded {
+        /// Half bandwidth (distance from the diagonal).
+        half_bandwidth: usize,
+    },
+    /// Uniformly scattered non-zeros (low locality of sparsity).
+    Uniform,
+    /// Runs of consecutive non-zeros within rows.
+    Clustered {
+        /// Elements per run.
+        run: usize,
+    },
+    /// Fully dense square tiles (FEM/structural matrices).
+    BlockDense {
+        /// Tile edge length.
+        block: usize,
+    },
+    /// Power-law row degrees (graph/optimization matrices).
+    PowerLaw {
+        /// Skew exponent; larger is more skewed.
+        alpha: f64,
+    },
+}
+
+/// Bitmap hierarchy configuration in the paper's `b2.b1.b0` notation
+/// (compression ratios of Bitmap-2, Bitmap-1 and Bitmap-0, in that order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitmapCfg {
+    /// Bitmap-2 compression ratio (level-1 bits per level-2 bit).
+    pub b2: u32,
+    /// Bitmap-1 compression ratio (level-0 bits per level-1 bit).
+    pub b1: u32,
+    /// Bitmap-0 compression ratio (matrix elements per level-0 bit; the NZA
+    /// block size).
+    pub b0: u32,
+}
+
+impl BitmapCfg {
+    /// Ratios ordered from Bitmap-0 upward, as the encoder consumes them.
+    pub fn ratios_low_to_high(&self) -> [u32; 3] {
+        [self.b0, self.b1, self.b2]
+    }
+}
+
+impl std::fmt::Display for BitmapCfg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}.{}", self.b2, self.b1, self.b0)
+    }
+}
+
+/// One matrix of the paper's Table 3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixSpec {
+    /// Paper id, 1–15 (`M1`…`M15`).
+    pub id: u8,
+    /// SuiteSparse name as printed in Table 3.
+    pub name: &'static str,
+    /// Rows (the matrices are square).
+    pub rows: usize,
+    /// Non-zero elements at full scale.
+    pub nnz: u64,
+    /// Structure class used by the synthetic generator.
+    pub structure: Structure,
+    /// Paper's per-matrix bitmap configuration (Figures 10–13 annotations).
+    pub bitmap_cfg: BitmapCfg,
+}
+
+impl MatrixSpec {
+    /// `Mi` label as used throughout the paper.
+    pub fn label(&self) -> String {
+        format!("M{}", self.id)
+    }
+
+    /// Sparsity as a percentage (Table 3's rightmost column).
+    pub fn sparsity_percent(&self) -> f64 {
+        100.0 * self.nnz as f64 / (self.rows as f64 * self.rows as f64)
+    }
+
+    /// Rows after linear down-scaling by `scale`.
+    pub fn scaled_rows(&self, scale: usize) -> usize {
+        (self.rows / scale.max(1)).max(64)
+    }
+
+    /// Non-zeros after down-scaling (`scale²`, preserving density).
+    pub fn scaled_nnz(&self, scale: usize) -> usize {
+        let r = self.scaled_rows(scale) as f64;
+        let density = self.nnz as f64 / (self.rows as f64 * self.rows as f64);
+        ((r * r * density).round() as usize).max(self.scaled_rows(scale).min(256))
+    }
+
+    /// Synthesizes the matrix at the given linear `scale` (1 = full size).
+    ///
+    /// The result is square with [`MatrixSpec::scaled_rows`] rows and
+    /// approximately [`MatrixSpec::scaled_nnz`] non-zeros; its density
+    /// matches Table 3's sparsity column at every scale.
+    pub fn generate(&self, scale: usize, seed: u64) -> Csr<f64> {
+        let n = self.scaled_rows(scale);
+        let nnz = self.scaled_nnz(scale);
+        let seed = seed ^ (self.id as u64) << 32;
+        match self.structure {
+            Structure::Banded { half_bandwidth } => {
+                // Keep the band wide enough to hold the target density.
+                let hb = half_bandwidth.max(nnz.div_ceil(2 * n)).min(n / 2);
+                generators::banded(n, n, hb, nnz, seed)
+            }
+            Structure::Uniform => generators::uniform(n, n, nnz, seed),
+            Structure::Clustered { run } => generators::clustered(n, n, nnz, run, seed),
+            Structure::BlockDense { block } => generators::block_dense(n, n, nnz, block, seed),
+            Structure::PowerLaw { alpha } => generators::power_law(n, n, nnz, alpha, seed),
+        }
+    }
+}
+
+/// The 15 matrices of Table 3 in paper order (ascending sparsity), with
+/// their Figures 10–13 bitmap configurations.
+pub fn paper_suite() -> Vec<MatrixSpec> {
+    let cfg = |b2, b1, b0| BitmapCfg { b2, b1, b0 };
+    vec![
+        MatrixSpec {
+            id: 1,
+            name: "descriptor_xingo6u",
+            rows: 20_738,
+            nnz: 73_916,
+            structure: Structure::Banded { half_bandwidth: 24 },
+            bitmap_cfg: cfg(16, 4, 2),
+        },
+        MatrixSpec {
+            id: 2,
+            name: "g7jac060sc",
+            rows: 17_730,
+            nnz: 183_325,
+            structure: Structure::Clustered { run: 4 },
+            bitmap_cfg: cfg(16, 4, 2),
+        },
+        MatrixSpec {
+            id: 3,
+            name: "Trefethen_20000",
+            rows: 20_000,
+            nnz: 554_466,
+            structure: Structure::Banded { half_bandwidth: 64 },
+            bitmap_cfg: cfg(16, 4, 2),
+        },
+        MatrixSpec {
+            id: 4,
+            name: "IG5-16",
+            rows: 18_846,
+            nnz: 588_326,
+            structure: Structure::Uniform,
+            bitmap_cfg: cfg(16, 4, 2),
+        },
+        MatrixSpec {
+            id: 5,
+            name: "TSOPF_RS_b162_c3",
+            rows: 15_374,
+            nnz: 610_299,
+            structure: Structure::BlockDense { block: 8 },
+            bitmap_cfg: cfg(16, 4, 2),
+        },
+        MatrixSpec {
+            id: 6,
+            name: "ns3Da",
+            rows: 20_414,
+            nnz: 1_679_599,
+            structure: Structure::Clustered { run: 8 },
+            bitmap_cfg: cfg(16, 4, 2),
+        },
+        MatrixSpec {
+            id: 7,
+            name: "tsyl201",
+            rows: 20_685,
+            nnz: 2_454_957,
+            structure: Structure::BlockDense { block: 8 },
+            bitmap_cfg: cfg(16, 4, 2),
+        },
+        MatrixSpec {
+            id: 8,
+            name: "pkustk07",
+            rows: 16_860,
+            nnz: 2_418_804,
+            structure: Structure::BlockDense { block: 8 },
+            bitmap_cfg: cfg(16, 4, 2),
+        },
+        MatrixSpec {
+            id: 9,
+            name: "ramage02",
+            rows: 16_830,
+            nnz: 2_866_352,
+            structure: Structure::Clustered { run: 8 },
+            bitmap_cfg: cfg(16, 4, 2),
+        },
+        MatrixSpec {
+            id: 10,
+            name: "pattern1",
+            rows: 19_242,
+            nnz: 9_323_432,
+            structure: Structure::Clustered { run: 3 },
+            bitmap_cfg: cfg(16, 4, 2),
+        },
+        MatrixSpec {
+            id: 11,
+            name: "gupta3",
+            rows: 16_783,
+            nnz: 9_323_427,
+            structure: Structure::PowerLaw { alpha: 1.1 },
+            bitmap_cfg: cfg(2, 4, 2),
+        },
+        MatrixSpec {
+            id: 12,
+            name: "nd3k",
+            rows: 9_000,
+            nnz: 3_279_690,
+            structure: Structure::BlockDense { block: 16 },
+            bitmap_cfg: cfg(8, 4, 2),
+        },
+        MatrixSpec {
+            id: 13,
+            name: "human_gene1",
+            rows: 22_283,
+            nnz: 24_669_643,
+            // Gene co-expression networks are modular: short runs of
+            // adjacent non-zeros, but low locality overall (the paper's
+            // Fig. 19 discussion singles M13 out for low locality).
+            structure: Structure::Clustered { run: 3 },
+            bitmap_cfg: cfg(8, 4, 2),
+        },
+        MatrixSpec {
+            id: 14,
+            name: "exdata_1",
+            rows: 6_001,
+            nnz: 2_269_500,
+            structure: Structure::BlockDense { block: 32 },
+            bitmap_cfg: cfg(2, 4, 2),
+        },
+        MatrixSpec {
+            id: 15,
+            name: "human_gene2",
+            rows: 14_340,
+            nnz: 18_068_388,
+            structure: Structure::Clustered { run: 3 },
+            bitmap_cfg: cfg(8, 4, 2),
+        },
+    ]
+}
+
+/// Generates the whole suite at a given linear scale.
+pub fn generate_suite(scale: usize, seed: u64) -> Vec<(MatrixSpec, Csr<f64>)> {
+    paper_suite()
+        .into_iter()
+        .map(|spec| {
+            let m = spec.generate(scale, seed);
+            (spec, m)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_fifteen_matrices_in_sparsity_order() {
+        let suite = paper_suite();
+        assert_eq!(suite.len(), 15);
+        for w in suite.windows(2) {
+            // Table 3 is sorted by ascending sparsity; allow the two
+            // near-ties (M7/M8, M10/M11 use the paper's printed order).
+            assert!(
+                w[0].sparsity_percent() <= w[1].sparsity_percent() * 1.25,
+                "{} vs {}",
+                w[0].name,
+                w[1].name
+            );
+        }
+    }
+
+    #[test]
+    fn sparsity_matches_table3_column() {
+        let suite = paper_suite();
+        // Table 3 prints M13 as 4.97% and M15 as 8.79%.
+        let m13 = &suite[12];
+        assert!((m13.sparsity_percent() - 4.97).abs() < 0.05);
+        let m15 = &suite[14];
+        assert!((m15.sparsity_percent() - 8.79).abs() < 0.05);
+    }
+
+    #[test]
+    fn scaling_preserves_density() {
+        let spec = &paper_suite()[9]; // pattern1, 2.52%
+        let m = spec.generate(32, 7);
+        let measured = 100.0 * m.nnz() as f64 / (m.rows() as f64 * m.cols() as f64);
+        assert!(
+            (measured - spec.sparsity_percent()).abs() < 0.5,
+            "measured {measured}, want {}",
+            spec.sparsity_percent()
+        );
+    }
+
+    #[test]
+    fn bitmap_configs_match_paper_labels() {
+        let suite = paper_suite();
+        assert_eq!(suite[0].bitmap_cfg.to_string(), "16.4.2"); // M1.16.4.2
+        assert_eq!(suite[10].bitmap_cfg.to_string(), "2.4.2"); // M11.2.4.2
+        assert_eq!(suite[11].bitmap_cfg.to_string(), "8.4.2"); // M12.8.4.2
+        assert_eq!(suite[13].bitmap_cfg.to_string(), "2.4.2"); // M14.2.4.2
+    }
+
+    #[test]
+    fn generate_is_deterministic() {
+        let spec = &paper_suite()[1];
+        assert_eq!(spec.generate(64, 3), spec.generate(64, 3));
+    }
+
+    #[test]
+    fn labels_are_paper_style() {
+        assert_eq!(paper_suite()[4].label(), "M5");
+    }
+
+    #[test]
+    fn generate_suite_small_scale_runs() {
+        let suite = generate_suite(128, 1);
+        assert_eq!(suite.len(), 15);
+        for (spec, m) in &suite {
+            assert!(m.nnz() > 0, "{} is empty", spec.name);
+            assert_eq!(m.rows(), m.cols());
+        }
+    }
+}

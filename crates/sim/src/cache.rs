@@ -1,0 +1,387 @@
+//! Set-associative write-back caches and the three-level memory hierarchy
+//! with an open-row DRAM model (paper Table 2).
+
+use crate::config::{CacheConfig, DramConfig};
+use crate::stats::SimStats;
+
+#[cfg(doc)]
+use crate::stats::CacheStats;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct LineSlot {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    lru: u64,
+}
+
+/// One set-associative, write-back, write-allocate cache level with LRU
+/// replacement.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: usize,
+    ways: usize,
+    line_shift: u32,
+    latency: u32,
+    slots: Vec<LineSlot>,
+    tick: u64,
+}
+
+/// Result of looking a line up in one level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// Line present.
+    Hit,
+    /// Line absent.
+    Miss,
+}
+
+impl Cache {
+    /// Builds a cache from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero sets/ways or a line size
+    /// that is not a power of two).
+    pub fn new(cfg: &CacheConfig) -> Self {
+        assert!(cfg.line_bytes.is_power_of_two(), "line size must be 2^k");
+        let sets = cfg.sets();
+        assert!(sets > 0 && cfg.ways > 0, "cache must have sets and ways");
+        Cache {
+            sets,
+            ways: cfg.ways,
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            latency: cfg.latency,
+            slots: vec![LineSlot::default(); sets * cfg.ways],
+            tick: 0,
+        }
+    }
+
+    /// Access latency of this level.
+    pub fn latency(&self) -> u32 {
+        self.latency
+    }
+
+    fn line_of(&self, addr: u64) -> u64 {
+        addr >> self.line_shift
+    }
+
+    fn set_range(&self, line: u64) -> std::ops::Range<usize> {
+        let set = (line as usize) % self.sets;
+        set * self.ways..(set + 1) * self.ways
+    }
+
+    /// Probes for `addr`'s line; updates recency and the dirty bit on a hit.
+    pub fn probe(&mut self, addr: u64, write: bool) -> Lookup {
+        self.tick += 1;
+        let line = self.line_of(addr);
+        let tag = line / self.sets as u64;
+        let range = self.set_range(line);
+        for slot in &mut self.slots[range] {
+            if slot.valid && slot.tag == tag {
+                slot.lru = self.tick;
+                if write {
+                    slot.dirty = true;
+                }
+                return Lookup::Hit;
+            }
+        }
+        Lookup::Miss
+    }
+
+    /// Whether the line is present, without touching recency (used by
+    /// prefetch probes).
+    pub fn contains(&self, addr: u64) -> bool {
+        let line = self.line_of(addr);
+        let tag = line / self.sets as u64;
+        self.slots[self.set_range(line)]
+            .iter()
+            .any(|s| s.valid && s.tag == tag)
+    }
+
+    /// Installs `addr`'s line, evicting the LRU way if the set is full.
+    /// Returns the evicted line's `(address, was_dirty)` if any.
+    pub fn fill(&mut self, addr: u64, dirty: bool) -> Option<(u64, bool)> {
+        self.tick += 1;
+        let line = self.line_of(addr);
+        let tag = line / self.sets as u64;
+        let set = (line as usize) % self.sets;
+        let range = self.set_range(line);
+
+        // Already present (e.g. prefetch raced a demand fill): refresh.
+        for slot in &mut self.slots[range.clone()] {
+            if slot.valid && slot.tag == tag {
+                slot.lru = self.tick;
+                slot.dirty |= dirty;
+                return None;
+            }
+        }
+        // Pick an invalid way, else the LRU way.
+        let mut victim = range.start;
+        let mut best = u64::MAX;
+        for i in range {
+            let s = &self.slots[i];
+            if !s.valid {
+                victim = i;
+                break;
+            }
+            if s.lru < best {
+                best = s.lru;
+                victim = i;
+            }
+        }
+        let old = self.slots[victim];
+        self.slots[victim] = LineSlot {
+            tag,
+            valid: true,
+            dirty,
+            lru: self.tick,
+        };
+        if old.valid {
+            let old_line = old.tag * self.sets as u64 + set as u64;
+            Some((old_line << self.line_shift, old.dirty))
+        } else {
+            None
+        }
+    }
+}
+
+/// Open-row DRAM timing model: each bank remembers its open row; accesses to
+/// the open row are faster than row activations.
+#[derive(Debug, Clone)]
+pub struct Dram {
+    cfg: DramConfig,
+    open_rows: Vec<Option<u64>>,
+}
+
+/// Bytes mapped to one bank slice before interleaving moves to the next
+/// bank (4 KiB keeps streaming access within a row).
+const BANK_SHIFT: u32 = 12;
+
+impl Dram {
+    /// Builds the DRAM model.
+    pub fn new(cfg: &DramConfig) -> Self {
+        Dram {
+            cfg: cfg.clone(),
+            open_rows: vec![None; cfg.banks.max(1)],
+        }
+    }
+
+    /// Latency of accessing `addr`, updating the open-row state.
+    pub fn access(&mut self, addr: u64, stats: &mut SimStats) -> u32 {
+        let bank = ((addr >> BANK_SHIFT) as usize) % self.open_rows.len();
+        let row = addr >> (BANK_SHIFT + self.open_rows.len().trailing_zeros());
+        if self.open_rows[bank] == Some(row) {
+            stats.dram_row_hits += 1;
+            self.cfg.row_hit_latency
+        } else {
+            self.open_rows[bank] = Some(row);
+            stats.dram_row_misses += 1;
+            self.cfg.row_miss_latency
+        }
+    }
+}
+
+/// The L1/L2/L3 + DRAM hierarchy. Inclusive fills, write-back, write-
+/// allocate; dirty evictions are drained in the background (counted, not
+/// timed), matching the usual simulator simplification.
+#[derive(Debug, Clone)]
+pub struct MemoryHierarchy {
+    l1: Cache,
+    l2: Cache,
+    l3: Cache,
+    dram: Dram,
+}
+
+/// Which levels serviced an access (for stats and MSHR modelling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServicedBy {
+    /// Hit in the L1 data cache.
+    L1,
+    /// Hit in the L2.
+    L2,
+    /// Hit in the last-level cache.
+    L3,
+    /// Serviced by DRAM.
+    Dram,
+}
+
+impl MemoryHierarchy {
+    /// Builds the hierarchy from the per-level configurations.
+    pub fn new(l1: &CacheConfig, l2: &CacheConfig, l3: &CacheConfig, dram: &DramConfig) -> Self {
+        MemoryHierarchy {
+            l1: Cache::new(l1),
+            l2: Cache::new(l2),
+            l3: Cache::new(l3),
+            dram: Dram::new(dram),
+        }
+    }
+
+    /// Demand access. Returns the total latency and the level that serviced
+    /// the request; updates all stats.
+    pub fn access(&mut self, addr: u64, write: bool, stats: &mut SimStats) -> (u32, ServicedBy) {
+        let mut latency = self.l1.latency();
+        if self.l1.probe(addr, write) == Lookup::Hit {
+            stats.l1.hits += 1;
+            return (latency, ServicedBy::L1);
+        }
+        stats.l1.misses += 1;
+        latency += self.l2.latency();
+        if self.l2.probe(addr, false) == Lookup::Hit {
+            stats.l2.hits += 1;
+            self.fill_l1(addr, write, stats);
+            return (latency, ServicedBy::L2);
+        }
+        stats.l2.misses += 1;
+        latency += self.l3.latency();
+        if self.l3.probe(addr, false) == Lookup::Hit {
+            stats.l3.hits += 1;
+            self.fill_l2(addr, stats);
+            self.fill_l1(addr, write, stats);
+            return (latency, ServicedBy::L3);
+        }
+        stats.l3.misses += 1;
+        latency += self.dram.access(addr, stats);
+        if let Some((_, dirty)) = self.l3.fill(addr, false) {
+            if dirty {
+                stats.l3.writebacks += 1;
+            }
+        }
+        self.fill_l2(addr, stats);
+        self.fill_l1(addr, write, stats);
+        (latency, ServicedBy::Dram)
+    }
+
+    fn fill_l1(&mut self, addr: u64, write: bool, stats: &mut SimStats) {
+        if let Some((victim, dirty)) = self.l1.fill(addr, write) {
+            if dirty {
+                stats.l1.writebacks += 1;
+                // Write the victim back into L2 (state only).
+                self.l2.probe(victim, true);
+            }
+        }
+    }
+
+    fn fill_l2(&mut self, addr: u64, stats: &mut SimStats) {
+        if let Some((_, dirty)) = self.l2.fill(addr, false) {
+            if dirty {
+                stats.l2.writebacks += 1;
+            }
+        }
+    }
+
+    /// Prefetch fill: installs the line wherever it is absent without
+    /// charging latency or demand-hit/miss counters.
+    pub fn prefetch(&mut self, addr: u64, stats: &mut SimStats) {
+        if self.l1.contains(addr) {
+            return;
+        }
+        stats.l1.prefetch_fills += 1;
+        if !self.l3.contains(addr) {
+            stats.l3.prefetch_fills += 1;
+            self.l3.fill(addr, false);
+        }
+        if !self.l2.contains(addr) {
+            stats.l2.prefetch_fills += 1;
+            self.l2.fill(addr, false);
+        }
+        self.fill_l1(addr, false, stats);
+    }
+
+    /// Whether `addr`'s line is in the L1 (test/diagnostic hook).
+    pub fn in_l1(&self, addr: u64) -> bool {
+        self.l1.contains(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+
+    fn hierarchy() -> MemoryHierarchy {
+        let c = SystemConfig::paper_table2();
+        MemoryHierarchy::new(&c.l1, &c.l2, &c.l3, &c.dram)
+    }
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut m = hierarchy();
+        let mut s = SimStats::default();
+        let (lat1, by1) = m.access(0x1000, false, &mut s);
+        assert_eq!(by1, ServicedBy::Dram);
+        assert!(lat1 > 150);
+        let (lat2, by2) = m.access(0x1008, false, &mut s);
+        assert_eq!(by2, ServicedBy::L1, "same line must hit");
+        assert_eq!(lat2, 2);
+        assert_eq!(s.l1.hits, 1);
+        assert_eq!(s.l1.misses, 1);
+    }
+
+    #[test]
+    fn l1_eviction_falls_back_to_l2() {
+        let mut m = hierarchy();
+        let mut s = SimStats::default();
+        // Fill one L1 set (64 sets, 8 ways): addresses with the same set
+        // index are 64*64 = 4096 bytes apart.
+        for w in 0..9u64 {
+            m.access(0x10_0000 + w * 4096, false, &mut s);
+        }
+        // The first line was evicted from L1 but still sits in L2.
+        let (lat, by) = m.access(0x10_0000, false, &mut s);
+        assert_eq!(by, ServicedBy::L2);
+        assert_eq!(lat, 2 + 8);
+    }
+
+    #[test]
+    fn lru_keeps_recently_used_line() {
+        let mut m = hierarchy();
+        let mut s = SimStats::default();
+        m.access(0x10_0000, false, &mut s); // A
+        for w in 1..8u64 {
+            m.access(0x10_0000 + w * 4096, false, &mut s);
+        }
+        // Touch A again so it is the MRU way, then add a 9th line.
+        m.access(0x10_0000, false, &mut s);
+        m.access(0x10_0000 + 8 * 4096, false, &mut s);
+        let (_, by) = m.access(0x10_0000, false, &mut s);
+        assert_eq!(by, ServicedBy::L1, "MRU line must survive eviction");
+    }
+
+    #[test]
+    fn writes_mark_dirty_and_produce_writebacks() {
+        let mut m = hierarchy();
+        let mut s = SimStats::default();
+        m.access(0x20_0000, true, &mut s);
+        // Evict the set.
+        for w in 1..=8u64 {
+            m.access(0x20_0000 + w * 4096, false, &mut s);
+        }
+        assert!(s.l1.writebacks >= 1);
+    }
+
+    #[test]
+    fn dram_open_row_hits_for_streaming() {
+        let mut m = hierarchy();
+        let mut s = SimStats::default();
+        // Sequential lines within one 4 KiB bank slice: first access opens
+        // the row, the rest hit it.
+        for k in 0..32u64 {
+            m.access(0x40_0000 + k * 64, false, &mut s);
+        }
+        assert_eq!(s.dram_row_misses, 1);
+        assert_eq!(s.dram_row_hits, 31);
+    }
+
+    #[test]
+    fn prefetch_fills_without_demand_counters() {
+        let mut m = hierarchy();
+        let mut s = SimStats::default();
+        m.prefetch(0x30_0000, &mut s);
+        assert_eq!(s.l1.hits + s.l1.misses, 0);
+        assert!(m.in_l1(0x30_0000));
+        let (lat, by) = m.access(0x30_0000, false, &mut s);
+        assert_eq!(by, ServicedBy::L1);
+        assert_eq!(lat, 2);
+    }
+}

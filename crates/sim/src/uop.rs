@@ -1,0 +1,129 @@
+//! Micro-operation vocabulary of the trace-driven core model.
+//!
+//! Instrumented kernels describe their work as a stream of uops with
+//! explicit data-dependency edges. The simulator never interprets values —
+//! kernels compute results natively — it only times the described
+//! instruction stream, which is exactly the split zsim's core models use.
+
+/// Identifier of an emitted uop, used to express data dependencies.
+///
+/// Ids are monotonically increasing per engine. [`UopId::NONE`] is a
+/// sentinel that is always "complete" (no dependency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UopId(pub u64);
+
+impl UopId {
+    /// Sentinel id with no timing constraint.
+    pub const NONE: UopId = UopId(0);
+
+    /// Whether this id is the [`UopId::NONE`] sentinel.
+    pub fn is_none(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Default for UopId {
+    fn default() -> Self {
+        UopId::NONE
+    }
+}
+
+/// Logical stream identifier used by the stride prefetcher to separate
+/// concurrent access patterns (a stand-in for the load PC that a hardware
+/// prefetcher trains on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamId(pub u32);
+
+/// Instruction classes tracked by the statistics and used for the paper's
+/// instruction-breakdown experiments (§2.2: indexing instructions are
+/// 42–65 % of CSR kernels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum UopClass {
+    /// Integer ALU operation (address arithmetic, compares, masks).
+    Alu = 0,
+    /// Memory load.
+    Load = 1,
+    /// Memory store.
+    Store = 2,
+    /// Floating-point add.
+    Fadd = 3,
+    /// Floating-point multiply.
+    Fmul = 4,
+    /// Fused multiply-add.
+    Fma = 5,
+    /// Conditional branch.
+    Branch = 6,
+    /// SMASH ISA instruction executed by the core but serviced by the BMU
+    /// (`matinfo`, `bmapinfo`, `rdbmap`, `pbmap`, `rdind`).
+    Coproc = 7,
+}
+
+impl UopClass {
+    /// Number of distinct classes.
+    pub const COUNT: usize = 8;
+
+    /// All classes, in stats order.
+    pub const ALL: [UopClass; UopClass::COUNT] = [
+        UopClass::Alu,
+        UopClass::Load,
+        UopClass::Store,
+        UopClass::Fadd,
+        UopClass::Fmul,
+        UopClass::Fma,
+        UopClass::Branch,
+        UopClass::Coproc,
+    ];
+
+    /// Short lowercase name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            UopClass::Alu => "alu",
+            UopClass::Load => "load",
+            UopClass::Store => "store",
+            UopClass::Fadd => "fadd",
+            UopClass::Fmul => "fmul",
+            UopClass::Fma => "fma",
+            UopClass::Branch => "branch",
+            UopClass::Coproc => "coproc",
+        }
+    }
+
+    /// Whether the class represents *indexing* work rather than computation
+    /// on values. Loads/ALU/branches discover positions; floating-point ops
+    /// are the useful work (the split behind the paper's Fig. 3 argument).
+    pub fn is_indexing(&self) -> bool {
+        matches!(
+            self,
+            UopClass::Alu | UopClass::Load | UopClass::Branch | UopClass::Coproc
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_sentinel() {
+        assert!(UopId::NONE.is_none());
+        assert!(!UopId(3).is_none());
+        assert_eq!(UopId::default(), UopId::NONE);
+    }
+
+    #[test]
+    fn class_names_unique() {
+        let mut names: Vec<_> = UopClass::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), UopClass::COUNT);
+    }
+
+    #[test]
+    fn float_ops_are_not_indexing() {
+        assert!(!UopClass::Fadd.is_indexing());
+        assert!(!UopClass::Fmul.is_indexing());
+        assert!(UopClass::Load.is_indexing());
+        assert!(UopClass::Coproc.is_indexing());
+    }
+}

@@ -1,0 +1,57 @@
+//! Quickstart: compress a sparse matrix with the SMASH hierarchical bitmap
+//! encoding, inspect it, and verify the round trip.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use smash::encoding::{SmashConfig, SmashMatrix};
+use smash::matrix::{generators, locality};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 512x512 matrix with clustered non-zeros (FEM-like structure).
+    let a = generators::clustered(512, 512, 8_000, 6, 42);
+    println!(
+        "matrix: {}x{}, {} non-zeros ({:.2}% dense), locality@8 = {:.2}",
+        a.rows(),
+        a.cols(),
+        a.nnz(),
+        100.0 * a.nnz() as f64 / (a.rows() * a.cols()) as f64,
+        locality::locality_of_sparsity(&a, 8),
+    );
+
+    // The paper's default three-level hierarchy: Bitmap-0 covers 2 elements
+    // per bit, Bitmap-1 covers 4 level-0 bits, Bitmap-2 covers 16 level-1
+    // bits ("16.4.2" in the paper's notation).
+    let cfg = SmashConfig::row_major(&[2, 4, 16])?;
+    let sm = SmashMatrix::encode(&a, cfg);
+    println!("encoded with config {}", sm.config());
+    for level in 0..sm.hierarchy().num_levels() {
+        println!(
+            "  bitmap-{level}: {} stored bits ({} logical)",
+            sm.hierarchy().stored_level(level).len(),
+            sm.hierarchy().logical_bits(level),
+        );
+    }
+    println!(
+        "  NZA: {} blocks x {} elements = {} values ({} explicit zeros)",
+        sm.num_blocks(),
+        sm.config().block_size(),
+        sm.nza().len(),
+        sm.nza().len() - sm.nza().nnz(),
+    );
+    println!(
+        "  footprint: {} bytes vs {} bytes CSR vs {} bytes dense ({}x total compression)",
+        sm.storage_bytes(),
+        a.storage_bytes(),
+        a.rows() * a.cols() * 8,
+        sm.total_compression_ratio().round(),
+    );
+
+    // Lossless: decoding returns the exact original matrix.
+    assert_eq!(sm.decode(), a);
+    println!("round trip OK: decode(encode(A)) == A");
+
+    // The block cursor yields every non-zero region in row-major order.
+    let (row, col, block) = sm.iter_blocks().next().expect("non-empty matrix");
+    println!("first non-zero block at ({row}, {col}): {block:?}");
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! # SMASH — hierarchical-bitmap sparse matrix compression with
+//! hardware-accelerated indexing
+//!
+//! This is the facade crate of a full reproduction of
+//! *SMASH: Co-designing Software Compression and Hardware-Accelerated
+//! Indexing for Efficient Sparse Matrix Operations* (Kanellopoulos et al.,
+//! MICRO-52, 2019). It re-exports the workspace crates:
+//!
+//! * [`matrix`] — sparse-matrix formats (dense/COO/CSR/CSC/BCSR) and
+//!   workload generators,
+//! * [`encoding`] — the SMASH hierarchical-bitmap encoding (the paper's
+//!   software contribution),
+//! * [`sim`] — a cycle-approximate out-of-order CPU + memory-hierarchy
+//!   simulator (the zsim substitute),
+//! * [`bmu`] — the Bitmap Management Unit hardware model and the five-
+//!   instruction SMASH ISA (the paper's hardware contribution),
+//! * [`kernels`] — SpMV/SpMM/SpAdd kernels for every mechanism the paper
+//!   evaluates,
+//! * [`graph`] — PageRank and Betweenness Centrality built on the kernels.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use smash::encoding::{SmashConfig, SmashMatrix};
+//! use smash::matrix::generators;
+//!
+//! // A random sparse matrix, compressed with a 3-level bitmap hierarchy.
+//! let a = generators::uniform(256, 256, 2048, 42);
+//! let cfg = SmashConfig::row_major(&[2, 4, 16]).unwrap();
+//! let sm = SmashMatrix::encode(&a, cfg);
+//!
+//! // The encoding is lossless...
+//! assert_eq!(sm.decode(), a);
+//! // ...and the non-zero values array stores whole blocks (paper §4.1).
+//! assert_eq!(sm.nza().len() % 2, 0);
+//! ```
+
+pub use smash_bmu as bmu;
+pub use smash_core as encoding;
+pub use smash_graph as graph;
+pub use smash_kernels as kernels;
+pub use smash_matrix as matrix;
+pub use smash_sim as sim;

@@ -1,0 +1,84 @@
+//! The BMU hardware model must agree with the software cursor on every
+//! workload, and the ISA-level costs must match the paper's accounting.
+
+use smash::bmu::{Bmu, BmuBinding, AreaModel, BUFFER_BYTES, MAX_HW_LEVELS, NUM_GROUPS};
+use smash::encoding::{SmashConfig, SmashMatrix};
+use smash::matrix::suite;
+use smash::sim::{CountEngine, UopClass};
+
+/// Drives the full Algorithm 1 ISA sequence and returns every (row, col).
+fn scan_all(sm: &SmashMatrix<f64>) -> (Vec<(u64, u64)>, smash::sim::SimStats) {
+    let mut e = CountEngine::new();
+    let mut bmu = Bmu::new();
+    let mut addrs = [0u64; MAX_HW_LEVELS];
+    for (l, a) in addrs.iter_mut().enumerate().take(sm.hierarchy().num_levels()) {
+        *a = 0x10_0000 + (l as u64) * 0x10_0000;
+    }
+    let binding = BmuBinding {
+        hierarchy: sm.hierarchy(),
+        level_addrs: addrs,
+    };
+    bmu.matinfo(&mut e, 0, sm.rows() as u32, sm.cols() as u32);
+    for (lvl, &r) in sm.config().ratios().iter().enumerate() {
+        bmu.bmapinfo(&mut e, 0, lvl, r);
+    }
+    for lvl in (0..sm.hierarchy().num_levels()).rev() {
+        bmu.rdbmap(&mut e, 0, lvl, addrs[lvl], &binding);
+    }
+    let mut out = Vec::new();
+    while bmu.pbmap(&mut e, 0, &binding).block.is_some() {
+        let ind = bmu.rdind(&mut e, 0);
+        out.push((ind.row, ind.col));
+    }
+    (out, e.finish())
+}
+
+#[test]
+fn bmu_indices_match_software_cursor_on_the_suite() {
+    for (spec, a) in suite::generate_suite(64, 3) {
+        let ratios = spec.bitmap_cfg.ratios_low_to_high();
+        let sm = SmashMatrix::encode(&a, SmashConfig::row_major(&ratios).expect("paper config"));
+        let (got, _) = scan_all(&sm);
+        let want: Vec<(u64, u64)> = sm
+            .hierarchy()
+            .blocks()
+            .map(|b| {
+                let (r, c) = sm.block_row_col(b);
+                (r as u64, c as u64)
+            })
+            .collect();
+        assert_eq!(got, want, "{} scan mismatch", spec.name);
+    }
+}
+
+#[test]
+fn isa_instruction_count_is_two_per_block_plus_setup() {
+    let (spec, a) = &suite::generate_suite(64, 5)[5]; // ns3Da
+    let ratios = spec.bitmap_cfg.ratios_low_to_high();
+    let sm = SmashMatrix::encode(a, SmashConfig::row_major(&ratios).expect("paper config"));
+    let (found, stats) = scan_all(&sm);
+    assert_eq!(found.len(), sm.num_blocks());
+    // Setup: 1 matinfo + 3 bmapinfo + 3 rdbmap; loop: pbmap + rdind per
+    // block plus the final exhausted pbmap.
+    let expected = 7 + 2 * sm.num_blocks() as u64 + 1;
+    assert_eq!(stats.count(UopClass::Coproc), expected);
+}
+
+#[test]
+fn hardware_constants_match_the_paper() {
+    assert_eq!(NUM_GROUPS, 4);
+    assert_eq!(MAX_HW_LEVELS, 3);
+    assert_eq!(BUFFER_BYTES, 256);
+    let area = AreaModel::paper_default();
+    assert_eq!(area.sram_bytes(), 3 * 1024);
+    assert_eq!(area.register_bytes(), 140);
+    assert!(area.overhead_percent() <= 0.076 + 1e-3);
+}
+
+#[test]
+fn max_supported_compression_ratio_matches_buffer_size() {
+    // §4.2.1: with 256-byte buffers, ratios up to 256*8 = 2048:1.
+    assert_eq!(smash::encoding::MAX_RATIO as usize, BUFFER_BYTES * 8);
+    assert!(SmashConfig::row_major(&[2, 2048]).is_ok());
+    assert!(SmashConfig::row_major(&[2, 4096]).is_err());
+}

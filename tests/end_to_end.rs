@@ -1,0 +1,123 @@
+//! End-to-end checks that the reproduction produces the paper's headline
+//! shapes: SMASH wins SpMV/SpMM on representative workloads, conversions
+//! round-trip under instrumentation, and the graph applications benefit.
+
+use smash::encoding::SmashConfig;
+use smash::graph::{generators as ggen, pagerank, GraphMechanism, PageRankConfig};
+use smash::kernels::{convert, harness, Mechanism};
+use smash::matrix::suite::paper_suite;
+use smash::sim::{CountEngine, SimEngine, SystemConfig};
+
+#[test]
+fn smash_beats_csr_spmv_on_a_clustered_suite_matrix() {
+    // M8 (pkustk07), the structural FEM matrix, scaled.
+    let spec = &paper_suite()[7];
+    let a = spec.generate(32, 42);
+    let sys = SystemConfig::paper_table2_scaled(32);
+    let cfg = SmashConfig::row_major(&spec.bitmap_cfg.ratios_low_to_high()).expect("paper");
+    let base = harness::sim_spmv(Mechanism::TacoCsr, &a, &cfg, &sys);
+    let smash = harness::sim_spmv(Mechanism::Smash, &a, &cfg, &sys);
+    let speedup = base.cycles as f64 / smash.cycles as f64;
+    assert!(speedup > 1.3, "speedup {speedup} (paper average: 1.38)");
+    let instr = smash.instructions() as f64 / base.instructions() as f64;
+    assert!(instr < 0.8, "instruction ratio {instr}");
+}
+
+#[test]
+fn smash_beats_csr_spmm_on_a_clustered_suite_matrix() {
+    let spec = &paper_suite()[7];
+    let a = spec.generate(96, 42);
+    let b = spec.generate(96, 43);
+    let sys = SystemConfig::paper_table2_scaled(96);
+    let cfg = SmashConfig::row_major(&[spec.bitmap_cfg.b0]).expect("paper");
+    let base = harness::sim_spmm(Mechanism::TacoCsr, &a, &b, &cfg, &sys);
+    let smash = harness::sim_spmm(Mechanism::Smash, &a, &b, &cfg, &sys);
+    let speedup = base.cycles as f64 / smash.cycles as f64;
+    assert!(speedup > 1.2, "speedup {speedup} (paper average: 1.44)");
+}
+
+#[test]
+fn ideal_indexing_shows_the_fig3_gap() {
+    let spec = &paper_suite()[3]; // IG5-16, uniform
+    let a = spec.generate(32, 42);
+    let sys = SystemConfig::paper_table2_scaled(32);
+    let cfg = SmashConfig::row_major(&[2, 4, 16]).expect("valid");
+    let base = harness::sim_spmv(Mechanism::TacoCsr, &a, &cfg, &sys);
+    let ideal = harness::sim_spmv(Mechanism::IdealCsr, &a, &cfg, &sys);
+    let speedup = base.cycles as f64 / ideal.cycles as f64;
+    assert!(
+        speedup > 1.15,
+        "ideal indexing speedup {speedup} (paper: 2.13 for SpMV)"
+    );
+}
+
+#[test]
+fn instrumented_conversions_roundtrip_and_scale() {
+    let spec = &paper_suite()[5];
+    let a = spec.generate(64, 42);
+    let cfg = SmashConfig::row_major(&spec.bitmap_cfg.ratios_low_to_high()).expect("paper");
+    let mut e = CountEngine::new();
+    let sm = convert::csr_to_smash(&mut e, &a, cfg);
+    let to_cost = e.finish().instructions();
+    let mut e = CountEngine::new();
+    let back = convert::smash_to_csr(&mut e, &sm);
+    let from_cost = e.finish().instructions();
+    assert_eq!(back, a, "conversion must be lossless");
+    assert!(to_cost > 0 && from_cost > 0);
+    // Conversion costs O(nnz + blocks); it must stay within a small factor
+    // of one SpMV (Fig. 20's premise).
+    let kernel = harness::count_spmv(Mechanism::Smash, &a, sm.config()).instructions();
+    let ratio = (to_cost + from_cost) as f64 / kernel as f64;
+    assert!(
+        ratio < 6.0,
+        "conversions cost {ratio}x one kernel — too expensive for Fig 20"
+    );
+}
+
+#[test]
+fn pagerank_smash_beats_csr_in_cycles() {
+    let g = ggen::rmat(1024, 6000, 11);
+    let sys = SystemConfig::paper_table2_scaled(16);
+    let cfg = PageRankConfig {
+        iterations: 3,
+        ..Default::default()
+    };
+    let mut e = SimEngine::new(sys.clone());
+    pagerank(&mut e, GraphMechanism::Csr, &g, &cfg);
+    let base = e.finish();
+    let mut e = SimEngine::new(sys);
+    pagerank(&mut e, GraphMechanism::Smash, &g, &cfg);
+    let smash = e.finish();
+    let speedup = base.cycles as f64 / smash.cycles as f64;
+    assert!(speedup > 1.0, "speedup {speedup} (paper: 1.27)");
+    // Diluted by vector updates: smaller than the raw SpMV win (§7.3).
+    let spmv_only = {
+        let cfgm = SmashConfig::row_major(&[2, 4, 16]).expect("valid");
+        let m = g.transition_matrix();
+        let sys = SystemConfig::paper_table2_scaled(16);
+        let b = harness::sim_spmv(Mechanism::TacoCsr, &m, &cfgm, &sys);
+        let s = harness::sim_spmv(Mechanism::Smash, &m, &cfgm, &sys);
+        b.cycles as f64 / s.cycles as f64
+    };
+    assert!(
+        speedup < spmv_only * 1.05,
+        "graph speedup {speedup} should not exceed raw SpMV {spmv_only}"
+    );
+}
+
+#[test]
+fn storage_crossover_matches_fig19() {
+    use smash::encoding::storage;
+    let suite = paper_suite();
+    // Highly sparse M4 favours CSR; clustered dense M12 favours SMASH.
+    let sparse = suite[3].generate(4, 42);
+    let dense = suite[11].generate(4, 42);
+    let cfg_sparse =
+        SmashConfig::row_major(&[2, suite[3].bitmap_cfg.b1, suite[3].bitmap_cfg.b2]).expect("ok");
+    let cfg_dense =
+        SmashConfig::row_major(&[2, suite[11].bitmap_cfg.b1, suite[11].bitmap_cfg.b2]).expect("ok");
+    let rs = storage::compare(&sparse, &cfg_sparse);
+    let rd = storage::compare(&dense, &cfg_dense);
+    assert!(rs.smash_over_csr() < 1.0, "M4: {}", rs.smash_over_csr());
+    assert!(rd.smash_over_csr() > 1.0, "M12: {}", rd.smash_over_csr());
+}

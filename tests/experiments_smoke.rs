@@ -1,0 +1,82 @@
+//! Smoke tests for the experiment harness: every figure function runs at a
+//! tiny scale and produces non-empty, well-formed tables with the paper
+//! annotations attached.
+
+use smash_experiments::{figs, ExpConfig};
+
+fn tiny() -> ExpConfig {
+    ExpConfig {
+        scale_spmv: 128,
+        scale_spmm: 256,
+        scale_graph: 512,
+        seed: 1,
+        fast: true,
+    }
+}
+
+#[test]
+fn every_figure_produces_tables() {
+    let cfg = tiny();
+    let runs: Vec<(&str, Vec<smash_experiments::Table>)> = vec![
+        ("table02", figs::tables::table02(&cfg)),
+        ("table03", figs::tables::table03(&cfg)),
+        ("table04", figs::tables::table04(&cfg)),
+        ("fig03", figs::fig03::run(&cfg)),
+        ("fig10_11", figs::fig10_13::run_spmv(&cfg)),
+        ("fig12_13", figs::fig10_13::run_spmm(&cfg)),
+        ("fig14_15", figs::fig14_15::run(&cfg)),
+        ("fig16_17", figs::fig16_17::run(&cfg)),
+        ("fig18", figs::fig18::run(&cfg)),
+        ("fig19", figs::fig19::run(&cfg)),
+        ("fig20", figs::fig20::run(&cfg)),
+        ("area", figs::area::run(&cfg)),
+    ];
+    for (name, tables) in runs {
+        assert!(!tables.is_empty(), "{name} produced no tables");
+        for t in &tables {
+            assert!(!t.rows.is_empty(), "{name}: table `{}` is empty", t.title);
+            let rendered = t.to_string();
+            assert!(rendered.contains("##"), "{name}: missing title");
+            // Every row must be rectangular (push_row enforces it; this
+            // guards the Display path).
+            for row in &t.rows {
+                assert_eq!(row.len(), t.headers.len(), "{name}: ragged row");
+            }
+        }
+    }
+}
+
+#[test]
+fn speedup_cells_parse_as_numbers() {
+    let cfg = tiny();
+    let tables = figs::fig10_13::run_spmv(&cfg);
+    let speed = &tables[0];
+    for row in &speed.rows {
+        for cell in &row[2..] {
+            let v: f64 = cell.parse().expect("numeric speedup cell");
+            assert!(v > 0.0 && v < 100.0, "implausible speedup {v}");
+        }
+    }
+}
+
+#[test]
+fn fig19_reports_both_regimes_at_full_suite() {
+    let cfg = ExpConfig {
+        fast: false,
+        ..tiny()
+    };
+    let t = &figs::fig19::run(&cfg)[0];
+    let ratios: Vec<f64> = t
+        .rows
+        .iter()
+        .map(|r| r[3].parse().expect("numeric ratio"))
+        .collect();
+    assert!(
+        ratios.iter().any(|&r| r < 1.0),
+        "some sparse matrix must favour CSR"
+    );
+    assert!(
+        ratios.iter().any(|&r| r > 1.0),
+        "some dense matrix must favour SMASH"
+    );
+}

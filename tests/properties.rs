@@ -1,0 +1,177 @@
+//! Property-based tests (proptest) on the core data structures and the
+//! invariants the whole reproduction rests on.
+
+use proptest::prelude::*;
+use smash::bmu::{Bmu, BmuBinding, MAX_HW_LEVELS};
+use smash::encoding::{Bitmap, BitmapHierarchy, SmashConfig, SmashMatrix};
+use smash::kernels::{harness, test_vector, Mechanism};
+use smash::matrix::{Coo, Csr};
+use smash::sim::CountEngine;
+
+/// Arbitrary sparse matrix: dimensions 1..64, any entry pattern.
+fn arb_matrix() -> impl Strategy<Value = Csr<f64>> {
+    (1usize..48, 1usize..48)
+        .prop_flat_map(|(r, c)| {
+            let entries = proptest::collection::vec(
+                (0..r, 0..c, 1u32..1000u32),
+                0..(r * c).min(200),
+            );
+            (Just(r), Just(c), entries)
+        })
+        .prop_map(|(r, c, entries)| {
+            let mut coo = Coo::new(r, c);
+            for (i, j, v) in entries {
+                coo.push(i, j, v as f64 / 16.0);
+            }
+            coo.compress();
+            Csr::from_coo(&coo)
+        })
+}
+
+/// Arbitrary hierarchy configuration: 1-4 levels, small ratios.
+fn arb_ratios() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(2u32..9, 1..4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bitmap_rank_matches_naive_count(bits in proptest::collection::vec(any::<bool>(), 0..300),
+                                       idx_frac in 0.0f64..1.0) {
+        let bm = Bitmap::from_bools(&bits);
+        let idx = (bits.len() as f64 * idx_frac) as usize;
+        let naive = bits[..idx].iter().filter(|&&b| b).count();
+        prop_assert_eq!(bm.rank(idx), naive);
+    }
+
+    #[test]
+    fn bitmap_iter_ones_matches_get(bits in proptest::collection::vec(any::<bool>(), 0..300)) {
+        let bm = Bitmap::from_bools(&bits);
+        let from_iter: Vec<usize> = bm.iter_ones().collect();
+        let from_get: Vec<usize> = (0..bits.len()).filter(|&i| bm.get(i)).collect();
+        prop_assert_eq!(from_iter, from_get);
+    }
+
+    #[test]
+    fn hierarchy_blocks_equal_set_bits(bits in proptest::collection::vec(any::<bool>(), 1..400),
+                                       ratios in arb_ratios()) {
+        let bm0 = Bitmap::from_bools(&bits);
+        let h = BitmapHierarchy::from_level0(&bm0, &ratios).expect("valid ratios");
+        h.validate().expect("invariants");
+        let got: Vec<usize> = h.blocks().collect();
+        let want: Vec<usize> = bm0.iter_ones().collect();
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(h.expand_full(0), bm0);
+    }
+
+    #[test]
+    fn hierarchy_storage_never_exceeds_full_bitmaps(
+        bits in proptest::collection::vec(any::<bool>(), 1..400),
+        ratios in arb_ratios())
+    {
+        let bm0 = Bitmap::from_bools(&bits);
+        let h = BitmapHierarchy::from_level0(&bm0, &ratios).expect("valid ratios");
+        // Compacted storage of level i is at most the full level plus one
+        // padding group.
+        for l in 0..h.num_levels() {
+            let pad = if l + 1 < h.num_levels() { ratios[l + 1] as usize } else { 0 };
+            prop_assert!(h.stored_level(l).len() <= h.logical_bits(l) + pad);
+        }
+    }
+
+    #[test]
+    fn encode_decode_is_lossless(a in arb_matrix(), ratios in arb_ratios()) {
+        let cfg = SmashConfig::row_major(&ratios).expect("valid ratios");
+        let sm = SmashMatrix::encode(&a, cfg);
+        sm.validate().expect("invariants");
+        prop_assert_eq!(sm.decode(), a);
+    }
+
+    #[test]
+    fn smash_storage_identity(a in arb_matrix(), ratios in arb_ratios()) {
+        let cfg = SmashConfig::row_major(&ratios).expect("valid ratios");
+        let sm = SmashMatrix::encode(&a, cfg);
+        // NZA holds exactly block_size values per Bitmap-0 set bit, and all
+        // original non-zeros are among them.
+        prop_assert_eq!(sm.nza().len(), sm.num_blocks() * sm.config().block_size());
+        prop_assert_eq!(sm.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn all_spmv_mechanisms_agree(a in arb_matrix()) {
+        let cfg = SmashConfig::row_major(&[2, 4]).expect("valid");
+        let x = test_vector(a.cols());
+        let want = a.spmv(&x);
+        for mech in Mechanism::ALL {
+            let mut e = CountEngine::new();
+            let y = harness::run_spmv(&mut e, mech, &a, &cfg);
+            for (g, w) in y.iter().zip(&want) {
+                prop_assert!((g - w).abs() < 1e-9 * (1.0 + w.abs()),
+                             "{}: {} vs {}", mech, g, w);
+            }
+        }
+    }
+
+    #[test]
+    fn bmu_scan_equals_software_cursor(a in arb_matrix(), ratios in arb_ratios()) {
+        prop_assume!(ratios.len() <= MAX_HW_LEVELS);
+        let cfg = SmashConfig::row_major(&ratios).expect("valid");
+        let sm = SmashMatrix::encode(&a, cfg);
+        let mut addrs = [0u64; MAX_HW_LEVELS];
+        for (l, slot) in addrs.iter_mut().enumerate().take(ratios.len()) {
+            *slot = 0x1_0000 * (l as u64 + 1);
+        }
+        let binding = BmuBinding { hierarchy: sm.hierarchy(), level_addrs: addrs };
+        let mut e = CountEngine::new();
+        let mut bmu = Bmu::new();
+        bmu.matinfo(&mut e, 0, sm.rows() as u32, sm.cols() as u32);
+        for (lvl, &r) in sm.config().ratios().iter().enumerate() {
+            bmu.bmapinfo(&mut e, 0, lvl, r);
+        }
+        for lvl in (0..ratios.len()).rev() {
+            bmu.rdbmap(&mut e, 0, lvl, addrs[lvl], &binding);
+        }
+        let mut got = Vec::new();
+        while let Some(b) = bmu.pbmap(&mut e, 0, &binding).block {
+            got.push(b);
+        }
+        let want: Vec<usize> = sm.hierarchy().blocks().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn smash_add_matches_csr_add(a in arb_matrix(), entries in proptest::collection::vec(
+        (0usize..48, 0usize..48, 1u32..100), 0..120), ratios in arb_ratios())
+    {
+        let mut coo = Coo::new(a.rows(), a.cols());
+        for (i, j, v) in entries {
+            if i < a.rows() && j < a.cols() {
+                coo.push(i, j, v as f64 / 8.0);
+            }
+        }
+        coo.compress();
+        let b = Csr::from_coo(&coo);
+        let cfg = SmashConfig::row_major(&ratios).expect("valid");
+        let sa = SmashMatrix::encode(&a, cfg.clone());
+        let sb = SmashMatrix::encode(&b, cfg);
+        let sum = sa.add(&sb).expect("conforming operands");
+        sum.validate().expect("invariants");
+        prop_assert_eq!(sum.decode(), a.add(&b).expect("same shape"));
+    }
+
+    #[test]
+    fn spadd_is_commutative(a in arb_matrix(), b_entries in proptest::collection::vec(
+        (0usize..48, 0usize..48, 1u32..100), 0..100))
+    {
+        let mut coo = Coo::new(a.rows(), a.cols());
+        for (i, j, v) in b_entries {
+            if i < a.rows() && j < a.cols() {
+                coo.push(i, j, v as f64);
+            }
+        }
+        coo.compress();
+        let b = Csr::from_coo(&coo);
+        prop_assert_eq!(a.add(&b).expect("same shape"), b.add(&a).expect("same shape"));
+    }
+}

@@ -1,0 +1,59 @@
+//! Cross-crate round-trip tests: every format conversion path in the
+//! workspace must be lossless for non-zero entries.
+
+use smash::encoding::{Layout, SmashConfig, SmashMatrix};
+use smash::matrix::{generators, market, suite, Bcsr, Csr};
+
+#[test]
+fn suite_matrices_roundtrip_through_smash_at_paper_configs() {
+    for (spec, a) in suite::generate_suite(64, 7) {
+        let ratios = spec.bitmap_cfg.ratios_low_to_high();
+        let sm = SmashMatrix::encode(&a, SmashConfig::row_major(&ratios).expect("paper config"));
+        sm.validate().expect("valid encoding");
+        assert_eq!(sm.decode(), a, "{} lost data", spec.name);
+        assert_eq!(sm.nnz(), a.nnz(), "{} nnz mismatch", spec.name);
+    }
+}
+
+#[test]
+fn suite_matrices_roundtrip_through_all_formats() {
+    for (spec, a) in suite::generate_suite(128, 11) {
+        // CSR -> COO -> CSR
+        assert_eq!(Csr::from_coo(&a.to_coo()), a, "{} via COO", spec.name);
+        // CSR -> CSC -> CSR
+        assert_eq!(a.to_csc().to_csr(), a, "{} via CSC", spec.name);
+        // CSR -> dense -> CSR
+        assert_eq!(Csr::from_dense(&a.to_dense()), a, "{} via dense", spec.name);
+        // CSR -> BCSR -> CSR
+        let b = Bcsr::from_csr(&a, 2, 2).expect("valid block");
+        assert_eq!(b.to_csr(), a, "{} via BCSR", spec.name);
+    }
+}
+
+#[test]
+fn matrix_market_roundtrip_via_disk_format() {
+    let a = generators::power_law(200, 150, 1500, 1.1, 13);
+    let mut buf = Vec::new();
+    market::write_coo(&mut buf, &a.to_coo()).expect("write");
+    let back = market::read_coo::<f64, _>(&buf[..]).expect("read");
+    assert_eq!(Csr::from_coo(&back), a);
+}
+
+#[test]
+fn col_major_and_row_major_encode_the_same_matrix() {
+    let a = generators::clustered(96, 80, 700, 4, 17);
+    let rm = SmashMatrix::encode(&a, SmashConfig::new(&[2, 4], Layout::RowMajor).expect("valid"));
+    let cm = SmashMatrix::encode(&a, SmashConfig::new(&[2, 4], Layout::ColMajor).expect("valid"));
+    assert_eq!(rm.decode(), cm.decode());
+    assert_eq!(rm.nnz(), cm.nnz());
+}
+
+#[test]
+fn transpose_encode_commutes_with_layout_swap() {
+    // Encoding A col-major visits the same blocks as encoding A^T row-major.
+    let a = generators::uniform(64, 48, 400, 19);
+    let cm = SmashMatrix::encode(&a, SmashConfig::col_major(&[4]).expect("valid"));
+    let t_rm = SmashMatrix::encode(&a.transpose(), SmashConfig::row_major(&[4]).expect("valid"));
+    assert_eq!(cm.num_blocks(), t_rm.num_blocks());
+    assert_eq!(cm.nza().values(), t_rm.nza().values());
+}
