@@ -25,7 +25,11 @@ fn bench(c: &mut Criterion) {
     for ratios in [&[2u32][..], &[2, 4], &[2, 4, 16]] {
         let cfg = SmashConfig::row_major(ratios).expect("valid");
         let cycles = harness::sim_spmv(Mechanism::Smash, &a, &cfg, &sys).cycles;
-        println!("ablation depth {}: {} simulated cycles", ratios.len(), cycles);
+        println!(
+            "ablation depth {}: {} simulated cycles",
+            ratios.len(),
+            cycles
+        );
         group.bench_with_input(
             BenchmarkId::new("smash_depth", ratios.len()),
             &cfg,

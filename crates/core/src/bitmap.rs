@@ -109,7 +109,10 @@ impl Bitmap {
     ///
     /// Panics if `hi > other.len()` or `lo > hi`.
     pub fn extend_from_range(&mut self, other: &Bitmap, lo: usize, hi: usize) {
-        assert!(lo <= hi && hi <= other.len, "range {lo}..{hi} out of bounds");
+        assert!(
+            lo <= hi && hi <= other.len,
+            "range {lo}..{hi} out of bounds"
+        );
         for i in lo..hi {
             self.push(other.get(i));
         }
@@ -126,7 +129,11 @@ impl Bitmap {
     ///
     /// Panics if `idx > len`.
     pub fn rank(&self, idx: usize) -> usize {
-        assert!(idx <= self.len, "rank index {idx} out of range {}", self.len);
+        assert!(
+            idx <= self.len,
+            "rank index {idx} out of range {}",
+            self.len
+        );
         let full_words = idx / 64;
         let mut count: usize = self.words[..full_words]
             .iter()
@@ -229,7 +236,11 @@ impl Iterator for Ones<'_> {
                 let bit = self.current.trailing_zeros() as usize;
                 self.current &= self.current - 1; // clear lowest set bit
                 let idx = self.word_idx * 64 + bit;
-                return if idx < self.bitmap.len { Some(idx) } else { None };
+                return if idx < self.bitmap.len {
+                    Some(idx)
+                } else {
+                    None
+                };
             }
             self.word_idx += 1;
             if self.word_idx >= self.bitmap.words.len() {

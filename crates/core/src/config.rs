@@ -107,7 +107,12 @@ impl SmashConfig {
     /// # Errors
     ///
     /// Same as [`SmashConfig::new`].
-    pub fn from_paper_notation(b2: u32, b1: u32, b0: u32, layout: Layout) -> Result<Self, SmashError> {
+    pub fn from_paper_notation(
+        b2: u32,
+        b1: u32,
+        b0: u32,
+        layout: Layout,
+    ) -> Result<Self, SmashError> {
         SmashConfig::new(&[b0, b1, b2], layout)
     }
 
@@ -174,7 +179,13 @@ mod tests {
 
     #[test]
     fn accepts_paper_configs() {
-        for ratios in [&[2u32, 4, 16][..], &[2, 4, 8], &[2, 4, 2], &[8][..], &[2, 4]] {
+        for ratios in [
+            &[2u32, 4, 16][..],
+            &[2, 4, 8],
+            &[2, 4, 2],
+            &[8][..],
+            &[2, 4],
+        ] {
             assert!(SmashConfig::row_major(ratios).is_ok(), "{ratios:?}");
         }
     }

@@ -30,7 +30,10 @@ impl fmt::Display for SmashError {
         match self {
             SmashError::NoLevels => write!(f, "bitmap hierarchy needs at least one level"),
             SmashError::TooManyLevels { got, max } => {
-                write!(f, "requested {got} bitmap levels, supported maximum is {max}")
+                write!(
+                    f,
+                    "requested {got} bitmap levels, supported maximum is {max}"
+                )
             }
             SmashError::InvalidRatio { level, ratio } => {
                 write!(f, "invalid compression ratio {ratio} at level {level}")
@@ -55,6 +58,8 @@ mod tests {
         assert!(SmashError::InvalidRatio { level: 1, ratio: 0 }
             .to_string()
             .contains("level 1"));
-        assert!(SmashError::Inconsistent("x".into()).to_string().contains('x'));
+        assert!(SmashError::Inconsistent("x".into())
+            .to_string()
+            .contains('x'));
     }
 }

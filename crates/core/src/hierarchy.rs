@@ -437,7 +437,10 @@ mod tests {
         let h = BitmapHierarchy::from_level0(&bm0, &[2, 4]).unwrap();
         assert_eq!(h.num_levels(), 2);
         // Top: groups 0 and 3 occupied.
-        assert_eq!(h.stored_level(1).iter_ones().collect::<Vec<_>>(), vec![0, 3]);
+        assert_eq!(
+            h.stored_level(1).iter_ones().collect::<Vec<_>>(),
+            vec![0, 3]
+        );
         // Compacted level 0: two groups of 4 bits: [1,0,1,0] and [0,1,0,0].
         assert_eq!(h.stored_level(0).len(), 8);
         assert_eq!(
@@ -495,7 +498,9 @@ mod tests {
     #[test]
     fn blocks_are_increasing_and_complete() {
         // Pseudo-random pattern.
-        let bits: Vec<usize> = (0..500).filter(|i| (i * 2654435761usize) % 7 == 0).collect();
+        let bits: Vec<usize> = (0..500)
+            .filter(|i| (i * 2654435761usize) % 7 == 0)
+            .collect();
         let bm0 = bm(&bits, 500);
         let h = BitmapHierarchy::from_level0(&bm0, &[2, 4, 16]).unwrap();
         let got: Vec<usize> = h.blocks().collect();
@@ -539,8 +544,7 @@ mod tests {
     fn visits_cover_all_levels_in_dfs_order() {
         let bm0 = bm(&[0, 2, 13], 16);
         let h = BitmapHierarchy::from_level0(&bm0, &[2, 4]).unwrap();
-        let visits: Vec<(usize, usize)> =
-            h.visits().map(|v| (v.level, v.logical)).collect();
+        let visits: Vec<(usize, usize)> = h.visits().map(|v| (v.level, v.logical)).collect();
         // Top bit 0 -> children 0, 2; top bit 3 -> child 13.
         assert_eq!(visits, vec![(1, 0), (0, 0), (0, 2), (1, 3), (0, 13)]);
     }
@@ -563,7 +567,11 @@ mod tests {
         let h = BitmapHierarchy::from_level0(&bm(&bits, 500), &[2, 8, 4]).unwrap();
         let mut last = vec![0usize; 3];
         for v in h.visits() {
-            assert!(v.storage >= last[v.level], "level {} went backwards", v.level);
+            assert!(
+                v.storage >= last[v.level],
+                "level {} went backwards",
+                v.level
+            );
             last[v.level] = v.storage;
         }
     }

@@ -40,9 +40,7 @@ impl<T: Scalar> SmashMatrix<T> {
     /// higher levels.
     pub fn encode(csr: &Csr<T>, config: SmashConfig) -> Self {
         match config.layout() {
-            Layout::RowMajor => {
-                Self::encode_lines(csr.rows(), csr.cols(), config, |l| csr.row(l))
-            }
+            Layout::RowMajor => Self::encode_lines(csr.rows(), csr.cols(), config, |l| csr.row(l)),
             Layout::ColMajor => {
                 // Column-major encoding walks the CSC transpose-view.
                 let csc = csr.to_csc();
@@ -571,8 +569,7 @@ mod tests {
         // CSR's 12 bytes/non-zero (paper Fig. 19, right side).
         let a = generators::block_dense(128, 128, 2048, 8, 29);
         let sm = SmashMatrix::encode(&a, cfg(&[2, 4, 16]));
-        let csr_ratio =
-            (a.rows() * a.cols() * 8) as f64 / a.storage_bytes() as f64;
+        let csr_ratio = (a.rows() * a.cols() * 8) as f64 / a.storage_bytes() as f64;
         assert!(
             sm.total_compression_ratio() > csr_ratio,
             "smash {} vs csr {csr_ratio}",
@@ -587,8 +584,7 @@ mod tests {
         // (paper Fig. 19, left side, M1-M4).
         let a = generators::uniform(4096, 4096, 100, 31);
         let sm = SmashMatrix::encode(&a, cfg(&[2, 4, 16]));
-        let csr_ratio =
-            (a.rows() * a.cols() * 8) as f64 / a.storage_bytes() as f64;
+        let csr_ratio = (a.rows() * a.cols() * 8) as f64 / a.storage_bytes() as f64;
         assert!(
             sm.total_compression_ratio() < csr_ratio,
             "smash {} vs csr {csr_ratio}",

@@ -8,10 +8,7 @@ use smash_bmu::AreaModel;
 /// Runs the area estimate.
 pub fn run(_cfg: &ExpConfig) -> Vec<Table> {
     let m = AreaModel::paper_default();
-    let mut t = Table::new(
-        "Section 7.6: BMU area overhead",
-        &["quantity", "value"],
-    );
+    let mut t = Table::new("Section 7.6: BMU area overhead", &["quantity", "value"]);
     t.push_row(vec![
         "SRAM (4 groups x 3 buffers x 256 B)".into(),
         format!("{} bytes", m.sram_bytes()),

@@ -16,10 +16,16 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     let sys_m = cfg.system_spmm();
     let smash_cfg = SmashConfig::row_major(&[2, 4, 16]).expect("static config");
 
-    let mut speedups: Vec<(&str, Vec<f64>)> =
-        vec![("SpAdd", Vec::new()), ("SpMV", Vec::new()), ("SpMM", Vec::new())];
-    let mut instr: Vec<(&str, Vec<f64>)> =
-        vec![("SpAdd", Vec::new()), ("SpMV", Vec::new()), ("SpMM", Vec::new())];
+    let mut speedups: Vec<(&str, Vec<f64>)> = vec![
+        ("SpAdd", Vec::new()),
+        ("SpMV", Vec::new()),
+        ("SpMM", Vec::new()),
+    ];
+    let mut instr: Vec<(&str, Vec<f64>)> = vec![
+        ("SpAdd", Vec::new()),
+        ("SpMV", Vec::new()),
+        ("SpMM", Vec::new()),
+    ];
 
     // SpAdd and SpMV at SpMV scale.
     for (spec, a) in suite_subset(cfg, cfg.scale_spmv) {

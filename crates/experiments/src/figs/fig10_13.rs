@@ -15,11 +15,25 @@ pub fn run_spmv(cfg: &ExpConfig) -> Vec<Table> {
     let sys = cfg.system_spmv();
     let mut speed = Table::new(
         "Figure 10: SpMV speedup (normalized to TACO-CSR)",
-        &["matrix", "config", "TACO-CSR", "TACO-BCSR", "SW-SMASH", "SMASH"],
+        &[
+            "matrix",
+            "config",
+            "TACO-CSR",
+            "TACO-BCSR",
+            "SW-SMASH",
+            "SMASH",
+        ],
     );
     let mut instr = Table::new(
         "Figure 11: SpMV executed instructions (normalized to TACO-CSR)",
-        &["matrix", "config", "TACO-CSR", "TACO-BCSR", "SW-SMASH", "SMASH"],
+        &[
+            "matrix",
+            "config",
+            "TACO-CSR",
+            "TACO-BCSR",
+            "SW-SMASH",
+            "SMASH",
+        ],
     );
     let mut smash_speedups = Vec::new();
     for (spec, a) in suite_subset(cfg, cfg.scale_spmv) {
@@ -49,7 +63,10 @@ pub fn run_spmv(cfg: &ExpConfig) -> Vec<Table> {
         r2(geomean(&smash_speedups)),
         r2(paper_ref::FIG10_AVG_SPEEDUP)
     ));
-    speed.note(format!("matrix scale 1/{}, caches scaled to match", cfg.scale_spmv));
+    speed.note(format!(
+        "matrix scale 1/{}, caches scaled to match",
+        cfg.scale_spmv
+    ));
     vec![speed, instr]
 }
 
@@ -58,19 +75,32 @@ pub fn run_spmm(cfg: &ExpConfig) -> Vec<Table> {
     let sys = cfg.system_spmm();
     let mut speed = Table::new(
         "Figure 12: SpMM speedup (normalized to TACO-CSR)",
-        &["matrix", "config", "TACO-CSR", "TACO-BCSR", "SW-SMASH", "SMASH"],
+        &[
+            "matrix",
+            "config",
+            "TACO-CSR",
+            "TACO-BCSR",
+            "SW-SMASH",
+            "SMASH",
+        ],
     );
     let mut instr = Table::new(
         "Figure 13: SpMM executed instructions (normalized to TACO-CSR)",
-        &["matrix", "config", "TACO-CSR", "TACO-BCSR", "SW-SMASH", "SMASH"],
+        &[
+            "matrix",
+            "config",
+            "TACO-CSR",
+            "TACO-BCSR",
+            "SW-SMASH",
+            "SMASH",
+        ],
     );
     let mut smash_speedups = Vec::new();
     for (spec, a) in suite_subset(cfg, cfg.scale_spmm) {
         let b = spec.generate(cfg.scale_spmm, cfg.seed + 1);
         // SpMM uses 1-level bitmaps (paper §5.2) at the matrix's Bitmap-0
         // ratio; the harness derives the layouts.
-        let smash_cfg =
-            SmashConfig::row_major(&[spec.bitmap_cfg.b0]).expect("paper config");
+        let smash_cfg = SmashConfig::row_major(&[spec.bitmap_cfg.b0]).expect("paper config");
         let base = harness::sim_spmm(Mechanism::TacoCsr, &a, &b, &smash_cfg, &sys);
         let mut srow = vec![
             format!("{}.{}", spec.label(), spec.bitmap_cfg.b0),
@@ -95,7 +125,10 @@ pub fn run_spmm(cfg: &ExpConfig) -> Vec<Table> {
         r2(geomean(&smash_speedups)),
         r2(paper_ref::FIG12_AVG_SPEEDUP)
     ));
-    speed.note(format!("matrix scale 1/{}, caches scaled to match", cfg.scale_spmm));
+    speed.note(format!(
+        "matrix scale 1/{}, caches scaled to match",
+        cfg.scale_spmm
+    ));
     speed.note(
         "known divergence: our TACO-BCSR SpMM merges 2x2-blocked operands \
          on both sides, quartering the dot-product pair loop — an \

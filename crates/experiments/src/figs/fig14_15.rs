@@ -3,9 +3,9 @@
 //! normalized to the 2:1 configuration, as in the paper.
 
 use crate::config::ExpConfig;
+use crate::figs::suite_subset;
 use crate::paper_ref;
 use crate::report::{geomean, r2, Table};
-use crate::figs::suite_subset;
 use smash_core::SmashConfig;
 use smash_kernels::{harness, Mechanism};
 

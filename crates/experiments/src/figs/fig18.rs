@@ -18,7 +18,11 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
         ..Default::default()
     };
     let bc_cfg = BcConfig {
-        sources: if cfg.fast { vec![0, 1] } else { vec![0, 1, 2, 3] },
+        sources: if cfg.fast {
+            vec![0, 1]
+        } else {
+            vec![0, 1, 2, 3]
+        },
         max_levels: 16,
         ..Default::default()
     };

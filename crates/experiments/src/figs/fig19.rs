@@ -26,7 +26,12 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
         let rep = storage::compare(&a, &sc);
         max_rel = max_rel.max(rep.smash_over_csr());
         t.push_row(vec![
-            format!("{}.{}.{}", spec.label(), spec.bitmap_cfg.b2, spec.bitmap_cfg.b1),
+            format!(
+                "{}.{}.{}",
+                spec.label(),
+                spec.bitmap_cfg.b2,
+                spec.bitmap_cfg.b1
+            ),
             r2(rep.csr_ratio()),
             r2(rep.smash_ratio()),
             r2(rep.smash_over_csr()),
@@ -39,6 +44,8 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
         r2(max_rel),
         r2(paper_ref::FIG19_MAX_SMASH_OVER_CSR)
     ));
-    t.note(format!("matrix scale 1/{scale} (storage only, no simulation)"));
+    t.note(format!(
+        "matrix scale 1/{scale} (storage only, no simulation)"
+    ));
     vec![t]
 }

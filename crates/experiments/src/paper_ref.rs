@@ -2,8 +2,7 @@
 //! our measured values in every experiment report.
 
 /// Figure 3: speedup of ideal indexing over CSR (SpAdd, SpMV, SpMM).
-pub const FIG3_SPEEDUP: [(&str, f64); 3] =
-    [("SpAdd", 2.21), ("SpMV", 2.13), ("SpMM", 2.81)];
+pub const FIG3_SPEEDUP: [(&str, f64); 3] = [("SpAdd", 2.21), ("SpMV", 2.13), ("SpMM", 2.81)];
 
 /// Figure 3: normalized instructions of ideal indexing (1 − reduction:
 /// 49 %, 42 %, 65 %).

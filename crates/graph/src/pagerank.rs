@@ -159,10 +159,7 @@ mod tests {
         let mut e2 = CountEngine::new();
         pagerank(&mut e2, GraphMechanism::Smash, &g, &cfg);
         let smash = e2.finish().instructions();
-        assert!(
-            (smash as f64) < (csr as f64),
-            "smash {smash} vs csr {csr}"
-        );
+        assert!((smash as f64) < (csr as f64), "smash {smash} vs csr {csr}");
     }
 
     #[test]

@@ -61,7 +61,11 @@ pub fn csr_to_smash<E: Engine>(e: &mut E, a: &Csr<f64>, config: SmashConfig) -> 
         let child_words = sm.hierarchy().stored_level(l - 1).len().div_ceil(64);
         let mut dep = UopId::NONE;
         for w in 0..child_words {
-            let ld = e.load(streams::bitmap(l - 1), bitmap_addrs[l - 1] + 8 * w as u64, &[]);
+            let ld = e.load(
+                streams::bitmap(l - 1),
+                bitmap_addrs[l - 1] + 8 * w as u64,
+                &[],
+            );
             dep = e.alu(&[ld, dep]); // OR-reduce into the parent word
         }
         let parent_words = sm.hierarchy().stored_level(l).len().div_ceil(64);

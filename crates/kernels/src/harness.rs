@@ -15,7 +15,12 @@ pub const BCSR_BLOCK: usize = 2;
 
 /// Runs the instrumented SpMV of `mech` on the given engine and returns the
 /// product. `cfg` selects the bitmap hierarchy for the SMASH mechanisms.
-pub fn run_spmv<E: Engine>(e: &mut E, mech: Mechanism, a: &Csr<f64>, cfg: &SmashConfig) -> Vec<f64> {
+pub fn run_spmv<E: Engine>(
+    e: &mut E,
+    mech: Mechanism,
+    a: &Csr<f64>,
+    cfg: &SmashConfig,
+) -> Vec<f64> {
     let x = test_vector(a.cols());
     match mech {
         Mechanism::TacoCsr => spmv::spmv_csr(e, a, &x),
@@ -52,7 +57,8 @@ pub fn run_spmm<E: Engine>(
         Mechanism::IdealCsr => spmm::spmm_ideal(e, a, &b.to_csc()),
         Mechanism::TacoBcsr => {
             let ab = Bcsr::from_csr(a, BCSR_BLOCK, BCSR_BLOCK).expect("non-zero block");
-            let btb = Bcsr::from_csr(&b.transpose(), BCSR_BLOCK, BCSR_BLOCK).expect("non-zero block");
+            let btb =
+                Bcsr::from_csr(&b.transpose(), BCSR_BLOCK, BCSR_BLOCK).expect("non-zero block");
             spmm::spmm_bcsr(e, &ab, &btb)
         }
         Mechanism::SwSmash => {

@@ -213,9 +213,8 @@ pub fn spmm_bcsr<E: Engine>(e: &mut E, a: &Bcsr<f64>, bt: &Bcsr<f64>) -> Coo<f64
                                     let m = e.fmul(&[va, vb]);
                                     acc_u[lr * s + lc] = e.fadd(&[m, acc_u[lr * s + lc]]);
                                 }
-                                let dot: f64 = (0..s)
-                                    .map(|k| ta[lr * s + k] * tb[lc * s + k])
-                                    .sum();
+                                let dot: f64 =
+                                    (0..s).map(|k| ta[lr * s + k] * tb[lc * s + k]).sum();
                                 tile_acc[lr * s + lc] += dot;
                             }
                         }
@@ -367,7 +366,11 @@ pub fn spmm_hw_smash<E: Engine>(
                 Some(blk) if blk < row_bit => continue, // byte-aligned early start
                 Some(_) => {
                     let ind = bmu.rdind(e, 0);
-                    e.store(streams::LINE_STARTS, row_cache + 4 * cached as u64, &[ind.uop]);
+                    e.store(
+                        streams::LINE_STARTS,
+                        row_cache + 4 * cached as u64,
+                        &[ind.uop],
+                    );
                     cached += 1;
                 }
                 None => unreachable!("line block count bounds the scan"),
@@ -443,11 +446,7 @@ pub fn spmm_hw_smash<E: Engine>(
                             let m = e.fmul(&[va, vb]);
                             acc_u = e.fadd(&[m, acc_u]);
                         }
-                        acc += blk_a
-                            .iter()
-                            .zip(blk_b)
-                            .map(|(&x, &y)| x * y)
-                            .sum::<f64>();
+                        acc += blk_a.iter().zip(blk_b).map(|(&x, &y)| x * y).sum::<f64>();
                         k_a += 1;
                         k_b += 1;
                         ord_a += 1;
@@ -496,11 +495,7 @@ pub fn spmm_hw_smash<E: Engine>(
 /// Software-only SMASH SpMM: the same block-granular index matching as the
 /// hardware version, but each line's bitmap slice is scanned in software
 /// (word loads + CTZ + masking, §4.4) for every dot product.
-pub fn spmm_sw_smash<E: Engine>(
-    e: &mut E,
-    a: &SmashMatrix<f64>,
-    b: &SmashMatrix<f64>,
-) -> Coo<f64> {
+pub fn spmm_sw_smash<E: Engine>(e: &mut E, a: &SmashMatrix<f64>, b: &SmashMatrix<f64>) -> Coo<f64> {
     assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
     assert_eq!(a.config().layout(), Layout::RowMajor, "A must be row-major");
     assert_eq!(b.config().layout(), Layout::ColMajor, "B must be col-major");
@@ -643,7 +638,10 @@ mod tests {
         for i in 0..cd.rows() {
             for j in 0..cd.cols() {
                 let (x, y) = (cd.get(i, j), wd.get(i, j));
-                assert!((x - y).abs() < 1e-9 * (1.0 + y.abs()), "({i},{j}): {x} vs {y}");
+                assert!(
+                    (x - y).abs() < 1e-9 * (1.0 + y.abs()),
+                    "({i},{j}): {x} vs {y}"
+                );
             }
         }
     }
@@ -661,7 +659,10 @@ mod tests {
         assert_same(&spmm_ideal(&mut e, &a, &bc), &want);
         let ideal_instr = e.finish().instructions();
         let ratio = ideal_instr as f64 / csr_instr as f64;
-        assert!(ratio < 0.6, "ideal/csr = {ratio} (index matching should dominate)");
+        assert!(
+            ratio < 0.6,
+            "ideal/csr = {ratio} (index matching should dominate)"
+        );
     }
 
     #[test]

@@ -183,20 +183,17 @@ pub fn spmv_sw_smash<E: Engine>(e: &mut E, a: &SmashMatrix<f64>, x: &[f64]) -> V
     let mut next_word = vec![0usize; levels];
     let mut word_uop = vec![UopId::NONE; levels];
     let mut scan_chain = vec![UopId::NONE; levels];
-    let load_words = |e: &mut E,
-                          level: usize,
-                          upto: usize,
-                          next_word: &mut [usize],
-                          word_uop: &mut [UopId]| {
-        while next_word[level] <= upto {
-            word_uop[level] = e.load(
-                streams::bitmap(level),
-                bitmap_addrs[level] + 8 * next_word[level] as u64,
-                &[],
-            );
-            next_word[level] += 1;
-        }
-    };
+    let load_words =
+        |e: &mut E, level: usize, upto: usize, next_word: &mut [usize], word_uop: &mut [UopId]| {
+            while next_word[level] <= upto {
+                word_uop[level] = e.load(
+                    streams::bitmap(level),
+                    bitmap_addrs[level] + 8 * next_word[level] as u64,
+                    &[],
+                );
+                next_word[level] += 1;
+            }
+        };
 
     let mut ordinal = 0usize;
     let mut acc = UopId::NONE;

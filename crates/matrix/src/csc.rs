@@ -194,7 +194,13 @@ mod tests {
 
     fn sample() -> Csr<f64> {
         let mut coo = Coo::new(3, 4);
-        for &(r, c, v) in &[(0, 1, 1.0), (0, 3, 2.0), (1, 0, 3.0), (2, 1, 4.0), (2, 2, 5.0)] {
+        for &(r, c, v) in &[
+            (0, 1, 1.0),
+            (0, 3, 2.0),
+            (1, 0, 3.0),
+            (2, 1, 4.0),
+            (2, 2, 5.0),
+        ] {
             coo.push(r, c, v);
         }
         Csr::from_coo(&coo)

@@ -496,13 +496,9 @@ mod tests {
         // Column out of bounds.
         assert!(Csr::<f64>::from_parts(1, 2, vec![0, 1], vec![5], vec![1.0]).is_err());
         // Unsorted columns within a row.
-        assert!(
-            Csr::<f64>::from_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).is_err()
-        );
+        assert!(Csr::<f64>::from_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).is_err());
         // A valid one.
-        assert!(
-            Csr::<f64>::from_parts(1, 3, vec![0, 2], vec![0, 2], vec![1.0, 2.0]).is_ok()
-        );
+        assert!(Csr::<f64>::from_parts(1, 3, vec![0, 2], vec![0, 2], vec![1.0, 2.0]).is_ok());
     }
 
     #[test]

@@ -51,10 +51,7 @@ impl fmt::Display for MatrixError {
                 col,
                 rows,
                 cols,
-            } => write!(
-                f,
-                "entry ({row}, {col}) is outside a {rows}x{cols} matrix"
-            ),
+            } => write!(f, "entry ({row}, {col}) is outside a {rows}x{cols} matrix"),
             MatrixError::InvalidStructure(msg) => {
                 write!(f, "invalid compressed structure: {msg}")
             }

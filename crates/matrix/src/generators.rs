@@ -134,7 +134,8 @@ pub fn block_dense(rows: usize, cols: usize, nnz: usize, block: usize, seed: u64
     let mut chosen: HashSet<(usize, usize)> = HashSet::with_capacity(n_blocks * 2);
     let mut attempts = 0usize;
     let max_blocks = brows * bcols;
-    while chosen.len() < n_blocks.min(max_blocks) && attempts < n_blocks.saturating_mul(20).max(1024)
+    while chosen.len() < n_blocks.min(max_blocks)
+        && attempts < n_blocks.saturating_mul(20).max(1024)
     {
         attempts += 1;
         chosen.insert((rng.gen_range(0..brows), rng.gen_range(0..bcols)));

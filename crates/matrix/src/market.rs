@@ -229,10 +229,94 @@ mod tests {
     }
 
     #[test]
+    fn parse_write_parse_roundtrip() {
+        // Start from text (not from an in-memory Coo) so the 1-based index
+        // translation is exercised in both directions.
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    4 5 4\n1 1 1.5\n2 4 -2.25\n4 5 0.5\n3 2 8.0\n";
+        let first = read_coo::<f64, _>(text.as_bytes()).unwrap();
+        let mut buf = Vec::new();
+        write_coo(&mut buf, &first).unwrap();
+        let second = read_coo::<f64, _>(&buf[..]).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(second.rows(), 4);
+        assert_eq!(second.cols(), 5);
+        assert_eq!(second.nnz(), 4);
+    }
+
+    #[test]
+    fn symmetric_roundtrips_through_general_writer() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 5.0\n3 3 1.0\n";
+        let sym = read_coo::<f64, _>(text.as_bytes()).unwrap();
+        let mut buf = Vec::new();
+        write_coo(&mut buf, &sym).unwrap();
+        // The writer emits `general`, so mirrored entries are written out
+        // explicitly and survive the round-trip.
+        let back = read_coo::<f64, _>(&buf[..]).unwrap();
+        assert_eq!(back, sym);
+    }
+
+    #[test]
     fn rejects_bad_header() {
         assert!(read_coo::<f64, _>("garbage\n1 1 0\n".as_bytes()).is_err());
+        assert!(
+            read_coo::<f64, _>("%%MatrixMarket matrix array real general\n1 1 0\n".as_bytes())
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_header_variants() {
+        // Wrong object.
         assert!(read_coo::<f64, _>(
-            "%%MatrixMarket matrix array real general\n1 1 0\n".as_bytes()
+            "%%MatrixMarket vector coordinate real general\n1 1 0\n".as_bytes()
+        )
+        .is_err());
+        // Unsupported field type.
+        assert!(read_coo::<f64, _>(
+            "%%MatrixMarket matrix coordinate complex general\n1 1 0\n".as_bytes()
+        )
+        .is_err());
+        // Unsupported symmetry.
+        assert!(read_coo::<f64, _>(
+            "%%MatrixMarket matrix coordinate real hermitian\n1 1 0\n".as_bytes()
+        )
+        .is_err());
+        // Truncated header line.
+        assert!(read_coo::<f64, _>("%%MatrixMarket matrix\n1 1 0\n".as_bytes()).is_err());
+        // Empty stream and missing size line.
+        assert!(read_coo::<f64, _>("".as_bytes()).is_err());
+        assert!(read_coo::<f64, _>(
+            "%%MatrixMarket matrix coordinate real general\n% only comments\n".as_bytes()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_size_and_entries() {
+        // Size line with too few fields.
+        assert!(read_coo::<f64, _>(
+            "%%MatrixMarket matrix coordinate real general\n2 2\n".as_bytes()
+        )
+        .is_err());
+        // Non-numeric size.
+        assert!(read_coo::<f64, _>(
+            "%%MatrixMarket matrix coordinate real general\n2 x 1\n1 1 1.0\n".as_bytes()
+        )
+        .is_err());
+        // Entry missing its value field.
+        assert!(read_coo::<f64, _>(
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n".as_bytes()
+        )
+        .is_err());
+        // Non-numeric value.
+        assert!(read_coo::<f64, _>(
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 abc\n".as_bytes()
+        )
+        .is_err());
+        // 0-based index (Matrix Market is 1-based).
+        assert!(read_coo::<f64, _>(
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n".as_bytes()
         )
         .is_err());
     }

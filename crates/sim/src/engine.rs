@@ -231,12 +231,9 @@ impl SimEngine {
     fn mem_latency(&mut self, stream: Option<StreamId>, addr: u64, write: bool) -> (u32, bool) {
         let (latency, by) = self.mem.access(addr, write, &mut self.stats);
         if let Some(stream) = stream {
-            let targets = self.prefetcher.on_access(
-                stream,
-                addr,
-                &self.cfg.prefetch,
-                self.cfg.l1.line_bytes,
-            );
+            let targets =
+                self.prefetcher
+                    .on_access(stream, addr, &self.cfg.prefetch, self.cfg.l1.line_bytes);
             for t in targets {
                 self.stats.prefetches_issued += 1;
                 self.mem.prefetch(t, &mut self.stats);

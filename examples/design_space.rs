@@ -12,7 +12,10 @@ use smash::sim::SystemConfig;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sys = SystemConfig::paper_table2_scaled(16);
     println!("Bitmap-0 ratio sweep at two localities (1024x1024, 20k non-zeros):\n");
-    for (name, locality) in [("scattered (25% locality@8)", 0.25), ("clustered (100%)", 1.0)] {
+    for (name, locality) in [
+        ("scattered (25% locality@8)", 0.25),
+        ("clustered (100%)", 1.0),
+    ] {
         let a = with_locality(1024, 1024, 20_000, 8, locality, 42);
         println!("{name}:");
         println!(

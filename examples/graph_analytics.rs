@@ -4,9 +4,7 @@
 //!
 //! Run with: `cargo run --release --example graph_analytics`
 
-use smash::graph::{
-    betweenness, generators, pagerank, BcConfig, GraphMechanism, PageRankConfig,
-};
+use smash::graph::{betweenness, generators, pagerank, BcConfig, GraphMechanism, PageRankConfig};
 use smash::sim::{SimEngine, SystemConfig};
 
 fn main() {
@@ -29,7 +27,10 @@ fn main() {
         ..Default::default()
     };
 
-    println!("\n{:<12} {:>14} {:>14} {:>9}", "workload", "CSR cycles", "SMASH cycles", "speedup");
+    println!(
+        "\n{:<12} {:>14} {:>14} {:>9}",
+        "workload", "CSR cycles", "SMASH cycles", "speedup"
+    );
     for (name, run) in [
         (
             "PageRank",

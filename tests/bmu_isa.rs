@@ -1,7 +1,7 @@
 //! The BMU hardware model must agree with the software cursor on every
 //! workload, and the ISA-level costs must match the paper's accounting.
 
-use smash::bmu::{Bmu, BmuBinding, AreaModel, BUFFER_BYTES, MAX_HW_LEVELS, NUM_GROUPS};
+use smash::bmu::{AreaModel, Bmu, BmuBinding, BUFFER_BYTES, MAX_HW_LEVELS, NUM_GROUPS};
 use smash::encoding::{SmashConfig, SmashMatrix};
 use smash::matrix::suite;
 use smash::sim::{CountEngine, UopClass};
@@ -11,7 +11,11 @@ fn scan_all(sm: &SmashMatrix<f64>) -> (Vec<(u64, u64)>, smash::sim::SimStats) {
     let mut e = CountEngine::new();
     let mut bmu = Bmu::new();
     let mut addrs = [0u64; MAX_HW_LEVELS];
-    for (l, a) in addrs.iter_mut().enumerate().take(sm.hierarchy().num_levels()) {
+    for (l, a) in addrs
+        .iter_mut()
+        .enumerate()
+        .take(sm.hierarchy().num_levels())
+    {
         *a = 0x10_0000 + (l as u64) * 0x10_0000;
     }
     let binding = BmuBinding {

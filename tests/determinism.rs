@@ -1,0 +1,104 @@
+//! Seeded generators must be pure functions of their arguments: the same
+//! seed reproduces bit-identical output (experiments and CI depend on it),
+//! and different seeds must actually change the sparsity pattern.
+
+use smash::graph::generators as graph_gen;
+use smash::matrix::generators as mat_gen;
+use smash::matrix::Csr;
+
+/// Column-index pattern of a CSR matrix, row by row.
+fn pattern(a: &Csr<f64>) -> Vec<Vec<u32>> {
+    (0..a.rows()).map(|r| a.row(r).0.to_vec()).collect()
+}
+
+/// One seeded closure per matrix generator, shared by both matrix tests so
+/// new generators only need to be registered once.
+fn matrix_generator_set() -> Vec<(&'static str, Box<dyn Fn(u64) -> Csr<f64>>)> {
+    vec![
+        ("uniform", Box::new(|s| mat_gen::uniform(64, 64, 512, s))),
+        ("banded", Box::new(|s| mat_gen::banded(64, 64, 4, 400, s))),
+        (
+            "clustered",
+            Box::new(|s| mat_gen::clustered(64, 64, 400, 6, s)),
+        ),
+        (
+            "block_dense",
+            Box::new(|s| mat_gen::block_dense(64, 64, 400, 4, s)),
+        ),
+        (
+            "power_law",
+            Box::new(|s| mat_gen::power_law(64, 64, 400, 1.5, s)),
+        ),
+    ]
+}
+
+#[test]
+fn matrix_generators_reproduce_for_same_seed() {
+    for (name, f) in &matrix_generator_set() {
+        let a = f(42);
+        let b = f(42);
+        assert_eq!(a, b, "{name}: same seed must give an identical matrix");
+    }
+}
+
+#[test]
+fn matrix_generators_vary_across_seeds() {
+    for (name, f) in &matrix_generator_set() {
+        let a = f(1);
+        let b = f(2);
+        assert_ne!(
+            pattern(&a),
+            pattern(&b),
+            "{name}: different seeds must change the nnz pattern"
+        );
+    }
+}
+
+#[test]
+fn graph_generators_reproduce_for_same_seed() {
+    assert_eq!(
+        graph_gen::rmat(256, 1024, 7),
+        graph_gen::rmat(256, 1024, 7),
+        "rmat: same seed must give an identical graph"
+    );
+    assert_eq!(
+        graph_gen::road_network(256, 512, 7),
+        graph_gen::road_network(256, 512, 7),
+        "road_network: same seed must give an identical graph"
+    );
+}
+
+#[test]
+fn graph_generators_vary_across_seeds() {
+    let a = graph_gen::rmat(256, 1024, 1);
+    let b = graph_gen::rmat(256, 1024, 2);
+    assert_ne!(
+        pattern(a.adjacency()),
+        pattern(b.adjacency()),
+        "rmat: different seeds must change the edge pattern"
+    );
+
+    let r1 = graph_gen::road_network(256, 512, 1);
+    let r2 = graph_gen::road_network(256, 512, 2);
+    assert_ne!(
+        pattern(r1.adjacency()),
+        pattern(r2.adjacency()),
+        "road_network: different seeds must change the edge pattern"
+    );
+}
+
+#[test]
+fn paper_graph_suite_is_deterministic() {
+    let a = graph_gen::generate_graphs(16, 5);
+    let b = graph_gen::generate_graphs(16, 5);
+    assert_eq!(a.len(), b.len());
+    for ((spec_a, ga), (spec_b, gb)) in a.iter().zip(&b) {
+        assert_eq!(spec_a.label(), spec_b.label());
+        assert_eq!(
+            ga,
+            gb,
+            "{}: suite generation must reproduce",
+            spec_a.label()
+        );
+    }
+}

@@ -12,10 +12,8 @@ use smash::sim::CountEngine;
 fn arb_matrix() -> impl Strategy<Value = Csr<f64>> {
     (1usize..48, 1usize..48)
         .prop_flat_map(|(r, c)| {
-            let entries = proptest::collection::vec(
-                (0..r, 0..c, 1u32..1000u32),
-                0..(r * c).min(200),
-            );
+            let entries =
+                proptest::collection::vec((0..r, 0..c, 1u32..1000u32), 0..(r * c).min(200));
             (Just(r), Just(c), entries)
         })
         .prop_map(|(r, c, entries)| {

@@ -42,8 +42,14 @@ fn matrix_market_roundtrip_via_disk_format() {
 #[test]
 fn col_major_and_row_major_encode_the_same_matrix() {
     let a = generators::clustered(96, 80, 700, 4, 17);
-    let rm = SmashMatrix::encode(&a, SmashConfig::new(&[2, 4], Layout::RowMajor).expect("valid"));
-    let cm = SmashMatrix::encode(&a, SmashConfig::new(&[2, 4], Layout::ColMajor).expect("valid"));
+    let rm = SmashMatrix::encode(
+        &a,
+        SmashConfig::new(&[2, 4], Layout::RowMajor).expect("valid"),
+    );
+    let cm = SmashMatrix::encode(
+        &a,
+        SmashConfig::new(&[2, 4], Layout::ColMajor).expect("valid"),
+    );
     assert_eq!(rm.decode(), cm.decode());
     assert_eq!(rm.nnz(), cm.nnz());
 }

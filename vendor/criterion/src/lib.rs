@@ -1,0 +1,243 @@
+//! Offline, API-compatible subset of the `criterion` benchmark harness.
+//!
+//! The build environment has no access to a crates.io registry, so this
+//! vendored stand-in implements the surface the workspace's benches use:
+//! [`Criterion::benchmark_group`], group knobs (`sample_size`,
+//! `warm_up_time`, `measurement_time`, `throughput`), `bench_function`,
+//! `bench_with_input`, [`Bencher::iter`], [`BenchmarkId`], [`Throughput`],
+//! and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Timing is a simple mean over a fixed-duration measurement window —
+//! adequate for relative comparisons, with none of upstream's statistics.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimizing a value away (re-export shim).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Benchmark registry and entry point (subset of `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function(&mut self, name: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        let name = name.into();
+        let mut group = self.benchmark_group(name.clone());
+        group.bench_function(name, |b| f(b));
+        group.finish();
+    }
+}
+
+/// Units-of-work declaration for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group: a function name plus a
+/// displayed parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name and a parameter into an id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples (kept for API compatibility).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration before measurement starts.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Sets the measurement window duration.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Declares the units of work per iteration for throughput output.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function(&mut self, id: impl Display, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut bencher);
+        self.report(&id.to_string(), &bencher);
+    }
+
+    /// Runs one benchmark that borrows a fixed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (upstream renders a summary here).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, b: &Bencher) {
+        let mut line = format!(
+            "bench {}/{}: {:>12.1} ns/iter ({} iters)",
+            self.name, id, b.mean_ns, b.iters
+        );
+        if let Some(t) = self.throughput {
+            let (count, unit) = match t {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            if b.mean_ns > 0.0 {
+                let per_sec = count as f64 / (b.mean_ns * 1e-9);
+                line.push_str(&format!(", {per_sec:>12.0} {unit}/s"));
+            }
+        }
+        println!("{line}");
+    }
+}
+
+/// Timer handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly for the measurement window and records the
+    /// mean wall-clock time per call.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up: run until the warm-up window elapses (at least once).
+        let start = Instant::now();
+        loop {
+            std_black_box(routine());
+            if start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        // Measurement.
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            std_black_box(routine());
+            iters += 1;
+            if start.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+/// Declares a function that runs a list of benchmark functions
+/// (subset of upstream `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a benchmark binary (subset of upstream
+/// `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_smoke() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+}

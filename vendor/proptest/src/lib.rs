@@ -1,0 +1,351 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment has no access to a crates.io registry, so this
+//! vendored stand-in implements the surface the workspace's property tests
+//! use: the [`Strategy`] trait with `prop_map`/`prop_flat_map`, range and
+//! tuple strategies, [`collection::vec`], [`prelude::any`], `Just`, the
+//! `proptest!` macro with `#![proptest_config(..)]`, and the
+//! `prop_assert*`/`prop_assume!` macros.
+//!
+//! Differences from upstream: failing inputs are reported but **not
+//! shrunk**, and the RNG seed is fixed per test function, so runs are
+//! reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Debug;
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// How a single generated test case ended.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` and does not count.
+    Reject,
+    /// An assertion failed; the message explains which.
+    Fail(String),
+}
+
+/// Result type the bodies inside `proptest!` evaluate to.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration (subset of `proptest::test_runner::ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy: Sized {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F> {
+        Map { inner: self, f }
+    }
+
+    /// Feeds generated values into `f` to build a dependent strategy.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F> {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+#[derive(Debug)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of its payload.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, G);
+
+/// Types with a canonical "any value" strategy (subset of
+/// `proptest::arbitrary::Arbitrary`).
+pub trait Arbitrary: Sized {
+    /// The strategy [`prelude::any`] returns for this type.
+    type Strategy: Strategy<Value = Self>;
+    /// Builds the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Strategy over a type's full value space via `rand`'s standard distribution.
+#[derive(Debug)]
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: rand::Standard> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen()
+    }
+}
+
+macro_rules! impl_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = AnyStrategy<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyStrategy(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+impl_arbitrary!(bool, u8, u16, u32, u64, usize, f32, f64);
+
+/// Collection strategies.
+pub mod collection {
+    use super::*;
+
+    /// Strategy for `Vec`s with element strategy `S` and a length drawn from
+    /// a range (subset of `proptest::collection::vec`).
+    #[derive(Debug)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// Generates vectors whose length is drawn from `len`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = if self.len.start >= self.len.end {
+                self.len.start
+            } else {
+                rng.gen_range(self.len.clone())
+            };
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Drives a strategy/closure pair through `config.cases` successful cases.
+/// Called by the `proptest!` macro; not part of the public upstream API.
+pub fn run_cases<S: Strategy>(
+    config: ProptestConfig,
+    strategy: S,
+    test: impl Fn(S::Value) -> TestCaseResult,
+) where
+    S::Value: Debug + Clone,
+{
+    let mut rng = StdRng::seed_from_u64(0x00C0_FFEE_5EED_2019);
+    let mut passed = 0u32;
+    let mut attempts = 0u32;
+    let max_attempts = config.cases.saturating_mul(20).max(1000);
+    while passed < config.cases {
+        attempts += 1;
+        assert!(
+            attempts <= max_attempts,
+            "proptest stub: too many rejected cases ({} rejects for {} passes)",
+            attempts - passed,
+            passed
+        );
+        let value = strategy.generate(&mut rng);
+        let outcome = catch_unwind(AssertUnwindSafe(|| test(value.clone())));
+        match outcome {
+            Ok(Ok(())) => passed += 1,
+            Ok(Err(TestCaseError::Reject)) => continue,
+            Ok(Err(TestCaseError::Fail(msg))) => {
+                panic!("proptest case failed: {msg}\n  input: {value:?}")
+            }
+            Err(payload) => {
+                eprintln!("proptest case panicked; input: {value:?}");
+                resume_unwind(payload);
+            }
+        }
+    }
+}
+
+/// Everything a property test module needs in scope.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+
+    /// The canonical strategy for `T` (subset of `proptest::prelude::any`).
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless the two operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)*),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Fails the current case if the two operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// Discards the current case (it counts as neither pass nor failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Declares property test functions (subset of upstream `proptest!`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { (<$crate::ProptestConfig as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; do not call directly.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_cases($cfg, ($($strat,)+), |($($arg,)+)| {
+                $body
+                ::core::result::Result::Ok(())
+            });
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
