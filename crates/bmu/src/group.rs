@@ -223,8 +223,10 @@ mod tests {
     #[test]
     fn scan_matches_hierarchy_iterator() {
         let h = hierarchy(&[0, 5, 130, 131, 2040, 4095], 4096, &[2, 4, 16]);
-        let mut g = BmuGroup::default();
-        g.ratios = [2, 4, 16];
+        let mut g = BmuGroup {
+            ratios: [2, 4, 16],
+            ..Default::default()
+        };
         g.reset_scan(&h, 0);
         let mut got = Vec::new();
         loop {
@@ -276,9 +278,11 @@ mod tests {
 
     #[test]
     fn latch_indices_uses_padded_stride() {
-        let mut g = BmuGroup::default();
-        g.rows = 4;
-        g.cols = 5; // pads to 6 with b0 = 2
+        let mut g = BmuGroup {
+            rows: 4,
+            cols: 5, // pads to 6 with b0 = 2
+            ..Default::default()
+        };
         g.ratios[0] = 2;
         g.latch_indices(0);
         assert_eq!((g.row_index, g.col_index), (0, 0));

@@ -86,7 +86,7 @@ impl Bitmap {
 
     /// Appends a bit.
     pub fn push(&mut self, value: bool) {
-        if self.len % 64 == 0 {
+        if self.len.is_multiple_of(64) {
             self.words.push(0);
         }
         self.len += 1;

@@ -499,7 +499,7 @@ mod tests {
     fn blocks_are_increasing_and_complete() {
         // Pseudo-random pattern.
         let bits: Vec<usize> = (0..500)
-            .filter(|i| (i * 2654435761usize) % 7 == 0)
+            .filter(|i| (i * 2654435761usize).is_multiple_of(7))
             .collect();
         let bm0 = bm(&bits, 500);
         let h = BitmapHierarchy::from_level0(&bm0, &[2, 4, 16]).unwrap();
@@ -565,7 +565,7 @@ mod tests {
     fn visit_storage_positions_are_monotone_per_level() {
         let bits: Vec<usize> = (0..500).filter(|i| i % 7 == 3).collect();
         let h = BitmapHierarchy::from_level0(&bm(&bits, 500), &[2, 8, 4]).unwrap();
-        let mut last = vec![0usize; 3];
+        let mut last = [0usize; 3];
         for v in h.visits() {
             assert!(
                 v.storage >= last[v.level],

@@ -46,4 +46,4 @@ pub use config::{Layout, SmashConfig, MAX_LEVELS, MAX_RATIO};
 pub use error::SmashError;
 pub use hierarchy::{BitmapHierarchy, Blocks, Visit, Visits};
 pub use nza::Nza;
-pub use smash_matrix::SmashMatrix;
+pub use smash_matrix::{for_each_line_block, SmashMatrix};

@@ -1,6 +1,36 @@
 use crate::{Bitmap, BitmapHierarchy, Layout, Nza, SmashConfig, SmashError};
 use smash_matrix::{Coo, Csr, Dense, Scalar};
 
+/// Invokes `f(local_block_index, block_values)` for each occupied block of
+/// one line, in block order. `offsets`/`values` are the line's sorted
+/// entries; `block` is a caller-provided scratch buffer of length `b0`
+/// whose contents are the zero-padded block at each invocation.
+///
+/// Both the serial encoder ([`SmashMatrix::encode`]) and the parallel one
+/// (`smash_parallel::par_csr_to_smash`) build their NZA through this single
+/// routine — sharing it is what keeps the two bit-identical.
+pub fn for_each_line_block<T: Scalar>(
+    offsets: &[u32],
+    values: &[T],
+    block: &mut [T],
+    mut f: impl FnMut(usize, &[T]),
+) {
+    let b0 = block.len();
+    let mut k = 0usize;
+    while k < offsets.len() {
+        // Entries are sorted, so each occupied block's elements are
+        // consecutive.
+        let blk = offsets[k] as usize / b0;
+        let block_start = blk * b0;
+        block.iter_mut().for_each(|v| *v = T::ZERO);
+        while k < offsets.len() && (offsets[k] as usize) < block_start + b0 {
+            block[offsets[k] as usize - block_start] = values[k];
+            k += 1;
+        }
+        f(blk, block);
+    }
+}
+
 /// A sparse matrix compressed with the SMASH encoding: a hierarchy of
 /// bitmaps plus the Non-Zero Values Array (paper §3.2, §4.1).
 ///
@@ -76,30 +106,16 @@ impl<T: Scalar> SmashMatrix<T> {
             .expect("config was validated at construction");
 
         // Pass 2: fill the NZA in bit order (which is line order, then block
-        // order within the line).
+        // order within the line), through the per-line routine shared with
+        // the parallel encoder.
         let mut nza = Nza::new(b0);
         let mut block = vec![T::ZERO; b0];
         for line in 0..lines {
             let (offsets, values) = line_entries(line);
-            let mut k = 0usize; // cursor into this line's entries
-            let base = line * blocks_per_line;
-            let mut bit = bm0.next_one(base);
-            while let Some(idx) = bit {
-                if idx >= base + blocks_per_line {
-                    break;
-                }
-                let block_start = (idx - base) * b0;
-                block.iter_mut().for_each(|v| *v = T::ZERO);
-                while k < offsets.len() && (offsets[k] as usize) < block_start + b0 {
-                    let o = offsets[k] as usize;
-                    debug_assert!(o >= block_start, "entries must be sorted");
-                    block[o - block_start] = values[k];
-                    k += 1;
-                }
-                nza.push_block(&block);
-                bit = bm0.next_one(idx + 1);
-            }
-            debug_assert_eq!(k, offsets.len(), "all line entries consumed");
+            for_each_line_block(offsets, values, &mut block, |blk, vals| {
+                debug_assert!(bm0.get(line * blocks_per_line + blk), "pass 1 marked it");
+                nza.push_block(vals);
+            });
         }
 
         SmashMatrix {
@@ -109,6 +125,34 @@ impl<T: Scalar> SmashMatrix<T> {
             hierarchy,
             nza,
         }
+    }
+
+    /// Assembles a matrix from an already-built hierarchy and NZA,
+    /// validating every structural invariant. This is the constructor the
+    /// parallel encoder (`smash-parallel`) uses after its workers have
+    /// produced the per-range bitmap segments and value blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmashError::Inconsistent`] if the parts disagree (NZA
+    /// block count vs Bitmap-0 population, block size vs configuration,
+    /// or bitmap extent vs the padded matrix shape).
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        config: SmashConfig,
+        hierarchy: BitmapHierarchy,
+        nza: Nza<T>,
+    ) -> Result<Self, SmashError> {
+        let out = SmashMatrix {
+            rows,
+            cols,
+            config,
+            hierarchy,
+            nza,
+        };
+        out.validate()?;
+        Ok(out)
     }
 
     /// Decompresses back to CSR. Explicit zeros inside NZA blocks are
@@ -240,7 +284,13 @@ impl<T: Scalar> SmashMatrix<T> {
     /// rank of each line's first bit in the full Bitmap-0. SpMM uses this to
     /// address a line's blocks directly.
     pub fn line_block_starts(&self) -> Vec<u32> {
-        let full = self.full_bitmap0();
+        self.line_block_starts_in(&self.full_bitmap0())
+    }
+
+    /// Like [`line_block_starts`](SmashMatrix::line_block_starts), but
+    /// reusing an already-expanded Bitmap-0 so callers that need both (the
+    /// parallel SpMV) expand the hierarchy only once.
+    pub fn line_block_starts_in(&self, full: &Bitmap) -> Vec<u32> {
         let bpl = self.blocks_per_line();
         let mut starts = Vec::with_capacity(self.line_count() + 1);
         let mut acc = 0u32;

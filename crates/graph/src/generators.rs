@@ -191,7 +191,7 @@ mod tests {
         let max_degree = (0..g.vertices()).map(|u| g.out_degree(u)).max().unwrap();
         assert!(max_degree <= 10, "max degree {max_degree}");
         let avg = g.edges() as f64 / g.vertices() as f64;
-        assert!(avg >= 3.0 && avg <= 5.0, "average degree {avg}");
+        assert!((3.0..=5.0).contains(&avg), "average degree {avg}");
     }
 
     #[test]

@@ -22,8 +22,10 @@ pub mod bc;
 pub mod generators;
 mod graph;
 pub mod pagerank;
+pub mod parallel;
 
 pub use bc::{betweenness, betweenness_reference, BcConfig};
 pub use generators::{generate_graphs, paper_graphs, GraphSpec};
 pub use graph::Graph;
 pub use pagerank::{pagerank, pagerank_reference, GraphMechanism, PageRankConfig};
+pub use parallel::{betweenness_parallel, pagerank_parallel};

@@ -11,6 +11,10 @@
 //!   the host (the paper's real-system Fig. 9 experiment and the Criterion
 //!   benches).
 //!
+//! The [`parallel`] module adds multi-threaded variants of the native hot
+//! paths (via `smash-parallel`) that stay bit-identical to the serial
+//! kernels at every thread count.
+//!
 //! The [`harness`] module dispatches by [`Mechanism`], building the right
 //! operand encodings (CSR, 2x2 BCSR, SMASH bitmaps + NZA) internally.
 //!
@@ -37,6 +41,7 @@ pub mod common;
 pub mod convert;
 pub mod harness;
 pub mod native;
+pub mod parallel;
 pub mod spadd;
 pub mod spmm;
 pub mod spmv;

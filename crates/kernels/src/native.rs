@@ -22,13 +22,13 @@ use smash_matrix::{Bcsr, Coo, Csc, Csr};
 pub fn spmv_csr(a: &Csr<f64>, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), a.cols());
     assert_eq!(y.len(), a.rows());
-    for i in 0..a.rows() {
+    for (i, yi) in y.iter_mut().enumerate() {
         let (cols, vals) = a.row(i);
         let mut acc = 0.0;
         for (&c, &v) in cols.iter().zip(vals) {
             acc += v * x[c as usize];
         }
-        y[i] = acc;
+        *yi = acc;
     }
 }
 
@@ -43,7 +43,7 @@ pub fn spmv_csr_opt(a: &Csr<f64>, x: &[f64], y: &mut [f64]) {
     assert_eq!(y.len(), a.rows());
     let col_ind = a.col_ind();
     let values = a.values();
-    for i in 0..a.rows() {
+    for (i, yi) in y.iter_mut().enumerate() {
         let lo = a.row_ptr()[i] as usize;
         let hi = a.row_ptr()[i + 1] as usize;
         let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
@@ -60,7 +60,7 @@ pub fn spmv_csr_opt(a: &Csr<f64>, x: &[f64], y: &mut [f64]) {
             acc += values[j] * x[col_ind[j] as usize];
             j += 1;
         }
-        y[i] = acc;
+        *yi = acc;
     }
 }
 

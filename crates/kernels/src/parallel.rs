@@ -1,0 +1,28 @@
+//! Parallel variants of the [`native`](crate::native) hot paths,
+//! re-exported from `smash-parallel`.
+//!
+//! Each `par_*` kernel takes a [`ThreadPool`] and produces output that is
+//! **bit-identical** to its serial counterpart at every thread count:
+//! workers own disjoint contiguous row ranges (balanced by non-zero
+//! count), and each row is computed by the serial loop body in serial
+//! order, so no floating-point addition is ever reordered.
+//!
+//! # Example
+//!
+//! ```
+//! use smash_kernels::{native, parallel};
+//! use smash_matrix::generators;
+//!
+//! let a = generators::uniform(64, 64, 400, 1);
+//! let x = vec![1.0; 64];
+//! let pool = parallel::ThreadPool::new(4);
+//! let (mut serial, mut par) = (vec![0.0; 64], vec![0.0; 64]);
+//! native::spmv_csr(&a, &x, &mut serial);
+//! parallel::par_spmv_csr(&pool, &a, &x, &mut par);
+//! assert_eq!(serial, par); // bit-identical
+//! ```
+
+pub use smash_parallel::{
+    default_threads, par_csr_to_smash, par_spmm_csr, par_spmv_bcsr, par_spmv_csr, par_spmv_smash,
+    partition_by_weight, partition_rows, Scope, ThreadPool, THREADS_ENV,
+};

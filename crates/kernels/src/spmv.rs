@@ -28,7 +28,7 @@ pub fn spmv_csr<E: Engine>(e: &mut E, a: &Csr<f64>, x: &[f64]) -> Vec<f64> {
     // Hoisted load of row_ptr[0].
     let mut hi_load = e.load(streams::PTR, row_ptr_a, &[]);
     let _ = hi_load;
-    for i in 0..rows {
+    for (i, yi) in y.iter_mut().enumerate() {
         let lo = a.row_ptr()[i] as u64;
         let (cols_i, vals_i) = a.row(i);
         // Load row_ptr[i + 1]; the inner-loop bound depends on it.
@@ -51,7 +51,7 @@ pub fn spmv_csr<E: Engine>(e: &mut E, a: &Csr<f64>, x: &[f64]) -> Vec<f64> {
             e.alu(&[]); // jA++
             e.branch(sites::SPMV_INNER, k + 1 < n, &[hi_load]);
         }
-        y[i] = yv;
+        *yi = yv;
         e.store(streams::OUT, y_a + 8 * i as u64, &[acc]);
         e.alu(&[]); // i++
         e.branch(sites::SPMV_OUTER, i + 1 < rows, &[]);
@@ -71,7 +71,7 @@ pub fn spmv_ideal<E: Engine>(e: &mut E, a: &Csr<f64>, x: &[f64]) -> Vec<f64> {
 
     let mut y = vec![0.0f64; rows];
     let mut j = 0u64;
-    for i in 0..rows {
+    for (i, yi) in y.iter_mut().enumerate() {
         let (cols_i, vals_i) = a.row(i);
         let mut acc = UopId::NONE;
         let mut yv = 0.0f64;
@@ -87,7 +87,7 @@ pub fn spmv_ideal<E: Engine>(e: &mut E, a: &Csr<f64>, x: &[f64]) -> Vec<f64> {
             e.branch(sites::SPMV_INNER, k + 1 < n, &[]);
             j += 1;
         }
-        y[i] = yv;
+        *yi = yv;
         e.store(streams::OUT, y_a + 8 * i as u64, &[acc]);
         e.branch(sites::SPMV_OUTER, i + 1 < rows, &[]);
     }
@@ -289,8 +289,8 @@ pub fn spmv_hw_smash<E: Engine>(
     let x_a = e.alloc(8 * x.len(), 64);
     let y_a = e.alloc(8 * a.rows(), 64);
     let mut level_addrs = [0u64; MAX_HW_LEVELS];
-    for l in 0..levels {
-        level_addrs[l] = e.alloc(a.hierarchy().stored_level(l).len().div_ceil(8), 64);
+    for (l, addr) in level_addrs.iter_mut().enumerate().take(levels) {
+        *addr = e.alloc(a.hierarchy().stored_level(l).len().div_ceil(8), 64);
     }
     let binding = BmuBinding {
         hierarchy: a.hierarchy(),

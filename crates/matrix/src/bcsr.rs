@@ -81,7 +81,7 @@ impl<T: Scalar> Bcsr<T> {
             for &bc in &occupied {
                 tile_of_block_col.push((bc, values.len()));
                 block_col_ind.push(bc);
-                values.extend(std::iter::repeat(T::ZERO).take(block_size));
+                values.extend(std::iter::repeat_n(T::ZERO, block_size));
             }
             // Scatter values into tiles.
             for r in r_lo..r_hi {

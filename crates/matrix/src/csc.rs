@@ -174,8 +174,7 @@ impl<T: Scalar> Csc<T> {
     pub fn spmv(&self, x: &[T]) -> Vec<T> {
         assert_eq!(x.len(), self.cols, "vector length must equal cols");
         let mut y = vec![T::ZERO; self.rows];
-        for j in 0..self.cols {
-            let xj = x[j];
+        for (j, &xj) in x.iter().enumerate() {
             if xj.is_zero() {
                 continue;
             }

@@ -295,13 +295,13 @@ impl<T: Scalar> Csr<T> {
     pub fn spmv(&self, x: &[T]) -> Vec<T> {
         assert_eq!(x.len(), self.cols, "vector length must equal cols");
         let mut y = vec![T::ZERO; self.rows];
-        for i in 0..self.rows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let (cols, vals) = self.row(i);
             let mut acc = T::ZERO;
             for (&c, &v) in cols.iter().zip(vals) {
                 acc = v.mul_add(x[c as usize], acc);
             }
-            y[i] = acc;
+            *yi = acc;
         }
         y
     }
@@ -322,35 +322,48 @@ impl<T: Scalar> Csr<T> {
         }
         let mut c = Coo::new(self.rows, b.cols());
         for i in 0..self.rows {
-            let (a_cols, a_vals) = self.row(i);
-            if a_cols.is_empty() {
-                continue;
-            }
-            for j in 0..b.cols() {
-                let (b_rows, b_vals) = b.col(j);
-                // Index matching: advance two sorted cursors.
-                let (mut p, mut q) = (0usize, 0usize);
-                let mut acc = T::ZERO;
-                let mut hit = false;
-                while p < a_cols.len() && q < b_rows.len() {
-                    match a_cols[p].cmp(&b_rows[q]) {
-                        std::cmp::Ordering::Less => p += 1,
-                        std::cmp::Ordering::Greater => q += 1,
-                        std::cmp::Ordering::Equal => {
-                            acc = a_vals[p].mul_add(b_vals[q], acc);
-                            hit = true;
-                            p += 1;
-                            q += 1;
-                        }
-                    }
-                }
-                if hit && !acc.is_zero() {
-                    c.push(i, j, acc);
-                }
-            }
+            self.spmm_inner_row(i, b, |j, acc| c.push(i, j, acc));
         }
         c.compress();
         Ok(c)
+    }
+
+    /// Computes one row of the inner-product SpMM against `b` (CSC),
+    /// invoking `emit(col, dot)` for each surviving output entry in column
+    /// order. Both [`spmm_inner`](Csr::spmm_inner) and the parallel SpMM
+    /// (`smash_parallel::par_spmm_csr`) drive this single row routine —
+    /// sharing it is what keeps the two bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn spmm_inner_row(&self, i: usize, b: &Csc<T>, mut emit: impl FnMut(usize, T)) {
+        let (a_cols, a_vals) = self.row(i);
+        if a_cols.is_empty() {
+            return;
+        }
+        for j in 0..b.cols() {
+            let (b_rows, b_vals) = b.col(j);
+            // Index matching: advance two sorted cursors.
+            let (mut p, mut q) = (0usize, 0usize);
+            let mut acc = T::ZERO;
+            let mut hit = false;
+            while p < a_cols.len() && q < b_rows.len() {
+                match a_cols[p].cmp(&b_rows[q]) {
+                    std::cmp::Ordering::Less => p += 1,
+                    std::cmp::Ordering::Greater => q += 1,
+                    std::cmp::Ordering::Equal => {
+                        acc = a_vals[p].mul_add(b_vals[q], acc);
+                        hit = true;
+                        p += 1;
+                        q += 1;
+                    }
+                }
+            }
+            if hit && !acc.is_zero() {
+                emit(j, acc);
+            }
+        }
     }
 
     /// Reference sparse matrix addition `C = A + B` (merge of sorted rows).

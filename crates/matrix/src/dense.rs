@@ -135,12 +135,12 @@ impl<T: Scalar> Dense<T> {
     pub fn spmv(&self, x: &[T]) -> Vec<T> {
         assert_eq!(x.len(), self.cols, "vector length must equal cols");
         let mut y = vec![T::ZERO; self.rows];
-        for i in 0..self.rows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let mut acc = T::ZERO;
             for (a, &b) in self.row(i).iter().zip(x) {
                 acc += *a * b;
             }
-            y[i] = acc;
+            *yi = acc;
         }
         y
     }

@@ -101,7 +101,7 @@ mod tests {
                 line: 3,
                 message: "expected 3 fields".into(),
             },
-            MatrixError::Io(std::io::Error::new(std::io::ErrorKind::Other, "x")),
+            MatrixError::Io(std::io::Error::other("x")),
         ];
         for e in errs {
             let s = e.to_string();
@@ -113,7 +113,7 @@ mod tests {
     #[test]
     fn io_error_has_source() {
         use std::error::Error;
-        let e = MatrixError::Io(std::io::Error::new(std::io::ErrorKind::Other, "disk"));
+        let e = MatrixError::Io(std::io::Error::other("disk"));
         assert!(e.source().is_some());
     }
 }

@@ -1,0 +1,406 @@
+//! Parallel variants of the native hot paths.
+//!
+//! Every kernel here is **bit-identical** to its serial counterpart in
+//! `smash_kernels::native` (or `SmashMatrix::encode` for the compressor)
+//! at every thread count. Two properties make that hold:
+//!
+//! 1. the matrix is split into *contiguous* line ranges (see
+//!    [`partition_by_weight`](crate::partition_by_weight)), balanced by
+//!    non-zero count, and each worker writes a disjoint slice of the
+//!    output, so no reduction across threads ever reorders floating-point
+//!    additions; and
+//! 2. within a range, each line is computed by exactly the serial loop
+//!    body, in the serial order.
+//!
+//! The partition depends only on the matrix and the pool's thread count,
+//! never on scheduling, so repeated runs are deterministic too.
+
+use crate::partition::{partition_by_weight, partition_rows};
+use crate::pool::ThreadPool;
+use smash_core::{for_each_line_block, BitmapHierarchy, Layout, Nza, SmashConfig, SmashMatrix};
+use smash_matrix::{Bcsr, Coo, Csc, Csr};
+
+/// Parallel plain CSR SpMV; bit-identical to
+/// [`spmv_csr`](../../smash_kernels/native/fn.spmv_csr.html) at any
+/// thread count.
+///
+/// # Panics
+///
+/// Panics if `x.len() != a.cols()` or `y.len() != a.rows()`.
+pub fn par_spmv_csr(pool: &ThreadPool, a: &Csr<f64>, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), a.cols());
+    assert_eq!(y.len(), a.rows());
+    let ranges = partition_rows(a.row_ptr(), pool.threads());
+    pool.scoped(|s| {
+        let mut rest = y;
+        for range in ranges {
+            let (chunk, tail) = rest.split_at_mut(range.len());
+            rest = tail;
+            s.execute(move || {
+                let lo = range.start;
+                for i in range {
+                    let (cols, vals) = a.row(i);
+                    let mut acc = 0.0;
+                    for (&c, &v) in cols.iter().zip(vals) {
+                        acc += v * x[c as usize];
+                    }
+                    chunk[i - lo] = acc;
+                }
+            });
+        }
+    });
+}
+
+/// Parallel BCSR SpMV over block-row ranges; bit-identical to
+/// [`spmv_bcsr`](../../smash_kernels/native/fn.spmv_bcsr.html) at any
+/// thread count.
+///
+/// # Panics
+///
+/// Panics if `x.len() != a.cols()` or `y.len() != a.rows()`.
+pub fn par_spmv_bcsr(pool: &ThreadPool, a: &Bcsr<f64>, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), a.cols());
+    assert_eq!(y.len(), a.rows());
+    let (br, bc) = a.block_shape();
+    let bs = br * bc;
+    let vals = a.values();
+    let ind = a.block_col_ind();
+    let ptr = a.block_row_ptr();
+    let rows = a.rows();
+    let cols = a.cols();
+    let ranges = partition_rows(ptr, pool.threads());
+    pool.scoped(|s| {
+        let mut rest = y;
+        let mut consumed = 0usize;
+        for range in ranges {
+            // Block-row range [range.start, range.end) covers matrix rows
+            // up to min(range.end * br, rows) — the last block row may be
+            // clipped.
+            let row_hi = (range.end * br).min(rows);
+            let (chunk, tail) = rest.split_at_mut(row_hi - consumed);
+            let row_lo = consumed;
+            consumed = row_hi;
+            rest = tail;
+            s.execute(move || {
+                chunk.fill(0.0);
+                for bi in range {
+                    let (lo, hi) = (ptr[bi] as usize, ptr[bi + 1] as usize);
+                    let ybase = bi * br - row_lo;
+                    for k in lo..hi {
+                        let cbase = ind[k] as usize * bc;
+                        let tile = &vals[k * bs..(k + 1) * bs];
+                        if bi * br + br <= rows && cbase + bc <= cols {
+                            // Interior block: no edge clipping.
+                            let xs = &x[cbase..cbase + bc];
+                            for lr in 0..br {
+                                let trow = &tile[lr * bc..(lr + 1) * bc];
+                                let mut acc = 0.0;
+                                for (t, xv) in trow.iter().zip(xs) {
+                                    acc += t * xv;
+                                }
+                                chunk[ybase + lr] += acc;
+                            }
+                        } else {
+                            for lr in 0..br.min(rows - bi * br) {
+                                let mut acc = 0.0;
+                                for lc in 0..bc.min(cols - cbase) {
+                                    acc += tile[lr * bc + lc] * x[cbase + lc];
+                                }
+                                chunk[ybase + lr] += acc;
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        // Rows beyond the last block row cannot exist (BCSR pads upward),
+        // but guard against an all-empty matrix with zero block rows.
+        rest.fill(0.0);
+    });
+}
+
+/// Parallel software-SMASH SpMV, scanning the expanded Bitmap-0 per line
+/// range with the NZA cursor seeded from the per-line block ranks;
+/// bit-identical to
+/// [`spmv_smash`](../../smash_kernels/native/fn.spmv_smash.html) at any
+/// thread count.
+///
+/// # Panics
+///
+/// Panics if `x.len() != a.cols()`, `y.len() != a.rows()`, or the matrix
+/// is not row-major.
+pub fn par_spmv_smash(pool: &ThreadPool, a: &SmashMatrix<f64>, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), a.cols());
+    assert_eq!(y.len(), a.rows());
+    assert_eq!(a.config().layout(), Layout::RowMajor, "row-major SpMV");
+    let b0 = a.config().block_size();
+    let bpl = a.blocks_per_line();
+    let cols = a.cols();
+    let nza = a.nza().values();
+    // The expanded Bitmap-0 and the per-line block ranks let each worker
+    // start its scan mid-matrix: line `l`'s first block is NZA ordinal
+    // `starts[l]`, and its bits live in [l * bpl, (l + 1) * bpl).
+    let full = a.full_bitmap0();
+    let starts = a.line_block_starts_in(&full);
+    let ranges = partition_by_weight(a.rows(), pool.threads(), |l| {
+        u64::from(starts[l + 1] - starts[l])
+    });
+    pool.scoped(|s| {
+        let mut rest = y;
+        for range in ranges {
+            let (chunk, tail) = rest.split_at_mut(range.len());
+            rest = tail;
+            let full = &full;
+            let starts = &starts;
+            s.execute(move || {
+                chunk.fill(0.0);
+                let mut ordinal = starts[range.start] as usize;
+                let hi_bit = range.end * bpl;
+                let mut bit = full.next_one(range.start * bpl);
+                while let Some(logical) = bit {
+                    if logical >= hi_bit {
+                        break;
+                    }
+                    let row = logical / bpl;
+                    let col = (logical % bpl) * b0;
+                    let block = &nza[ordinal * b0..(ordinal + 1) * b0];
+                    let n = b0.min(cols - col);
+                    let mut acc = 0.0;
+                    for k in 0..n {
+                        acc += block[k] * x[col + k];
+                    }
+                    chunk[row - range.start] += acc;
+                    ordinal += 1;
+                    bit = full.next_one(logical + 1);
+                }
+            });
+        }
+    });
+}
+
+/// Inner-product SpMM over one row range, driving the same
+/// [`Csr::spmm_inner_row`] routine as the serial `spmm_inner`.
+fn spmm_rows(a: &Csr<f64>, b: &Csc<f64>, rows: std::ops::Range<usize>) -> Vec<(u32, u32, f64)> {
+    let mut out = Vec::new();
+    for i in rows {
+        a.spmm_inner_row(i, b, |j, acc| out.push((i as u32, j as u32, acc)));
+    }
+    out
+}
+
+/// Parallel inner-product SpMM (`C = A * B`, `B` in CSC form) over row
+/// ranges of `A`; bit-identical to
+/// [`spmm_csr`](../../smash_kernels/native/fn.spmm_csr.html) at any
+/// thread count: per-range triplet lists are concatenated in row order, so
+/// the resulting COO matches the serial construction entry for entry.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn par_spmm_csr(pool: &ThreadPool, a: &Csr<f64>, b: &Csc<f64>) -> Coo<f64> {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let ranges = partition_rows(a.row_ptr(), pool.threads());
+    let mut chunks: Vec<Vec<(u32, u32, f64)>> = vec![Vec::new(); ranges.len()];
+    pool.scoped(|s| {
+        for (range, slot) in ranges.iter().cloned().zip(chunks.iter_mut()) {
+            s.execute(move || *slot = spmm_rows(a, b, range));
+        }
+    });
+    let nnz = chunks.iter().map(Vec::len).sum();
+    let mut c = Coo::with_capacity(a.rows(), b.cols(), nnz);
+    for (i, j, v) in chunks.into_iter().flatten() {
+        c.push(i as usize, j as usize, v);
+    }
+    c.compress();
+    c
+}
+
+/// Parallel CSR → SMASH compression; the produced matrix is `==` to
+/// `SmashMatrix::encode(a, config)` (same bitmap hierarchy, same NZA
+/// block order and padding) at any thread count.
+///
+/// Workers discover the occupied blocks and materialize the NZA values
+/// for disjoint line ranges; the main thread splices the per-range
+/// results in line order and builds the upper bitmap levels once.
+pub fn par_csr_to_smash(pool: &ThreadPool, a: &Csr<f64>, config: SmashConfig) -> SmashMatrix<f64> {
+    match config.layout() {
+        Layout::RowMajor => par_encode_lines(pool, a.rows(), a.cols(), config, |l| a.row(l)),
+        Layout::ColMajor => {
+            // Column-major encoding walks the CSC transpose-view, exactly
+            // like the serial encoder.
+            let csc = a.to_csc();
+            par_encode_lines(pool, a.rows(), a.cols(), config, |l| csc.col(l))
+        }
+    }
+}
+
+/// Shared parallel encoder over an abstract "line" accessor (CSR rows or
+/// CSC columns), mirroring `SmashMatrix::encode_lines`.
+fn par_encode_lines<'m, F>(
+    pool: &ThreadPool,
+    rows: usize,
+    cols: usize,
+    config: SmashConfig,
+    line_entries: F,
+) -> SmashMatrix<f64>
+where
+    F: Fn(usize) -> (&'m [u32], &'m [f64]) + Sync,
+{
+    let b0 = config.block_size();
+    let (lines, line_len) = match config.layout() {
+        Layout::RowMajor => (rows, cols),
+        Layout::ColMajor => (cols, rows),
+    };
+    let bpl = line_len.div_ceil(b0);
+    let ranges = partition_by_weight(lines, pool.threads(), |l| line_entries(l).0.len() as u64);
+    // Per range: the logical Bitmap-0 indices of occupied blocks plus the
+    // flattened (zero-padded) block values, both in bit order.
+    let mut parts: Vec<(Vec<usize>, Vec<f64>)> = vec![Default::default(); ranges.len()];
+    pool.scoped(|s| {
+        for (range, slot) in ranges.iter().cloned().zip(parts.iter_mut()) {
+            let line_entries = &line_entries;
+            s.execute(move || {
+                let mut bits = Vec::new();
+                let mut vals = Vec::new();
+                let mut block = vec![0.0f64; b0];
+                for line in range {
+                    let (offsets, values) = line_entries(line);
+                    let base = line * bpl;
+                    // The same per-line routine the serial encoder uses —
+                    // sharing it keeps the two bit-identical.
+                    for_each_line_block(offsets, values, &mut block, |blk, block_vals| {
+                        bits.push(base + blk);
+                        vals.extend_from_slice(block_vals);
+                    });
+                }
+                *slot = (bits, vals);
+            });
+        }
+    });
+    let mut bm0 = smash_core::Bitmap::zeros(lines * bpl);
+    let mut all_vals = Vec::with_capacity(parts.iter().map(|(_, v)| v.len()).sum());
+    for (bits, vals) in &parts {
+        for &bit in bits {
+            bm0.set(bit, true);
+        }
+        all_vals.extend_from_slice(vals);
+    }
+    let hierarchy = BitmapHierarchy::from_level0(&bm0, config.ratios())
+        .expect("config was validated at construction");
+    let nza = Nza::from_values(b0, all_vals);
+    SmashMatrix::from_parts(rows, cols, config, hierarchy, nza)
+        .expect("parallel encoder preserves all invariants")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smash_matrix::generators;
+
+    fn test_vector(n: usize) -> Vec<f64> {
+        (0..n).map(|i| 1.0 + (i % 7) as f64 * 0.25).collect()
+    }
+
+    fn pools() -> Vec<ThreadPool> {
+        [1, 2, 3, 8].map(ThreadPool::new).into_iter().collect()
+    }
+
+    #[test]
+    fn par_spmv_csr_is_bit_identical_to_serial() {
+        let a = generators::power_law(96, 80, 700, 1.3, 11);
+        let x = test_vector(80);
+        let mut want = vec![0.0; 96];
+        // Serial reference: the same per-row loop on one thread.
+        par_spmv_csr(&ThreadPool::new(1), &a, &x, &mut want);
+        for pool in pools() {
+            let mut y = vec![1.0; 96];
+            par_spmv_csr(&pool, &a, &x, &mut y);
+            assert_eq!(y, want, "threads = {}", pool.threads());
+        }
+    }
+
+    #[test]
+    fn par_spmv_bcsr_matches_one_thread_exactly() {
+        let a = generators::clustered(70, 66, 500, 5, 3);
+        let bcsr = Bcsr::from_csr(&a, 2, 2).unwrap();
+        let x = test_vector(66);
+        let mut want = vec![0.0; 70];
+        par_spmv_bcsr(&ThreadPool::new(1), &bcsr, &x, &mut want);
+        for pool in pools() {
+            let mut y = vec![9.0; 70];
+            par_spmv_bcsr(&pool, &bcsr, &x, &mut y);
+            assert_eq!(y, want, "threads = {}", pool.threads());
+        }
+    }
+
+    #[test]
+    fn par_spmv_smash_matches_one_thread_exactly() {
+        let a = generators::banded(90, 90, 5, 600, 7);
+        let sm = SmashMatrix::encode(&a, SmashConfig::row_major(&[2, 4, 16]).unwrap());
+        let x = test_vector(90);
+        let mut want = vec![0.0; 90];
+        par_spmv_smash(&ThreadPool::new(1), &sm, &x, &mut want);
+        for pool in pools() {
+            let mut y = vec![-3.0; 90];
+            par_spmv_smash(&pool, &sm, &x, &mut y);
+            assert_eq!(y, want, "threads = {}", pool.threads());
+        }
+    }
+
+    #[test]
+    fn par_spmm_csr_matches_serial_spmm_inner() {
+        let a = generators::uniform(40, 50, 400, 7);
+        let b = generators::uniform(50, 30, 350, 8);
+        let bc = b.to_csc();
+        let want = a.spmm_inner(&bc).unwrap();
+        for pool in pools() {
+            let got = par_spmm_csr(&pool, &a, &bc);
+            assert_eq!(
+                got.entries(),
+                want.entries(),
+                "threads = {}",
+                pool.threads()
+            );
+        }
+    }
+
+    #[test]
+    fn par_compression_equals_serial_encode() {
+        let a = generators::clustered(64, 72, 600, 4, 21);
+        for ratios in [&[2u32][..], &[4, 4], &[2, 4, 16]] {
+            let cfg = SmashConfig::row_major(ratios).unwrap();
+            let want = SmashMatrix::encode(&a, cfg.clone());
+            for pool in pools() {
+                let got = par_csr_to_smash(&pool, &a, cfg.clone());
+                assert_eq!(got, want, "ratios {ratios:?}, threads {}", pool.threads());
+            }
+        }
+    }
+
+    #[test]
+    fn par_compression_handles_col_major() {
+        let a = generators::uniform(37, 53, 400, 9);
+        let cfg = SmashConfig::col_major(&[2, 4]).unwrap();
+        let want = SmashMatrix::encode(&a, cfg.clone());
+        for pool in pools() {
+            let got = par_csr_to_smash(&pool, &a, cfg.clone());
+            assert_eq!(got, want, "threads {}", pool.threads());
+        }
+    }
+
+    #[test]
+    fn empty_matrix_is_handled_by_all_kernels() {
+        let a = Csr::<f64>::from_coo(&Coo::new(16, 16));
+        let pool = ThreadPool::new(4);
+        let mut y = vec![5.0; 16];
+        par_spmv_csr(&pool, &a, &test_vector(16), &mut y);
+        assert!(y.iter().all(|&v| v == 0.0));
+        let sm = par_csr_to_smash(&pool, &a, SmashConfig::row_major(&[2, 4]).unwrap());
+        assert_eq!(
+            sm,
+            SmashMatrix::encode(&a, SmashConfig::row_major(&[2, 4]).unwrap())
+        );
+        let c = par_spmm_csr(&pool, &a, &a.to_csc());
+        assert_eq!(c.nnz(), 0);
+    }
+}

@@ -1,0 +1,430 @@
+//! A small scoped thread pool built on `std::thread` and channels.
+//!
+//! The build environment has no registry access, so this vendored-style
+//! module replaces `rayon`/`scoped_threadpool` with the few hundred lines
+//! the parallel kernels actually need: a fixed set of workers fed through
+//! an `mpsc` channel, a scoped spawn API that can borrow from the caller's
+//! stack, panic propagation back to the caller, clean shutdown on drop and
+//! a `SMASH_THREADS` environment override.
+
+use std::any::Any;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// Name of the environment variable overriding the worker count.
+pub const THREADS_ENV: &str = "SMASH_THREADS";
+
+/// Worker count used when none is given explicitly: the `SMASH_THREADS`
+/// environment variable if set to a positive integer, otherwise the
+/// machine's available parallelism.
+pub fn default_threads() -> usize {
+    match std::env::var(THREADS_ENV) {
+        Ok(s) => match s.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => hardware_threads(),
+        },
+        Err(_) => hardware_threads(),
+    }
+}
+
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of worker threads with a scoped execution API.
+///
+/// A pool of one thread spawns no workers at all: every job runs inline on
+/// the calling thread, so `SMASH_THREADS=1` degenerates to fully serial
+/// execution.
+///
+/// # Example
+///
+/// ```
+/// use smash_parallel::ThreadPool;
+///
+/// let pool = ThreadPool::new(4);
+/// let mut parts = [0u64; 4];
+/// pool.scoped(|scope| {
+///     for (i, slot) in parts.iter_mut().enumerate() {
+///         scope.execute(move || *slot = i as u64 + 1);
+///     }
+/// });
+/// assert_eq!(parts.iter().sum::<u64>(), 10);
+/// ```
+#[derive(Debug)]
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Creates a pool with `threads` workers. `0` means "use
+    /// [`default_threads`]" (which honours `SMASH_THREADS`).
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            default_threads()
+        } else {
+            threads
+        };
+        if threads == 1 {
+            return ThreadPool {
+                sender: None,
+                workers: Vec::new(),
+                threads: 1,
+            };
+        }
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("smash-worker-{i}"))
+                    .spawn(move || loop {
+                        // Hold the receiver lock only while dequeuing, not
+                        // while running the job.
+                        let job = {
+                            let guard = lock(&receiver);
+                            guard.recv()
+                        };
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => break, // pool dropped: shut down
+                        }
+                    })
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+        ThreadPool {
+            sender: Some(sender),
+            workers,
+            threads,
+        }
+    }
+
+    /// Creates a pool sized by [`default_threads`] (`SMASH_THREADS` if set,
+    /// else the machine's available parallelism).
+    pub fn with_default_threads() -> Self {
+        Self::new(default_threads())
+    }
+
+    /// Number of threads jobs may run on (including the inline-serial case
+    /// of a 1-thread pool).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` with a [`Scope`] on which borrowing jobs can be spawned.
+    ///
+    /// Returns only after every spawned job has completed, which is what
+    /// makes lending stack data to the workers sound. If any job panicked,
+    /// the first panic payload is re-raised on the calling thread after all
+    /// jobs have finished — a worker panic surfaces as a propagated panic,
+    /// never as a hang or a poisoned pool.
+    pub fn scoped<'pool, 'scope, F, R>(&'pool self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'pool, 'scope>) -> R,
+    {
+        let scope = Scope {
+            pool: self,
+            state: Arc::new(ScopeState::new()),
+            _marker: PhantomData,
+        };
+        // The wait must also happen when `f` itself panics: the guard's
+        // drop runs during unwinding, so in-flight jobs finish before the
+        // caller's stack frame (and the borrows they capture) is popped.
+        struct WaitGuard<'a>(&'a ScopeState);
+        impl Drop for WaitGuard<'_> {
+            fn drop(&mut self) {
+                self.0.wait_all();
+            }
+        }
+        let result = {
+            let _guard = WaitGuard(&scope.state);
+            f(&scope)
+        };
+        if let Some(payload) = lock(&scope.state.panic).take() {
+            resume_unwind(payload);
+        }
+        result
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Closing the channel makes every idle worker's `recv` fail, so
+        // they drain outstanding jobs and exit; then join them all.
+        self.sender = None;
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Synchronisation shared between a [`Scope`] and its in-flight jobs.
+struct ScopeState {
+    pending: Mutex<usize>,
+    all_done: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl std::fmt::Debug for ScopeState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScopeState")
+            .field("pending", &*lock(&self.pending))
+            .field("panicked", &lock(&self.panic).is_some())
+            .finish()
+    }
+}
+
+impl ScopeState {
+    fn new() -> Self {
+        ScopeState {
+            pending: Mutex::new(0),
+            all_done: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    /// Marks one job finished, recording its panic payload if any.
+    fn complete(&self, payload: Option<Box<dyn Any + Send>>) {
+        if let Some(p) = payload {
+            lock(&self.panic).get_or_insert(p);
+        }
+        let mut pending = lock(&self.pending);
+        *pending -= 1;
+        if *pending == 0 {
+            self.all_done.notify_all();
+        }
+    }
+
+    /// Blocks until every spawned job has completed.
+    fn wait_all(&self) {
+        let mut pending = lock(&self.pending);
+        while *pending > 0 {
+            pending = self
+                .all_done
+                .wait(pending)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Locks a mutex, ignoring poisoning: jobs run under `catch_unwind`, so a
+/// panicking job never leaves shared state half-updated.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Handle for spawning jobs that may borrow data outliving the scope.
+///
+/// Created by [`ThreadPool::scoped`]; `'scope` is the lifetime of the
+/// borrows the jobs are allowed to capture.
+#[derive(Debug)]
+pub struct Scope<'pool, 'scope> {
+    pool: &'pool ThreadPool,
+    state: Arc<ScopeState>,
+    _marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'_, 'scope> {
+    /// Spawns one job on the pool. On a 1-thread pool the job runs
+    /// immediately on the calling thread.
+    pub fn execute<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        *lock(&self.state.pending) += 1;
+        let state = Arc::clone(&self.state);
+        let task = move || {
+            let result = catch_unwind(AssertUnwindSafe(f));
+            state.complete(result.err());
+        };
+        match &self.pool.sender {
+            Some(sender) => {
+                let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(task);
+                // SAFETY: `ThreadPool::scoped` blocks in `wait_all` until
+                // every job spawned on this scope has completed before it
+                // returns — on the normal path and, via its wait guard's
+                // drop, when the scope closure unwinds — so all `'scope`
+                // borrows captured by `f` outlive the job even though the
+                // channel requires `'static`.
+                let job: Job =
+                    unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job) };
+                if let Err(send_error) = sender.send(job) {
+                    // Unreachable while the pool is alive (workers hold the
+                    // receiver), but run inline rather than losing the job.
+                    (send_error.0)();
+                }
+            }
+            None => task(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_jobs_borrow_and_mutate_stack_data() {
+        let pool = ThreadPool::new(4);
+        let mut data = vec![0usize; 64];
+        pool.scoped(|s| {
+            for (i, chunk) in data.chunks_mut(16).enumerate() {
+                s.execute(move || {
+                    for (j, v) in chunk.iter_mut().enumerate() {
+                        *v = i * 16 + j;
+                    }
+                });
+            }
+        });
+        assert_eq!(data, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_panic_propagates_instead_of_hanging() {
+        let pool = ThreadPool::new(3);
+        let completed = AtomicUsize::new(0);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scoped(|s| {
+                s.execute(|| panic!("boom in worker"));
+                for _ in 0..8 {
+                    s.execute(|| {
+                        completed.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+        }));
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .expect("payload preserved");
+        assert_eq!(msg, "boom in worker");
+        // All sibling jobs still ran to completion before the propagation.
+        assert_eq!(completed.load(Ordering::SeqCst), 8);
+        // And the pool is still usable afterwards.
+        let mut x = 0u32;
+        pool.scoped(|s| s.execute(|| x = 7));
+        assert_eq!(x, 7);
+    }
+
+    #[test]
+    fn panic_in_scope_closure_still_waits_for_jobs() {
+        // The scope closure itself panics after spawning borrowing jobs:
+        // the wait guard must let every job finish before the unwind pops
+        // the caller's frame (otherwise workers would write freed stack).
+        let pool = ThreadPool::new(4);
+        let finished = AtomicUsize::new(0);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scoped(|s| {
+                for _ in 0..16 {
+                    s.execute(|| {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                        finished.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+                panic!("scope closure panics");
+            });
+        }));
+        assert!(caught.is_err());
+        assert_eq!(
+            finished.load(Ordering::SeqCst),
+            16,
+            "all jobs must complete before the unwind escapes scoped()"
+        );
+    }
+
+    #[test]
+    fn serial_pool_panic_also_propagates() {
+        let pool = ThreadPool::new(1);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scoped(|s| s.execute(|| panic!("serial boom")));
+        }));
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn pool_drops_cleanly_after_work() {
+        let ran = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::new(4);
+            pool.scoped(|s| {
+                for _ in 0..32 {
+                    let ran = Arc::clone(&ran);
+                    s.execute(move || {
+                        ran.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+        } // drop joins all workers
+        assert_eq!(ran.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn one_thread_pool_runs_inline_on_caller() {
+        let pool = ThreadPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let caller = std::thread::current().id();
+        let mut seen = None;
+        pool.scoped(|s| s.execute(|| seen = Some(std::thread::current().id())));
+        assert_eq!(seen, Some(caller), "1-thread pool must be serial");
+    }
+
+    /// Serializes every test that writes or reads `SMASH_THREADS`:
+    /// concurrent `setenv`/`getenv` is undefined behaviour on glibc, and
+    /// libtest runs tests on parallel threads.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn env_override_controls_default_thread_count() {
+        let _guard = lock(&ENV_LOCK);
+        std::env::set_var(THREADS_ENV, "1");
+        assert_eq!(default_threads(), 1);
+        let pool = ThreadPool::with_default_threads();
+        assert_eq!(pool.threads(), 1);
+        assert!(pool.workers.is_empty(), "serial pool spawns no threads");
+
+        std::env::set_var(THREADS_ENV, "3");
+        assert_eq!(default_threads(), 3);
+
+        std::env::set_var(THREADS_ENV, "not-a-number");
+        assert_eq!(default_threads(), hardware_threads());
+        std::env::set_var(THREADS_ENV, "0");
+        assert_eq!(default_threads(), hardware_threads());
+        std::env::remove_var(THREADS_ENV);
+        assert_eq!(default_threads(), hardware_threads());
+    }
+
+    #[test]
+    fn zero_requested_threads_falls_back_to_default() {
+        // `new(0)` reads SMASH_THREADS via default_threads().
+        let _guard = lock(&ENV_LOCK);
+        let pool = ThreadPool::new(0);
+        assert!(pool.threads() >= 1);
+    }
+
+    #[test]
+    fn many_more_jobs_than_workers() {
+        let pool = ThreadPool::new(2);
+        let counter = AtomicUsize::new(0);
+        pool.scoped(|s| {
+            for _ in 0..200 {
+                s.execute(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 200);
+    }
+}

@@ -16,6 +16,9 @@
 //!   instruction SMASH ISA (the paper's hardware contribution),
 //! * [`kernels`] — SpMV/SpMM/SpAdd kernels for every mechanism the paper
 //!   evaluates,
+//! * [`parallel`] — a scoped thread pool plus multi-threaded variants of
+//!   the native kernels, bit-identical to the serial ones at every thread
+//!   count (`SMASH_THREADS` overrides the worker count),
 //! * [`graph`] — PageRank and Betweenness Centrality built on the kernels.
 //!
 //! # Quickstart
@@ -40,4 +43,5 @@ pub use smash_core as encoding;
 pub use smash_graph as graph;
 pub use smash_kernels as kernels;
 pub use smash_matrix as matrix;
+pub use smash_parallel as parallel;
 pub use smash_sim as sim;

@@ -13,7 +13,9 @@ fn pattern(a: &Csr<f64>) -> Vec<Vec<u32>> {
 
 /// One seeded closure per matrix generator, shared by both matrix tests so
 /// new generators only need to be registered once.
-fn matrix_generator_set() -> Vec<(&'static str, Box<dyn Fn(u64) -> Csr<f64>>)> {
+type SeededGenerator = Box<dyn Fn(u64) -> Csr<f64>>;
+
+fn matrix_generator_set() -> Vec<(&'static str, SeededGenerator)> {
     vec![
         ("uniform", Box::new(|s| mat_gen::uniform(64, 64, 512, s))),
         ("banded", Box::new(|s| mat_gen::banded(64, 64, 4, 400, s))),

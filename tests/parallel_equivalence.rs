@@ -1,0 +1,175 @@
+//! The parallel kernels must be **bit-identical** to their serial
+//! counterparts — not merely close — at every thread count, including
+//! degenerate and adversarial shapes (empty rows, a single dense row,
+//! heavy nnz skew). Exact `==` on `f64` output is intentional: the
+//! parallel implementations never reorder a floating-point addition.
+
+use proptest::prelude::*;
+use smash::encoding::{SmashConfig, SmashMatrix};
+use smash::kernels::native;
+use smash::matrix::{generators, Bcsr, Coo, Csr};
+use smash::parallel::{
+    par_csr_to_smash, par_spmm_csr, par_spmv_bcsr, par_spmv_csr, par_spmv_smash, ThreadPool,
+};
+
+/// The thread counts every equivalence assertion runs under.
+const THREADS: [usize; 4] = [1, 2, 3, 8];
+
+fn vector(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| 0.5 + ((i * 37) % 11) as f64 * 0.375)
+        .collect()
+}
+
+/// Asserts all parallel kernels agree exactly with the serial natives on
+/// one matrix, under every [`THREADS`] count and under a pool sized from
+/// the environment (CI re-runs this suite with `SMASH_THREADS=1` to
+/// exercise the override's serial degeneration).
+fn assert_all_kernels_equivalent(a: &Csr<f64>) {
+    let x = vector(a.cols());
+    let mut got = vec![f64::NAN; a.rows()];
+
+    let bcsr = Bcsr::from_csr(a, 2, 2).expect("valid 2x2 blocking");
+    let cfg = SmashConfig::row_major(&[2, 4]).expect("valid config");
+    let sm = SmashMatrix::encode(a, cfg.clone());
+    let bc = a.transpose().to_csc(); // inner dims: a.cols() == bᵀ.rows()
+
+    // Serial references, computed once.
+    let mut want_csr = vec![0.0f64; a.rows()];
+    native::spmv_csr(a, &x, &mut want_csr);
+    let mut want_bcsr = vec![0.0f64; a.rows()];
+    native::spmv_bcsr(&bcsr, &x, &mut want_bcsr);
+    let mut want_smash = vec![0.0f64; a.rows()];
+    native::spmv_smash(&sm, &x, &mut want_smash);
+    let want_spmm = native::spmm_csr(a, &bc);
+
+    let pools = THREADS
+        .iter()
+        .map(|&t| (ThreadPool::new(t), format!("{t}")))
+        .chain(std::iter::once((
+            ThreadPool::with_default_threads(),
+            "SMASH_THREADS/default".to_string(),
+        )));
+    for (pool, label) in pools {
+        par_spmv_csr(&pool, a, &x, &mut got);
+        assert_eq!(got, want_csr, "spmv_csr, threads = {label}");
+
+        par_spmv_bcsr(&pool, &bcsr, &x, &mut got);
+        assert_eq!(got, want_bcsr, "spmv_bcsr, threads = {label}");
+
+        par_spmv_smash(&pool, &sm, &x, &mut got);
+        assert_eq!(got, want_smash, "spmv_smash, threads = {label}");
+
+        let got_spmm = par_spmm_csr(&pool, a, &bc);
+        assert_eq!(
+            got_spmm.entries(),
+            want_spmm.entries(),
+            "spmm_csr, threads = {label}"
+        );
+
+        let got_sm = par_csr_to_smash(&pool, a, cfg.clone());
+        assert_eq!(got_sm, sm, "csr_to_smash, threads = {label}");
+    }
+}
+
+/// Arbitrary sparse matrix: arbitrary dimensions and entry patterns,
+/// including matrices with many empty rows.
+fn arb_matrix() -> impl Strategy<Value = Csr<f64>> {
+    (1usize..48, 1usize..48)
+        .prop_flat_map(|(r, c)| {
+            let entries =
+                proptest::collection::vec((0..r, 0..c, 1u32..1000u32), 0..(r * c).min(160));
+            (Just(r), Just(c), entries)
+        })
+        .prop_map(|(r, c, entries)| {
+            let mut coo = Coo::new(r, c);
+            for (i, j, v) in entries {
+                coo.push(i, j, v as f64 / 16.0);
+            }
+            coo.compress();
+            Csr::from_coo(&coo)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn parallel_kernels_bit_identical_on_arbitrary_matrices(a in arb_matrix()) {
+        assert_all_kernels_equivalent(&a);
+    }
+}
+
+#[test]
+fn adversarial_empty_matrix_and_empty_rows() {
+    // Fully empty.
+    assert_all_kernels_equivalent(&Csr::from_coo(&Coo::new(33, 17)));
+    // Mostly empty rows: entries only on every 11th row.
+    let mut coo = Coo::new(64, 40);
+    for i in (0..64).step_by(11) {
+        for j in 0..5 {
+            coo.push(i, j * 7, 1.0 + i as f64 + j as f64);
+        }
+    }
+    assert_all_kernels_equivalent(&Csr::from_coo(&coo));
+}
+
+#[test]
+fn adversarial_single_dense_row() {
+    // One fully dense row among empties: the partitioner must isolate it
+    // without starving the other ranges, and results must stay exact.
+    let mut coo = Coo::new(48, 48);
+    for j in 0..48 {
+        coo.push(20, j, (j + 1) as f64 * 0.25);
+    }
+    coo.push(0, 0, 3.0);
+    coo.push(47, 47, -2.0);
+    assert_all_kernels_equivalent(&Csr::from_coo(&coo));
+}
+
+#[test]
+fn adversarial_nnz_skew() {
+    // Power-law distributed non-zeros: a few rows carry most of the work.
+    let a = generators::power_law(96, 64, 900, 1.4, 13);
+    assert_all_kernels_equivalent(&a);
+    // Extreme skew built by hand: row i holds ~i^2-proportional entries.
+    let mut coo = Coo::new(40, 256);
+    for i in 0..40usize {
+        for j in 0..(i * i * 256 / 1600).min(256) {
+            coo.push(i, j, 1.0 / (1.0 + (i * j) as f64));
+        }
+    }
+    assert_all_kernels_equivalent(&Csr::from_coo(&coo));
+}
+
+#[test]
+fn adversarial_tall_thin_and_short_wide() {
+    assert_all_kernels_equivalent(&generators::uniform(200, 3, 150, 5));
+    assert_all_kernels_equivalent(&generators::uniform(3, 200, 150, 6));
+    assert_all_kernels_equivalent(&generators::uniform(1, 1, 1, 7));
+}
+
+#[test]
+fn graph_applications_bit_identical_across_thread_counts() {
+    use smash::graph::{
+        betweenness_parallel, generators as graph_gen, pagerank_parallel, BcConfig, PageRankConfig,
+    };
+    let g = graph_gen::rmat(128, 768, 17);
+    let pr_cfg = PageRankConfig::default();
+    let bc_cfg = BcConfig::default();
+    let pr_want = pagerank_parallel(&ThreadPool::new(1), &g, &pr_cfg);
+    let bc_want = betweenness_parallel(&ThreadPool::new(1), &g, &bc_cfg);
+    for threads in THREADS {
+        let pool = ThreadPool::new(threads);
+        assert_eq!(
+            pagerank_parallel(&pool, &g, &pr_cfg),
+            pr_want,
+            "pagerank, threads = {threads}"
+        );
+        assert_eq!(
+            betweenness_parallel(&pool, &g, &bc_cfg),
+            bc_want,
+            "betweenness, threads = {threads}"
+        );
+    }
+}

@@ -9,6 +9,10 @@
 //!
 //! Timing is a simple mean over a fixed-duration measurement window —
 //! adequate for relative comparisons, with none of upstream's statistics.
+//!
+//! Like upstream, `cargo bench -- --test` runs every benchmark routine
+//! exactly once without timing it — the smoke mode CI uses to make sure
+//! bench code is actually executed, not just compiled.
 
 use std::fmt::Display;
 use std::hint::black_box as std_black_box;
@@ -20,12 +24,25 @@ pub fn black_box<T>(x: T) -> T {
 }
 
 /// Benchmark registry and entry point (subset of `criterion::Criterion`).
-#[derive(Debug, Default)]
-pub struct Criterion {}
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    /// Reads the benchmark binary's arguments: `--test` selects smoke
+    /// mode (run each routine once, no timing), as in upstream criterion.
+    fn default() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
 
 impl Criterion {
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let test_mode = self.test_mode;
         BenchmarkGroup {
             _parent: self,
             name: name.into(),
@@ -33,6 +50,7 @@ impl Criterion {
             warm_up_time: Duration::from_millis(100),
             measurement_time: Duration::from_millis(500),
             throughput: None,
+            test_mode,
         }
     }
 
@@ -92,6 +110,7 @@ pub struct BenchmarkGroup<'a> {
     warm_up_time: Duration,
     measurement_time: Duration,
     throughput: Option<Throughput>,
+    test_mode: bool,
 }
 
 impl BenchmarkGroup<'_> {
@@ -126,9 +145,14 @@ impl BenchmarkGroup<'_> {
             measurement_time: self.measurement_time,
             mean_ns: 0.0,
             iters: 0,
+            test_mode: self.test_mode,
         };
         f(&mut bencher);
-        self.report(&id.to_string(), &bencher);
+        if self.test_mode {
+            println!("test {}/{} ... ok (smoke)", self.name, id);
+        } else {
+            self.report(&id.to_string(), &bencher);
+        }
     }
 
     /// Runs one benchmark that borrows a fixed input.
@@ -170,12 +194,19 @@ pub struct Bencher {
     measurement_time: Duration,
     mean_ns: f64,
     iters: u64,
+    test_mode: bool,
 }
 
 impl Bencher {
     /// Calls `routine` repeatedly for the measurement window and records the
-    /// mean wall-clock time per call.
+    /// mean wall-clock time per call. In `--test` smoke mode the routine
+    /// runs exactly once, untimed.
     pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        if self.test_mode {
+            std_black_box(routine());
+            self.iters = 1;
+            return;
+        }
         // Warm-up: run until the warm-up window elapses (at least once).
         let start = Instant::now();
         loop {
@@ -239,5 +270,19 @@ mod tests {
             b.iter(|| (0..n).sum::<u64>())
         });
         group.finish();
+    }
+
+    #[test]
+    fn test_mode_runs_each_routine_exactly_once() {
+        let mut c = Criterion { test_mode: true };
+        let mut calls = 0u32;
+        let mut group = c.benchmark_group("smoke_test_mode");
+        // Generous windows that would take seconds if timing actually ran.
+        group
+            .warm_up_time(Duration::from_secs(10))
+            .measurement_time(Duration::from_secs(10));
+        group.bench_function("once", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert_eq!(calls, 1, "--test mode must run the routine exactly once");
     }
 }
