@@ -28,10 +28,13 @@ fn bench_spmv(c: &mut Criterion) {
     let x = test_vector(a.cols());
     let mut y = vec![0.0f64; a.rows()];
     let bcsr = Bcsr::from_csr(&a, 2, 2).expect("valid block");
+    // Deep (paper "16.4.2") and flat single-level hierarchies: both are
+    // driven through the directory-backed line cursors.
     let sm = SmashMatrix::encode(
         &a,
         SmashConfig::row_major(&[2, 4, 16]).expect("paper config"),
     );
+    let sm_flat = SmashMatrix::encode(&a, SmashConfig::row_major(&[2]).expect("flat config"));
     group.throughput(Throughput::Elements(a.nnz() as u64));
     for threads in THREAD_COUNTS {
         let pool = ThreadPool::new(threads);
@@ -42,6 +45,9 @@ fn bench_spmv(c: &mut Criterion) {
             b.iter(|| par_spmv_bcsr(&pool, m, &x, &mut y))
         });
         group.bench_with_input(BenchmarkId::new("smash", threads), &sm, |b, m| {
+            b.iter(|| par_spmv_smash(&pool, m, &x, &mut y))
+        });
+        group.bench_with_input(BenchmarkId::new("smash_flat", threads), &sm_flat, |b, m| {
             b.iter(|| par_spmv_smash(&pool, m, &x, &mut y))
         });
     }

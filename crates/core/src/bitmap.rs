@@ -96,14 +96,18 @@ impl Bitmap {
         }
     }
 
-    /// Appends `count` copies of `value`.
+    /// Appends `count` copies of `value`, one word at a time.
     pub fn extend_with(&mut self, count: usize, value: bool) {
-        for _ in 0..count {
-            self.push(value);
+        let fill = if value { u64::MAX } else { 0 };
+        let mut remaining = count;
+        while remaining > 0 {
+            let take = remaining.min(64);
+            self.push_bits(fill, take);
+            remaining -= take;
         }
     }
 
-    /// Appends the bit range `[lo, hi)` of `other`.
+    /// Appends the bit range `[lo, hi)` of `other`, 64 bits at a time.
     ///
     /// # Panics
     ///
@@ -113,8 +117,67 @@ impl Bitmap {
             lo <= hi && hi <= other.len,
             "range {lo}..{hi} out of bounds"
         );
-        for i in lo..hi {
-            self.push(other.get(i));
+        let mut i = lo;
+        while i < hi {
+            let take = (hi - i).min(64);
+            self.push_bits(other.word_at(i), take);
+            i += take;
+        }
+    }
+
+    /// 64 bits starting at bit `idx` (unaligned read across word
+    /// boundaries; bits past the end read as zero).
+    pub(crate) fn word_at(&self, idx: usize) -> u64 {
+        debug_assert!(idx <= self.len, "word_at {idx} out of range {}", self.len);
+        let (wi, off) = (idx / 64, idx % 64);
+        let lo = self.words.get(wi).copied().unwrap_or(0) >> off;
+        if off == 0 {
+            lo
+        } else {
+            lo | self.words.get(wi + 1).copied().unwrap_or(0) << (64 - off)
+        }
+    }
+
+    /// Appends the low `n` bits of `word` (`n <= 64`).
+    pub(crate) fn push_bits(&mut self, word: u64, n: usize) {
+        debug_assert!(n <= 64);
+        if n == 0 {
+            return;
+        }
+        let w = if n == 64 {
+            word
+        } else {
+            word & ((1u64 << n) - 1)
+        };
+        let off = self.len % 64;
+        if off == 0 {
+            self.words.push(w);
+        } else {
+            let last = self.words.len() - 1;
+            self.words[last] |= w << off;
+            if off + n > 64 {
+                self.words.push(w >> (64 - off));
+            }
+        }
+        self.len += n;
+    }
+
+    /// ORs the low `n` bits of `word` into positions `[idx, idx + n)`
+    /// (`n <= 64`, range must be in bounds).
+    pub(crate) fn or_bits_at(&mut self, idx: usize, word: u64, n: usize) {
+        debug_assert!(n <= 64 && idx + n <= self.len, "or_bits_at out of range");
+        if n == 0 {
+            return;
+        }
+        let w = if n == 64 {
+            word
+        } else {
+            word & ((1u64 << n) - 1)
+        };
+        let (wi, off) = (idx / 64, idx % 64);
+        self.words[wi] |= w << off;
+        if off > 0 && off + n > 64 {
+            self.words[wi + 1] |= w >> (64 - off);
         }
     }
 
@@ -123,7 +186,13 @@ impl Bitmap {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
-    /// Number of set bits in `[0, idx)` (rank).
+    /// Number of set bits in `[0, idx)` (rank), by scanning every word
+    /// below `idx`.
+    ///
+    /// This is the O(n) baseline; hot paths should build a
+    /// [`RankIndex`](crate::RankIndex) once and use its O(1)
+    /// [`rank`](crate::RankIndex::rank) instead. The scan is kept as the
+    /// property-test oracle for the indexed version.
     ///
     /// # Panics
     ///
@@ -354,6 +423,59 @@ mod tests {
         dst.extend_from_range(&src, 1, 4);
         assert_eq!(dst.len(), 3);
         assert_eq!(dst.iter_ones().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn extend_from_range_matches_per_bit_copy_across_words() {
+        let mut src = Bitmap::zeros(300);
+        for i in (0..300).step_by(7) {
+            src.set(i, true);
+        }
+        for (lo, hi) in [(0, 300), (1, 299), (63, 129), (64, 128), (130, 131)] {
+            let mut dst = Bitmap::zeros(5); // misalign the destination
+            dst.set(2, true);
+            let mut want = dst.clone();
+            for i in lo..hi {
+                want.push(src.get(i));
+            }
+            dst.extend_from_range(&src, lo, hi);
+            assert_eq!(dst, want, "range {lo}..{hi}");
+        }
+    }
+
+    #[test]
+    fn extend_with_fills_words() {
+        let mut b = Bitmap::zeros(3);
+        b.extend_with(130, true);
+        b.extend_with(70, false);
+        assert_eq!(b.len(), 203);
+        assert_eq!(b.count_ones(), 130);
+        assert!(b.get(3) && b.get(132) && !b.get(133));
+    }
+
+    #[test]
+    fn word_at_reads_unaligned() {
+        let mut b = Bitmap::zeros(200);
+        for &i in &[0, 5, 64, 70, 127, 199] {
+            b.set(i, true);
+        }
+        for idx in [0usize, 1, 5, 63, 64, 65, 120, 136, 199, 200] {
+            let w = b.word_at(idx);
+            for bit in 0..64 {
+                let want = idx + bit < 200 && b.get(idx + bit);
+                assert_eq!((w >> bit) & 1 == 1, want, "idx {idx} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn or_bits_at_sets_range() {
+        let mut b = Bitmap::zeros(200);
+        b.or_bits_at(60, 0b1011, 4);
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![60, 61, 63]);
+        b.or_bits_at(126, u64::MAX, 64);
+        assert_eq!(b.count_ones(), 3 + 64);
+        assert!(b.get(126) && b.get(189) && !b.get(190));
     }
 
     #[test]

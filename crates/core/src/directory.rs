@@ -1,0 +1,368 @@
+//! O(1) random access into the compressed hierarchy: the software
+//! analogue of the BMU's per-matrix `bmapinfo` state.
+//!
+//! Historically every kernel that needed per-line addressing expanded the
+//! *entire* logical Bitmap-0 (`BitmapHierarchy::expand_full`) — O(dense
+//! size) auxiliary memory and scan time per call. [`LineDirectory`]
+//! replaces that: built once per matrix, it maps each block-line to its
+//! starting NZA ordinal and its cursor into the *stored* (compacted)
+//! level-0 bitmap, backed by per-level [`RankIndex`]es. Any line of the
+//! compressed matrix is then reachable in O(1) without touching preceding
+//! rows, and [`LineCursor`] walks one line's non-zero blocks with
+//! word-level count-trailing-zeros over the stored words — no per-bit
+//! `get()`, no expansion.
+//!
+//! Auxiliary memory is O(lines + stored-bits / 512) instead of O(logical
+//! bits): sublinear in the dense matrix size.
+
+use crate::{Bitmap, BitmapHierarchy, RankIndex};
+
+/// Per-matrix directory for O(1) row seeks into the compressed form.
+///
+/// The directory snapshots positional metadata of a [`BitmapHierarchy`];
+/// queries take the hierarchy again (the directory does not own it) and
+/// are only valid for the hierarchy the directory was built from —
+/// [`SmashMatrix`](crate::SmashMatrix) builds one at construction and
+/// keeps the pair together.
+///
+/// # Example
+///
+/// ```
+/// use smash_core::{SmashConfig, SmashMatrix};
+/// use smash_matrix::generators;
+///
+/// let a = generators::banded(64, 64, 3, 300, 1);
+/// let sm = SmashMatrix::encode(&a, SmashConfig::row_major(&[2, 4, 16])?);
+/// // Row 40's blocks, without expanding Bitmap-0:
+/// for (ordinal, logical) in sm.line_cursor(40) {
+///     assert_eq!(logical / sm.blocks_per_line(), 40);
+///     assert!(ordinal < sm.num_blocks());
+/// }
+/// # Ok::<(), smash_core::SmashError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineDirectory {
+    /// One rank/select index per stored bitmap level.
+    level_ranks: Vec<RankIndex>,
+    /// Starting NZA block ordinal of each line (length `lines + 1`).
+    starts: Vec<u32>,
+    /// Starting position of each line in the *stored* level-0 bitmap
+    /// (length `lines + 1`).
+    stored_starts: Vec<u64>,
+    /// Level-0 bits per line.
+    bpl: usize,
+}
+
+impl LineDirectory {
+    /// Builds the directory: per-level rank indexes plus one O(levels)
+    /// seek per line. Total cost O(stored bits / 64 + lines · levels).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines * bpl` disagrees with the hierarchy's logical
+    /// level-0 length.
+    pub fn build(h: &BitmapHierarchy, lines: usize, bpl: usize) -> LineDirectory {
+        assert_eq!(
+            lines * bpl,
+            h.logical_bits(0),
+            "directory shape disagrees with the hierarchy"
+        );
+        let level_ranks: Vec<RankIndex> = (0..h.num_levels())
+            .map(|l| RankIndex::build(h.stored_level(l)))
+            .collect();
+        let mut dir = LineDirectory {
+            level_ranks,
+            starts: Vec::with_capacity(lines + 1),
+            stored_starts: Vec::with_capacity(lines + 1),
+            bpl,
+        };
+        let stored0 = h.stored_level(0);
+        for line in 0..lines {
+            let (pos, _) = dir.locate(h, 0, line * bpl);
+            dir.stored_starts.push(pos as u64);
+            dir.starts
+                .push(dir.level_ranks[0].rank(stored0, pos) as u32);
+        }
+        dir.stored_starts.push(stored0.len() as u64);
+        dir.starts.push(dir.level_ranks[0].ones() as u32);
+        dir
+    }
+
+    /// Number of lines covered.
+    pub fn line_count(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Level-0 bits per line.
+    pub fn blocks_per_line(&self) -> usize {
+        self.bpl
+    }
+
+    /// Per-line starting NZA block ordinal (length `line_count() + 1`):
+    /// entry `l` is the number of non-zero blocks strictly before line
+    /// `l`. This is the array SpMM's per-line addressing reads.
+    pub fn line_starts(&self) -> &[u32] {
+        &self.starts
+    }
+
+    /// NZA ordinal of line `l`'s first block — an O(1) row seek.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line >= line_count()`.
+    pub fn start_ordinal(&self, line: usize) -> usize {
+        assert!(line < self.line_count(), "line {line} out of range");
+        self.starts[line] as usize
+    }
+
+    /// Number of non-zero blocks in line `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line >= line_count()`.
+    pub fn blocks_in_line(&self, line: usize) -> usize {
+        assert!(line < self.line_count(), "line {line} out of range");
+        (self.starts[line + 1] - self.starts[line]) as usize
+    }
+
+    /// Word-level cursor over line `l`'s non-zero blocks.
+    ///
+    /// `h` must be the hierarchy the directory was built from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line >= line_count()` or the hierarchy's level count
+    /// disagrees with the directory.
+    pub fn cursor<'a>(&'a self, h: &'a BitmapHierarchy, line: usize) -> LineCursor<'a> {
+        assert!(line < self.line_count(), "line {line} out of range");
+        assert_eq!(
+            h.num_levels(),
+            self.level_ranks.len(),
+            "directory built from a different hierarchy"
+        );
+        LineCursor {
+            stored0: h.stored_level(0),
+            dir: self,
+            h,
+            group: if h.num_levels() == 1 {
+                // Single level: stored == logical, no group mapping.
+                None
+            } else {
+                Some(h.ratios()[1] as usize)
+            },
+            cur: self.stored_starts[line] as usize,
+            end: self.stored_starts[line + 1] as usize,
+            ordinal: self.starts[line] as usize,
+            cached_group: usize::MAX,
+            cached_base: 0,
+        }
+    }
+
+    /// Number of non-zero blocks whose logical level-0 index is below
+    /// `logical` — rank into the *logical* Bitmap-0 in O(levels) without
+    /// expanding it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical > h.logical_bits(0)` or the hierarchy disagrees
+    /// with the directory.
+    pub fn block_rank(&self, h: &BitmapHierarchy, logical: usize) -> usize {
+        assert_eq!(h.num_levels(), self.level_ranks.len(), "hierarchy mismatch");
+        if logical >= h.logical_bits(0) {
+            assert_eq!(logical, h.logical_bits(0), "logical index out of range");
+            return self.level_ranks[0].ones();
+        }
+        let (pos, _) = self.locate(h, 0, logical);
+        self.level_ranks[0].rank(h.stored_level(0), pos)
+    }
+
+    /// Logical level-0 index of NZA block `ordinal` — select into the
+    /// *logical* Bitmap-0 in O(levels), or `None` past the last block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hierarchy disagrees with the directory.
+    pub fn block_select(&self, h: &BitmapHierarchy, ordinal: usize) -> Option<usize> {
+        assert_eq!(h.num_levels(), self.level_ranks.len(), "hierarchy mismatch");
+        let s = self.level_ranks[0].select(h.stored_level(0), ordinal)?;
+        Some(self.stored_to_logical(h, 0, s))
+    }
+
+    /// Directory footprint in bytes — the peak auxiliary memory an
+    /// indexed kernel needs, O(lines + stored-bits / 512).
+    pub fn aux_bytes(&self) -> usize {
+        self.level_ranks
+            .iter()
+            .map(RankIndex::aux_bytes)
+            .sum::<usize>()
+            + self.starts.len() * std::mem::size_of::<u32>()
+            + self.stored_starts.len() * std::mem::size_of::<u64>()
+    }
+
+    /// Maps logical bit `j` of `level` to its position in the stored
+    /// (compacted) bitmap, returning `(position, present)`. When the
+    /// group holding `j` was compacted away, `position` is the insertion
+    /// point: every stored set bit below it has a smaller logical index.
+    fn locate(&self, h: &BitmapHierarchy, level: usize, j: usize) -> (usize, bool) {
+        let top = h.num_levels() - 1;
+        if level == top {
+            // The top level is stored in full: logical == stored.
+            return (j, true);
+        }
+        let g = h.ratios()[level + 1] as usize;
+        let (parent_pos, parent_exists) = self.locate(h, level + 1, j / g);
+        let parent_bitmap = h.stored_level(level + 1);
+        let present = parent_exists && parent_bitmap.get(parent_pos);
+        // Groups stored before this one = set parent bits before `j / g`.
+        let k = self.level_ranks[level + 1].rank(parent_bitmap, parent_pos);
+        if present {
+            (k * g + j % g, true)
+        } else {
+            (k * g, false)
+        }
+    }
+
+    /// Maps stored bit `s` of `level` back to its logical index, walking
+    /// the parent chain upward with one O(1) select per level.
+    fn stored_to_logical(&self, h: &BitmapHierarchy, level: usize, s: usize) -> usize {
+        let top = h.num_levels() - 1;
+        if level == top {
+            return s;
+        }
+        let g = h.ratios()[level + 1] as usize;
+        let parent_pos = self.level_ranks[level + 1]
+            .select(h.stored_level(level + 1), s / g)
+            .expect("stored group always has a set parent bit");
+        self.stored_to_logical(h, level + 1, parent_pos) * g + s % g
+    }
+}
+
+/// Iterator over one line's non-zero blocks, yielding
+/// `(nza_ordinal, logical_level0_index)` in block order.
+///
+/// The cursor scans the *stored* level-0 words with count-trailing-zeros
+/// (no per-bit `get()`, no expansion) and recovers each block's logical
+/// position through one upward select chain per stored group — amortized
+/// O(1) per block. Produced by [`LineDirectory::cursor`] /
+/// [`SmashMatrix::line_cursor`](crate::SmashMatrix::line_cursor).
+#[derive(Debug, Clone)]
+pub struct LineCursor<'a> {
+    stored0: &'a Bitmap,
+    dir: &'a LineDirectory,
+    h: &'a BitmapHierarchy,
+    /// Stored level-0 group size (`ratios[1]`), or `None` for
+    /// single-level hierarchies where stored == logical.
+    group: Option<usize>,
+    cur: usize,
+    end: usize,
+    ordinal: usize,
+    cached_group: usize,
+    cached_base: usize,
+}
+
+impl Iterator for LineCursor<'_> {
+    type Item = (usize, usize);
+
+    fn next(&mut self) -> Option<(usize, usize)> {
+        let s = self.stored0.next_one(self.cur).filter(|&s| s < self.end)?;
+        self.cur = s + 1;
+        let logical = match self.group {
+            None => s,
+            Some(g) => {
+                let k = s / g;
+                if k != self.cached_group {
+                    self.cached_group = k;
+                    let parent_pos = self.dir.level_ranks[1]
+                        .select(self.h.stored_level(1), k)
+                        .expect("stored group always has a set parent bit");
+                    self.cached_base = self.dir.stored_to_logical(self.h, 1, parent_pos) * g;
+                }
+                self.cached_base + s % g
+            }
+        };
+        let ordinal = self.ordinal;
+        self.ordinal += 1;
+        Some((ordinal, logical))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        // Between 0 (tail bits may be clear) and the stored span.
+        (0, Some(self.end.saturating_sub(self.cur)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bm(bits: &[usize], len: usize) -> Bitmap {
+        let mut b = Bitmap::zeros(len);
+        for &i in bits {
+            b.set(i, true);
+        }
+        b
+    }
+
+    /// Oracle: the cursor must agree with filtering the expanded bitmap.
+    fn check_against_expansion(h: &BitmapHierarchy, lines: usize, bpl: usize) {
+        let dir = LineDirectory::build(h, lines, bpl);
+        let full = h.expand_full(0);
+        let all: Vec<usize> = full.iter_ones().collect();
+        let mut expect_ord = 0usize;
+        for line in 0..lines {
+            let want: Vec<(usize, usize)> = all
+                .iter()
+                .enumerate()
+                .filter(|(_, &l)| l / bpl == line)
+                .map(|(o, &l)| (o, l))
+                .collect();
+            let got: Vec<(usize, usize)> = dir.cursor(h, line).collect();
+            assert_eq!(got, want, "line {line}");
+            assert_eq!(dir.start_ordinal(line), expect_ord);
+            assert_eq!(dir.blocks_in_line(line), want.len());
+            expect_ord += want.len();
+        }
+        // Logical rank/select agree with the expansion too.
+        for logical in 0..=h.logical_bits(0) {
+            assert_eq!(dir.block_rank(h, logical), full.rank(logical));
+        }
+        for (k, &l) in all.iter().enumerate() {
+            assert_eq!(dir.block_select(h, k), Some(l));
+        }
+        assert_eq!(dir.block_select(h, all.len()), None);
+    }
+
+    #[test]
+    fn cursor_matches_expansion_across_shapes() {
+        // (bits, len, lines, bpl, ratios)
+        let cases: Vec<(Vec<usize>, usize, usize, Vec<u32>)> = vec![
+            (vec![0, 2, 13], 16, 4, vec![2, 4]),
+            (vec![3, 17, 40, 41, 63], 64, 8, vec![2, 4, 4]),
+            (vec![], 64, 8, vec![2, 8]),
+            ((0..64).collect(), 64, 4, vec![2, 2, 2, 2]),
+            (vec![9], 10, 2, vec![2, 4]),
+            (vec![0, 299], 300, 10, vec![2, 8, 8]),
+            (vec![5, 6, 7], 40, 5, vec![2]), // single level
+        ];
+        for (bits, len, lines, ratios) in cases {
+            let bpl = len / lines;
+            let h = BitmapHierarchy::from_level0(&bm(&bits, len), &ratios).unwrap();
+            check_against_expansion(&h, lines, bpl);
+        }
+    }
+
+    #[test]
+    fn cursor_handles_groups_straddling_lines() {
+        // bpl = 3 with ratio-4 groups: every group crosses a line border.
+        let bits: Vec<usize> = (0..60).filter(|i| i % 5 != 2).collect();
+        let h = BitmapHierarchy::from_level0(&bm(&bits, 60), &[2, 4, 4]).unwrap();
+        check_against_expansion(&h, 20, 3);
+    }
+
+    #[test]
+    fn directory_rejects_wrong_shape() {
+        let h = BitmapHierarchy::from_level0(&bm(&[1], 16), &[2, 4]).unwrap();
+        let result = std::panic::catch_unwind(|| LineDirectory::build(&h, 3, 4));
+        assert!(result.is_err(), "12 != 16 logical bits must panic");
+    }
+}

@@ -60,22 +60,13 @@ impl BitmapHierarchy {
                 return Err(SmashError::InvalidRatio { level, ratio: r });
             }
         }
-        // Build the full bitmap of every level bottom-up.
+        // Build the full bitmap of every level bottom-up, folding whole
+        // words instead of probing bit ranges.
         let mut full: Vec<Bitmap> = Vec::with_capacity(ratios.len());
         full.push(bm0.clone());
         for &r in &ratios[1..] {
-            let r = r as usize;
             let prev = full.last().unwrap();
-            let len = prev.len().div_ceil(r).max(1);
-            let mut next = Bitmap::zeros(len);
-            for j in 0..len {
-                let lo = j * r;
-                let hi = ((j + 1) * r).min(prev.len());
-                if lo < hi && prev.any_in_range(lo, hi) {
-                    next.set(j, true);
-                }
-            }
-            full.push(next);
+            full.push(reduce_level(prev, r as usize));
         }
         let logical_bits: Vec<usize> = full.iter().map(Bitmap::len).collect();
 
@@ -144,9 +135,11 @@ impl BitmapHierarchy {
 
     /// Reconstructs the full (uncompacted) bitmap of a level.
     ///
-    /// Linear in the logical size of the level; used by tests, by per-line
-    /// addressing (`rdbmap [bitmap + rowOffset]` needs a full, addressable
-    /// Bitmap-0) and by format conversions.
+    /// Linear in the logical size of the level. This is **not** a hot
+    /// path any more: kernels address lines through
+    /// [`LineDirectory`](crate::LineDirectory) in O(1). The expansion
+    /// remains as the property-test oracle for the directory and for
+    /// format conversions that genuinely need the dense bitmap.
     ///
     /// # Panics
     ///
@@ -157,21 +150,21 @@ impl BitmapHierarchy {
         if level == top {
             return self.levels[top].clone();
         }
-        // Expand parent first, then scatter this level's stored groups.
+        // Expand parent first, then scatter this level's stored groups by
+        // whole words (OR into place, no per-bit get/set).
         let parent_full = self.expand_full(level + 1);
         let g = self.ratios[level + 1] as usize;
         let mut full = Bitmap::zeros(self.logical_bits[level]);
         for (k, j) in parent_full.iter_ones().enumerate() {
             let storage_base = k * g;
             let logical_base = j * g;
-            for b in 0..g {
-                let logical = logical_base + b;
-                if logical >= full.len() {
-                    break;
-                }
-                if self.levels[level].get(storage_base + b) {
-                    full.set(logical, true);
-                }
+            let n = g.min(self.logical_bits[level] - logical_base);
+            let mut done = 0;
+            while done < n {
+                let take = (n - done).min(64);
+                let word = self.levels[level].word_at(storage_base + done);
+                full.or_bits_at(logical_base + done, word, take);
+                done += take;
             }
         }
         full
@@ -274,6 +267,39 @@ impl BitmapHierarchy {
         }
         Ok(())
     }
+}
+
+/// OR-folds `r` child bits per parent bit, word-wise: whole zero words
+/// are skipped, set bits are found with count-trailing-zeros, and once a
+/// parent is marked the scan jumps straight past its group. O(words +
+/// marked parents) instead of O(parents · words-per-group).
+fn reduce_level(prev: &Bitmap, r: usize) -> Bitmap {
+    let len = prev.len().div_ceil(r).max(1);
+    let mut next = Bitmap::zeros(len);
+    if r.is_multiple_of(64) {
+        // Word-aligned groups: a parent bit is the OR of r/64 words.
+        for (j, chunk) in prev.words().chunks(r / 64).enumerate() {
+            if chunk.iter().any(|&w| w != 0) {
+                next.set(j, true);
+            }
+        }
+        return next;
+    }
+    for (wi, &word) in prev.words().iter().enumerate() {
+        let mut m = word;
+        while m != 0 {
+            let bit = wi * 64 + m.trailing_zeros() as usize;
+            let parent = bit / r;
+            next.set(parent, true);
+            // Skip the rest of this parent's group within the word.
+            let group_end = (parent + 1) * r;
+            if group_end >= (wi + 1) * 64 {
+                break;
+            }
+            m &= u64::MAX << (group_end % 64);
+        }
+    }
+    next
 }
 
 /// One in-flight group scan of the depth-first traversal.
@@ -574,6 +600,28 @@ mod tests {
             );
             last[v.level] = v.storage;
         }
+    }
+
+    #[test]
+    fn reduce_level_matches_naive_fold() {
+        // Adversarial pattern across word and group boundaries.
+        let bits: Vec<usize> = (0..700).filter(|i| (i * 31) % 11 < 3).collect();
+        let prev = bm(&bits, 700);
+        for r in [2usize, 3, 7, 16, 63, 64, 65, 128, 2048] {
+            let got = reduce_level(&prev, r);
+            let len = prev.len().div_ceil(r).max(1);
+            let mut want = Bitmap::zeros(len);
+            for j in 0..len {
+                let lo = j * r;
+                let hi = ((j + 1) * r).min(prev.len());
+                if lo < hi && prev.any_in_range(lo, hi) {
+                    want.set(j, true);
+                }
+            }
+            assert_eq!(got, want, "ratio {r}");
+        }
+        // Empty input still yields the single clear top bit.
+        assert_eq!(reduce_level(&Bitmap::zeros(0), 4).len(), 1);
     }
 
     #[test]

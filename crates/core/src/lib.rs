@@ -12,7 +12,11 @@
 //!   Bitmap-0 bit, including any explicit zeros inside a block.
 //!
 //! [`SmashMatrix`] ties both together with the matrix geometry and the
-//! [`SmashConfig`] (per-level ratios + row/column-major [`Layout`]).
+//! [`SmashConfig`] (per-level ratios + row/column-major [`Layout`]), and
+//! carries a [`LineDirectory`] — per-level [`RankIndex`]es plus per-line
+//! cursors — so any row of the compressed form is reachable in O(1)
+//! without expanding the bitmaps (the software analogue of the paper's
+//! BMU indexing).
 //!
 //! # Example
 //!
@@ -35,15 +39,19 @@
 
 mod bitmap;
 mod config;
+mod directory;
 mod error;
 mod hierarchy;
 mod nza;
+mod rank_select;
 mod smash_matrix;
 pub mod storage;
 
 pub use bitmap::{Bitmap, Ones};
 pub use config::{Layout, SmashConfig, MAX_LEVELS, MAX_RATIO};
+pub use directory::{LineCursor, LineDirectory};
 pub use error::SmashError;
 pub use hierarchy::{BitmapHierarchy, Blocks, Visit, Visits};
 pub use nza::Nza;
+pub use rank_select::{RankIndex, SUPERBLOCK_BITS};
 pub use smash_matrix::{for_each_line_block, SmashMatrix};

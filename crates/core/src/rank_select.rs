@@ -1,0 +1,271 @@
+//! Succinct rank/select acceleration for [`Bitmap`] — the software
+//! analogue of the paper's BMU.
+//!
+//! The BMU (paper §4.2) is, at its core, a hardware rank/select engine
+//! over the stored bitmap hierarchy: it finds set bits and counts them
+//! without ever materializing the uncompacted bitmaps. [`RankIndex`]
+//! gives the software kernels the same primitive: 512-bit superblock
+//! cumulative popcounts make `rank` O(1) (at most 8 word popcounts),
+//! and sampled select hints plus a bounded binary search make `select`
+//! near-O(1).
+//!
+//! The index is *positional metadata only* — it does not own the bitmap.
+//! Every query takes the bitmap it was built from; mutating that bitmap
+//! invalidates the index (rebuild it after any `set`/`push`).
+
+use crate::Bitmap;
+
+/// Bits covered by one superblock of cumulative popcounts (8 words).
+pub const SUPERBLOCK_BITS: usize = 512;
+
+/// One select hint is sampled for every `SELECT_SAMPLE` set bits.
+const SELECT_SAMPLE: usize = 512;
+
+/// O(1) `rank` / near-O(1) `select` index over a [`Bitmap`].
+///
+/// Layout: one cumulative popcount per 512-bit superblock
+/// (`bits / 512 + 1` words of metadata) plus one superblock hint per 512
+/// set bits — a few percent of the bitmap, never linear in the matrix.
+///
+/// # Example
+///
+/// ```
+/// use smash_core::{Bitmap, RankIndex};
+///
+/// let mut b = Bitmap::zeros(2048);
+/// for i in (0..2048).step_by(3) {
+///     b.set(i, true);
+/// }
+/// let idx = RankIndex::build(&b);
+/// assert_eq!(idx.rank(&b, 300), b.rank(300)); // == the O(n) scan
+/// assert_eq!(idx.select(&b, 10), Some(30));   // position of the 11th one
+/// assert_eq!(idx.ones(), b.count_ones());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankIndex {
+    /// Length of the indexed bitmap (for pairing checks).
+    len: usize,
+    /// Cumulative set-bit count before each superblock; one trailing
+    /// entry holds the total.
+    super_ranks: Vec<u64>,
+    /// For every `SELECT_SAMPLE`-th set bit, the superblock containing it.
+    select_hints: Vec<u32>,
+}
+
+impl RankIndex {
+    /// Builds the index in one pass over the bitmap's words.
+    pub fn build(bm: &Bitmap) -> RankIndex {
+        let words = bm.words();
+        let n_super = words.len().div_ceil(SUPERBLOCK_BITS / 64);
+        let mut super_ranks = Vec::with_capacity(n_super + 1);
+        let mut select_hints = Vec::new();
+        let mut count = 0u64;
+        super_ranks.push(0);
+        for (sb, chunk) in words.chunks(SUPERBLOCK_BITS / 64).enumerate() {
+            let c: u64 = chunk.iter().map(|w| u64::from(w.count_ones())).sum();
+            // Every sample threshold crossed inside this superblock points
+            // here; thresholds below `count` were recorded earlier.
+            while ((select_hints.len() * SELECT_SAMPLE) as u64) < count + c {
+                select_hints.push(sb as u32);
+            }
+            count += c;
+            super_ranks.push(count);
+        }
+        RankIndex {
+            len: bm.len(),
+            super_ranks,
+            select_hints,
+        }
+    }
+
+    /// Total set bits in the indexed bitmap.
+    pub fn ones(&self) -> usize {
+        *self.super_ranks.last().expect("always one entry") as usize
+    }
+
+    /// Length of the bitmap this index was built from.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the indexed bitmap had zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Metadata footprint in bytes (what an indexed kernel charges as
+    /// auxiliary memory).
+    pub fn aux_bytes(&self) -> usize {
+        self.super_ranks.len() * std::mem::size_of::<u64>()
+            + self.select_hints.len() * std::mem::size_of::<u32>()
+    }
+
+    /// Number of set bits in `[0, idx)` — O(1): one superblock lookup plus
+    /// at most 8 word popcounts.
+    ///
+    /// `bm` must be the bitmap the index was built from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx > bm.len()` or the bitmap length disagrees with the
+    /// index.
+    pub fn rank(&self, bm: &Bitmap, idx: usize) -> usize {
+        assert_eq!(bm.len(), self.len, "index built from a different bitmap");
+        assert!(
+            idx <= self.len,
+            "rank index {idx} out of range {}",
+            self.len
+        );
+        let sb = idx / SUPERBLOCK_BITS;
+        let mut count = self.super_ranks[sb] as usize;
+        let words = bm.words();
+        let full_words = idx / 64;
+        for w in &words[sb * (SUPERBLOCK_BITS / 64)..full_words] {
+            count += w.count_ones() as usize;
+        }
+        let rem = idx % 64;
+        if rem != 0 {
+            count += (words[full_words] & ((1u64 << rem) - 1)).count_ones() as usize;
+        }
+        count
+    }
+
+    /// Position of the `k`-th (0-based) set bit, or `None` if fewer than
+    /// `k + 1` bits are set — near-O(1): a sampled hint bounds a binary
+    /// search over superblocks, then at most 8 word popcounts.
+    ///
+    /// `bm` must be the bitmap the index was built from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bitmap length disagrees with the index.
+    pub fn select(&self, bm: &Bitmap, k: usize) -> Option<usize> {
+        assert_eq!(bm.len(), self.len, "index built from a different bitmap");
+        if k >= self.ones() {
+            return None;
+        }
+        let k64 = k as u64;
+        // The hint gives the superblock of the (k / SAMPLE * SAMPLE)-th
+        // one; the next hint (or the end) bounds the search window.
+        let h = k / SELECT_SAMPLE;
+        let lo_sb = self.select_hints[h] as usize;
+        let hi_sb = self
+            .select_hints
+            .get(h + 1)
+            .map(|&s| s as usize + 1)
+            .unwrap_or(self.super_ranks.len() - 1);
+        // Largest superblock whose cumulative rank is <= k.
+        let window = &self.super_ranks[lo_sb..hi_sb + 1];
+        let sb = lo_sb + window.partition_point(|&r| r <= k64) - 1;
+        let mut remaining = k - self.super_ranks[sb] as usize;
+        let words = bm.words();
+        let w_lo = sb * (SUPERBLOCK_BITS / 64);
+        for (wi, &word) in words.iter().enumerate().skip(w_lo) {
+            let c = word.count_ones() as usize;
+            if remaining < c {
+                // Select within the word: clear the lowest `remaining` set
+                // bits, then the answer is the next trailing one.
+                let mut w = word;
+                for _ in 0..remaining {
+                    w &= w - 1;
+                }
+                return Some(wi * 64 + w.trailing_zeros() as usize);
+            }
+            remaining -= c;
+        }
+        unreachable!("k < ones() guarantees the scan finds the bit");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_select(bm: &Bitmap, k: usize) -> Option<usize> {
+        bm.iter_ones().nth(k)
+    }
+
+    fn patterns() -> Vec<Bitmap> {
+        let mut out = vec![
+            Bitmap::zeros(0),
+            Bitmap::zeros(1),
+            Bitmap::zeros(5000),
+            Bitmap::from_bools(&[true]),
+        ];
+        // Dense, sparse, clustered and boundary-heavy patterns.
+        for (len, step) in [
+            (64usize, 1usize),
+            (65, 2),
+            (4096, 1),
+            (4099, 7),
+            (20_000, 513),
+        ] {
+            let mut b = Bitmap::zeros(len);
+            for i in (0..len).step_by(step) {
+                b.set(i, true);
+            }
+            out.push(b);
+        }
+        let mut tail = Bitmap::zeros(3000);
+        tail.set(2999, true);
+        out.push(tail);
+        out
+    }
+
+    #[test]
+    fn rank_matches_scan_everywhere() {
+        for bm in patterns() {
+            let idx = RankIndex::build(&bm);
+            assert_eq!(idx.ones(), bm.count_ones());
+            for i in (0..=bm.len()).step_by(1.max(bm.len() / 97)) {
+                assert_eq!(idx.rank(&bm, i), bm.rank(i), "rank({i}) len {}", bm.len());
+            }
+            assert_eq!(idx.rank(&bm, bm.len()), bm.count_ones());
+        }
+    }
+
+    #[test]
+    fn select_matches_naive_everywhere() {
+        for bm in patterns() {
+            let idx = RankIndex::build(&bm);
+            let ones = idx.ones();
+            for k in (0..ones).step_by(1.max(ones / 97)) {
+                assert_eq!(idx.select(&bm, k), naive_select(&bm, k), "select({k})");
+            }
+            if ones > 0 {
+                assert_eq!(idx.select(&bm, ones - 1), naive_select(&bm, ones - 1));
+            }
+            assert_eq!(idx.select(&bm, ones), None);
+            assert_eq!(idx.select(&bm, ones + 10), None);
+        }
+    }
+
+    #[test]
+    fn rank_select_are_inverse() {
+        let mut bm = Bitmap::zeros(10_000);
+        for i in (0..10_000).step_by(13) {
+            bm.set(i, true);
+        }
+        let idx = RankIndex::build(&bm);
+        for k in 0..idx.ones() {
+            let pos = idx.select(&bm, k).unwrap();
+            assert_eq!(idx.rank(&bm, pos), k);
+            assert!(bm.get(pos));
+        }
+    }
+
+    #[test]
+    fn aux_bytes_are_sublinear() {
+        let bm = Bitmap::zeros(1 << 20);
+        let idx = RankIndex::build(&bm);
+        // Dense bitmap: 1 MiB of bits, ~16 KiB of superblock counts.
+        assert!(idx.aux_bytes() < (1 << 20) / 8 / 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bitmap")]
+    fn mismatched_bitmap_is_rejected() {
+        let idx = RankIndex::build(&Bitmap::zeros(10));
+        idx.rank(&Bitmap::zeros(11), 0);
+    }
+}

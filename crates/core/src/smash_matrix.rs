@@ -1,4 +1,6 @@
-use crate::{Bitmap, BitmapHierarchy, Layout, Nza, SmashConfig, SmashError};
+use crate::{
+    Bitmap, BitmapHierarchy, Layout, LineCursor, LineDirectory, Nza, SmashConfig, SmashError,
+};
 use smash_matrix::{Coo, Csr, Dense, Scalar};
 
 /// Invokes `f(local_block_index, block_values)` for each occupied block of
@@ -60,6 +62,10 @@ pub struct SmashMatrix<T> {
     config: SmashConfig,
     hierarchy: BitmapHierarchy,
     nza: Nza<T>,
+    /// O(1) per-line index into the compressed form, built once at
+    /// construction (deterministic from the hierarchy, so it never
+    /// affects equality semantics in practice).
+    directory: LineDirectory,
 }
 
 impl<T: Scalar> SmashMatrix<T> {
@@ -118,13 +124,74 @@ impl<T: Scalar> SmashMatrix<T> {
             });
         }
 
+        Self::assemble(rows, cols, config, hierarchy, nza)
+    }
+
+    /// Builds the line directory and packs the struct. Callers must have
+    /// established the structural invariants first ([`validate_parts`]).
+    ///
+    /// [`validate_parts`]: Self::validate_parts
+    fn assemble(
+        rows: usize,
+        cols: usize,
+        config: SmashConfig,
+        hierarchy: BitmapHierarchy,
+        nza: Nza<T>,
+    ) -> Self {
+        let (lines, line_len) = match config.layout() {
+            Layout::RowMajor => (rows, cols),
+            Layout::ColMajor => (cols, rows),
+        };
+        let bpl = line_len.div_ceil(config.block_size());
+        let directory = LineDirectory::build(&hierarchy, lines, bpl);
         SmashMatrix {
             rows,
             cols,
             config,
             hierarchy,
             nza,
+            directory,
         }
+    }
+
+    /// Checks the structural invariants on loose parts, before assembly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmashError::Inconsistent`] on the first violation.
+    fn validate_parts(
+        rows: usize,
+        cols: usize,
+        config: &SmashConfig,
+        hierarchy: &BitmapHierarchy,
+        nza: &Nza<T>,
+    ) -> Result<(), SmashError> {
+        hierarchy.validate()?;
+        if nza.num_blocks() != hierarchy.num_blocks() {
+            return Err(SmashError::Inconsistent(format!(
+                "NZA holds {} blocks but Bitmap-0 has {} set bits",
+                nza.num_blocks(),
+                hierarchy.num_blocks()
+            )));
+        }
+        if nza.block_size() != config.block_size() {
+            return Err(SmashError::Inconsistent(
+                "NZA block size differs from configured Bitmap-0 ratio".into(),
+            ));
+        }
+        let (lines, line_len) = match config.layout() {
+            Layout::RowMajor => (rows, cols),
+            Layout::ColMajor => (cols, rows),
+        };
+        let expect_bits = lines * line_len.div_ceil(config.block_size());
+        if hierarchy.logical_bits(0) != expect_bits {
+            return Err(SmashError::Inconsistent(format!(
+                "Bitmap-0 logical length {} != lines * blocks_per_line = {}",
+                hierarchy.logical_bits(0),
+                expect_bits
+            )));
+        }
+        Ok(())
     }
 
     /// Assembles a matrix from an already-built hierarchy and NZA,
@@ -144,15 +211,8 @@ impl<T: Scalar> SmashMatrix<T> {
         hierarchy: BitmapHierarchy,
         nza: Nza<T>,
     ) -> Result<Self, SmashError> {
-        let out = SmashMatrix {
-            rows,
-            cols,
-            config,
-            hierarchy,
-            nza,
-        };
-        out.validate()?;
-        Ok(out)
+        Self::validate_parts(rows, cols, &config, &hierarchy, &nza)?;
+        Ok(Self::assemble(rows, cols, config, hierarchy, nza))
     }
 
     /// Decompresses back to CSR. Explicit zeros inside NZA blocks are
@@ -276,20 +336,47 @@ impl<T: Scalar> SmashMatrix<T> {
     /// Reconstructs the full (uncompacted) Bitmap-0, whose bit `line *
     /// blocks_per_line + b` covers block `b` of that line. Single-level
     /// hierarchies store Bitmap-0 in this form already.
+    ///
+    /// O(logical bits) memory and time — this is the expansion the
+    /// kernels used to pay on every call and no longer do; it remains as
+    /// the property-test oracle for [`line_cursor`](Self::line_cursor)
+    /// and for format conversions that need the dense bitmap.
     pub fn full_bitmap0(&self) -> Bitmap {
         self.hierarchy.expand_full(0)
     }
 
-    /// Per-line starting NZA block ordinal (length `line_count() + 1`): the
-    /// rank of each line's first bit in the full Bitmap-0. SpMM uses this to
-    /// address a line's blocks directly.
-    pub fn line_block_starts(&self) -> Vec<u32> {
-        self.line_block_starts_in(&self.full_bitmap0())
+    /// The per-line directory: O(1) row seeks into the compressed form
+    /// (starting NZA ordinals, stored-bitmap cursors, logical
+    /// rank/select) — the software analogue of the BMU's `bmapinfo`
+    /// state. Built once at construction; O(lines + stored bits / 512)
+    /// memory.
+    pub fn directory(&self) -> &LineDirectory {
+        &self.directory
     }
 
-    /// Like [`line_block_starts`](SmashMatrix::line_block_starts), but
-    /// reusing an already-expanded Bitmap-0 so callers that need both (the
-    /// parallel SpMV) expand the hierarchy only once.
+    /// Word-level cursor over one line's non-zero blocks, yielding
+    /// `(nza_ordinal, logical_bitmap0_index)` in block order — no bitmap
+    /// expansion, O(1) seek to the line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line >= line_count()`.
+    pub fn line_cursor(&self, line: usize) -> LineCursor<'_> {
+        self.directory.cursor(&self.hierarchy, line)
+    }
+
+    /// Per-line starting NZA block ordinal (length `line_count() + 1`): the
+    /// rank of each line's first bit in the full Bitmap-0. SpMM uses this to
+    /// address a line's blocks directly. Served from the
+    /// [`directory`](Self::directory) in O(1) — no expansion.
+    pub fn line_block_starts(&self) -> &[u32] {
+        self.directory.line_starts()
+    }
+
+    /// Recomputes the per-line block starts by scanning an
+    /// already-expanded Bitmap-0. O(logical bits); kept as the oracle the
+    /// directory-backed [`line_block_starts`](Self::line_block_starts)
+    /// is property-tested against.
     pub fn line_block_starts_in(&self, full: &Bitmap) -> Vec<u32> {
         let bpl = self.blocks_per_line();
         let mut starts = Vec::with_capacity(self.line_count() + 1);
@@ -407,13 +494,7 @@ impl<T: Scalar> SmashMatrix<T> {
             }
         }
         let hierarchy = BitmapHierarchy::from_level0(&bm0, self.config.ratios())?;
-        let out = SmashMatrix {
-            rows: self.rows,
-            cols: self.cols,
-            config: self.config.clone(),
-            hierarchy,
-            nza,
-        };
+        let out = Self::assemble(self.rows, self.cols, self.config.clone(), hierarchy, nza);
         debug_assert!(out.validate().is_ok());
         Ok(out)
     }
@@ -424,28 +505,13 @@ impl<T: Scalar> SmashMatrix<T> {
     ///
     /// Returns [`SmashError::Inconsistent`] on the first violation.
     pub fn validate(&self) -> Result<(), SmashError> {
-        self.hierarchy.validate()?;
-        if self.nza.num_blocks() != self.hierarchy.num_blocks() {
-            return Err(SmashError::Inconsistent(format!(
-                "NZA holds {} blocks but Bitmap-0 has {} set bits",
-                self.nza.num_blocks(),
-                self.hierarchy.num_blocks()
-            )));
-        }
-        if self.nza.block_size() != self.config.block_size() {
-            return Err(SmashError::Inconsistent(
-                "NZA block size differs from configured Bitmap-0 ratio".into(),
-            ));
-        }
-        let expect_bits = self.line_count() * self.blocks_per_line();
-        if self.hierarchy.logical_bits(0) != expect_bits {
-            return Err(SmashError::Inconsistent(format!(
-                "Bitmap-0 logical length {} != lines * blocks_per_line = {}",
-                self.hierarchy.logical_bits(0),
-                expect_bits
-            )));
-        }
-        Ok(())
+        Self::validate_parts(
+            self.rows,
+            self.cols,
+            &self.config,
+            &self.hierarchy,
+            &self.nza,
+        )
     }
 }
 
@@ -556,12 +622,37 @@ mod tests {
         let starts = sm.line_block_starts();
         assert_eq!(starts.len(), 25);
         assert_eq!(*starts.last().unwrap() as usize, sm.num_blocks());
-        // Each line's blocks, addressed via starts, must reproduce the row.
+        // The directory-backed starts must equal the expansion oracle.
         let full = sm.full_bitmap0();
+        assert_eq!(starts, sm.line_block_starts_in(&full));
         let bpl = sm.blocks_per_line();
         for line in 0..24 {
             let count = full.rank((line + 1) * bpl) - full.rank(line * bpl);
             assert_eq!((starts[line + 1] - starts[line]) as usize, count);
+        }
+    }
+
+    #[test]
+    fn line_cursor_matches_expansion_oracle() {
+        let mats = [
+            generators::uniform(33, 57, 200, 3),
+            generators::clustered(50, 41, 300, 6, 5),
+        ];
+        for a in &mats {
+            for ratios in [&[2u32][..], &[4, 4], &[2, 4, 16], &[8, 4, 2]] {
+                let sm = SmashMatrix::encode(a, cfg(ratios));
+                let all: Vec<usize> = sm.full_bitmap0().iter_ones().collect();
+                let bpl = sm.blocks_per_line();
+                let mut got = Vec::new();
+                for line in 0..sm.line_count() {
+                    for (ordinal, logical) in sm.line_cursor(line) {
+                        assert_eq!(logical / bpl, line, "ratios {ratios:?}");
+                        got.push((ordinal, logical));
+                    }
+                }
+                let want: Vec<(usize, usize)> = all.into_iter().enumerate().collect();
+                assert_eq!(got, want, "ratios {ratios:?}");
+            }
         }
     }
 

@@ -28,4 +28,6 @@ pub use bc::{betweenness, betweenness_reference, BcConfig};
 pub use generators::{generate_graphs, paper_graphs, GraphSpec};
 pub use graph::Graph;
 pub use pagerank::{pagerank, pagerank_reference, GraphMechanism, PageRankConfig};
-pub use parallel::{betweenness_parallel, pagerank_parallel};
+pub use parallel::{
+    betweenness_parallel, betweenness_parallel_smash, pagerank_parallel, pagerank_parallel_smash,
+};

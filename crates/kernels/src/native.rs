@@ -305,34 +305,35 @@ pub fn spmm_smash(a: &SmashMatrix<f64>, b: &SmashMatrix<f64>) -> Coo<f64> {
     let b0 = a.config().block_size();
     assert_eq!(b0, b.config().block_size());
 
-    // Per-line block lists (a real implementation keeps these as the
-    // `line_block_starts` array plus the full Bitmap-0).
-    let collect = |sm: &SmashMatrix<f64>| -> (Vec<Vec<u32>>, Vec<u32>) {
+    // Per-line in-line block offsets, flattened and addressed through the
+    // directory's per-line starts — O(nnz blocks + lines) auxiliary
+    // memory, never the O(dense) full Bitmap-0 expansion.
+    let collect = |sm: &SmashMatrix<f64>| -> Vec<u32> {
         let bpl = sm.blocks_per_line();
-        let mut lists = vec![Vec::new(); sm.line_count()];
-        for logical in sm.full_bitmap0().iter_ones() {
-            lists[logical / bpl].push((logical % bpl) as u32);
+        let mut offs = vec![0u32; sm.num_blocks()];
+        for (ordinal, logical) in sm.hierarchy().blocks().enumerate() {
+            offs[ordinal] = (logical % bpl) as u32;
         }
-        (lists, sm.line_block_starts())
+        offs
     };
-    let (a_lists, a_starts) = collect(a);
-    let (b_lists, b_starts) = collect(b);
+    let (a_offs, a_starts) = (collect(a), a.line_block_starts());
+    let (b_offs, b_starts) = (collect(b), b.line_block_starts());
     let a_nza = a.nza().values();
     let b_nza = b.nza().values();
 
     let mut c = Coo::new(a.rows(), b.cols());
     for i in 0..a.rows() {
-        let al = &a_lists[i];
+        let a_base = a_starts[i] as usize;
+        let al = &a_offs[a_base..a_starts[i + 1] as usize];
         if al.is_empty() {
             continue;
         }
-        let a_base = a_starts[i] as usize;
         for j in 0..b.cols() {
-            let bl = &b_lists[j];
+            let b_base = b_starts[j] as usize;
+            let bl = &b_offs[b_base..b_starts[j + 1] as usize];
             if bl.is_empty() {
                 continue;
             }
-            let b_base = b_starts[j] as usize;
             let (mut p, mut q) = (0usize, 0usize);
             let mut acc = 0.0;
             let mut hit = false;

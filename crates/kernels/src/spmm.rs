@@ -257,8 +257,9 @@ pub fn spmm_bcsr<E: Engine>(e: &mut E, a: &Bcsr<f64>, bt: &Bcsr<f64>) -> Coo<f64
 }
 
 /// Per-operand state for the SMASH SpMM merges: the block lists of each
-/// line, derived from the full Bitmap-0 (software would precompute the
-/// `line_block_starts` array during encoding).
+/// line, read straight off the compressed form through the matrix's
+/// [`LineDirectory`](smash_core::LineDirectory) cursors — the full
+/// Bitmap-0 is never expanded.
 struct SmashLines {
     /// For each line, the logical Bitmap-0 indices of its blocks.
     blocks: Vec<Vec<usize>>,
@@ -267,14 +268,13 @@ struct SmashLines {
 }
 
 fn smash_lines(sm: &SmashMatrix<f64>) -> SmashLines {
-    let bpl = sm.blocks_per_line();
     let mut blocks = vec![Vec::new(); sm.line_count()];
-    for logical in sm.full_bitmap0().iter_ones() {
-        blocks[logical / bpl].push(logical);
+    for (line, list) in blocks.iter_mut().enumerate() {
+        list.extend(sm.line_cursor(line).map(|(_, logical)| logical));
     }
     SmashLines {
         blocks,
-        starts: sm.line_block_starts(),
+        starts: sm.line_block_starts().to_vec(),
     }
 }
 

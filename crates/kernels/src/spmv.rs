@@ -168,7 +168,6 @@ pub fn spmv_sw_smash<E: Engine>(e: &mut E, a: &SmashMatrix<f64>, x: &[f64]) -> V
     assert_eq!(x.len(), a.cols(), "vector length must equal cols");
     let levels = a.hierarchy().num_levels();
     let b0 = a.config().block_size();
-    let bpl = a.blocks_per_line();
     let nza_a = e.alloc(8 * a.nza().len(), 64);
     let x_a = e.alloc(8 * x.len(), 64);
     let y_a = e.alloc(8 * a.rows(), 64);
@@ -264,7 +263,6 @@ pub fn spmv_sw_smash<E: Engine>(e: &mut E, a: &SmashMatrix<f64>, x: &[f64]) -> V
             next_word[level] += 1;
         }
     }
-    let _ = bpl;
     y
 }
 

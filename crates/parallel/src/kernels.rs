@@ -119,9 +119,13 @@ pub fn par_spmv_bcsr(pool: &ThreadPool, a: &Bcsr<f64>, x: &[f64], y: &mut [f64])
     });
 }
 
-/// Parallel software-SMASH SpMV, scanning the expanded Bitmap-0 per line
-/// range with the NZA cursor seeded from the per-line block ranks;
-/// bit-identical to
+/// Parallel software-SMASH SpMV over the compressed form: the matrix's
+/// [`LineDirectory`](smash_core::LineDirectory) seeks each worker's row
+/// range in O(1) (starting NZA ordinal + stored-bitmap cursor), and each
+/// row is scanned with a word-level
+/// [`LineCursor`](smash_core::LineCursor) — the logical Bitmap-0 is
+/// never expanded, so peak auxiliary memory is O(1) per worker instead
+/// of O(dense size). Bit-identical to
 /// [`spmv_smash`](../../smash_kernels/native/fn.spmv_smash.html) at any
 /// thread count.
 ///
@@ -137,11 +141,9 @@ pub fn par_spmv_smash(pool: &ThreadPool, a: &SmashMatrix<f64>, x: &[f64], y: &mu
     let bpl = a.blocks_per_line();
     let cols = a.cols();
     let nza = a.nza().values();
-    // The expanded Bitmap-0 and the per-line block ranks let each worker
-    // start its scan mid-matrix: line `l`'s first block is NZA ordinal
-    // `starts[l]`, and its bits live in [l * bpl, (l + 1) * bpl).
-    let full = a.full_bitmap0();
-    let starts = a.line_block_starts_in(&full);
+    // nnz-balanced contiguous row ranges, weighted by the per-line block
+    // counts the directory already knows — no expansion, no rank scans.
+    let starts = a.line_block_starts();
     let ranges = partition_by_weight(a.rows(), pool.threads(), |l| {
         u64::from(starts[l + 1] - starts[l])
     });
@@ -150,28 +152,19 @@ pub fn par_spmv_smash(pool: &ThreadPool, a: &SmashMatrix<f64>, x: &[f64], y: &mu
         for range in ranges {
             let (chunk, tail) = rest.split_at_mut(range.len());
             rest = tail;
-            let full = &full;
-            let starts = &starts;
             s.execute(move || {
                 chunk.fill(0.0);
-                let mut ordinal = starts[range.start] as usize;
-                let hi_bit = range.end * bpl;
-                let mut bit = full.next_one(range.start * bpl);
-                while let Some(logical) = bit {
-                    if logical >= hi_bit {
-                        break;
+                for row in range.clone() {
+                    for (ordinal, logical) in a.line_cursor(row) {
+                        let col = (logical % bpl) * b0;
+                        let block = &nza[ordinal * b0..(ordinal + 1) * b0];
+                        let n = b0.min(cols - col);
+                        let mut acc = 0.0;
+                        for k in 0..n {
+                            acc += block[k] * x[col + k];
+                        }
+                        chunk[row - range.start] += acc;
                     }
-                    let row = logical / bpl;
-                    let col = (logical % bpl) * b0;
-                    let block = &nza[ordinal * b0..(ordinal + 1) * b0];
-                    let n = b0.min(cols - col);
-                    let mut acc = 0.0;
-                    for k in 0..n {
-                        acc += block[k] * x[col + k];
-                    }
-                    chunk[row - range.start] += acc;
-                    ordinal += 1;
-                    bit = full.next_one(logical + 1);
                 }
             });
         }

@@ -1,0 +1,165 @@
+//! Property tests for the rank/select indexing layer: `RankIndex`
+//! against the O(n) scans, `LineDirectory`/`LineCursor` against the
+//! full-expansion oracle, and the directory-backed kernels against the
+//! seed kernels — **bit-identical** (`==`), at thread counts {1, 2, 8},
+//! across adversarial shapes.
+
+use proptest::prelude::*;
+use smash::encoding::{Bitmap, RankIndex, SmashConfig, SmashMatrix};
+use smash::kernels::native;
+use smash::matrix::{generators, Coo, Csr};
+use smash::parallel::{par_spmv_smash, ThreadPool};
+
+/// The thread counts the kernel equivalence assertions run under.
+const THREADS: [usize; 3] = [1, 2, 8];
+
+fn vector(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| 0.5 + ((i * 37) % 11) as f64 * 0.375)
+        .collect()
+}
+
+/// Arbitrary bitmap: length 0..1200, arbitrary contents.
+fn arb_bitmap() -> impl Strategy<Value = Bitmap> {
+    proptest::collection::vec(any::<bool>(), 0..1200).prop_map(|bits| Bitmap::from_bools(&bits))
+}
+
+/// Arbitrary sparse matrix with adversarial shapes: skinny, empty rows,
+/// dense clusters.
+fn arb_matrix() -> impl Strategy<Value = Csr<f64>> {
+    (1usize..48, 1usize..48)
+        .prop_flat_map(|(r, c)| {
+            let entries =
+                proptest::collection::vec((0..r, 0..c, 1u32..1000u32), 0..(r * c).min(220));
+            (Just(r), Just(c), entries)
+        })
+        .prop_map(|(r, c, entries)| {
+            let mut coo = Coo::new(r, c);
+            for (i, j, v) in entries {
+                coo.push(i, j, v as f64 / 16.0);
+            }
+            coo.compress();
+            Csr::from_coo(&coo)
+        })
+}
+
+/// Arbitrary hierarchy configuration: 1-4 levels, small ratios.
+fn arb_ratios() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(2u32..9, 1..4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Indexed rank must equal the O(n) word scan at every position.
+    #[test]
+    fn rank_index_matches_scan(bm in arb_bitmap(), frac in 0.0f64..1.0) {
+        let idx = RankIndex::build(&bm);
+        let pos = ((bm.len() as f64) * frac) as usize;
+        prop_assert_eq!(idx.rank(&bm, pos), bm.rank(pos));
+        prop_assert_eq!(idx.rank(&bm, bm.len()), bm.count_ones());
+        prop_assert_eq!(idx.ones(), bm.count_ones());
+    }
+
+    /// Indexed select must equal the naive iterator scan for every k,
+    /// and None past the population count.
+    #[test]
+    fn select_index_matches_scan(bm in arb_bitmap(), k in 0usize..1400) {
+        let idx = RankIndex::build(&bm);
+        prop_assert_eq!(idx.select(&bm, k), bm.iter_ones().nth(k));
+    }
+
+    /// The line cursor must yield exactly the (ordinal, logical) pairs
+    /// the full-expansion oracle produces, line by line.
+    #[test]
+    fn line_cursor_matches_full_expansion(a in arb_matrix(), ratios in arb_ratios()) {
+        let sm = SmashMatrix::encode(&a, SmashConfig::row_major(&ratios).unwrap());
+        let full = sm.full_bitmap0();
+        let bpl = sm.blocks_per_line();
+        let want: Vec<(usize, usize)> = full.iter_ones().enumerate().collect();
+        let mut got = Vec::new();
+        for line in 0..sm.line_count() {
+            let before = got.len();
+            for pair in sm.line_cursor(line) {
+                prop_assert_eq!(pair.1 / bpl, line);
+                got.push(pair);
+            }
+            prop_assert_eq!(got.len() - before, sm.directory().blocks_in_line(line));
+        }
+        prop_assert_eq!(got, want);
+    }
+
+    /// Directory-backed per-line starts must equal the expansion oracle,
+    /// and logical rank/select must invert each other.
+    #[test]
+    fn directory_starts_match_oracle(a in arb_matrix(), ratios in arb_ratios()) {
+        let sm = SmashMatrix::encode(&a, SmashConfig::row_major(&ratios).unwrap());
+        let full = sm.full_bitmap0();
+        prop_assert_eq!(sm.line_block_starts(), &sm.line_block_starts_in(&full)[..]);
+        let dir = sm.directory();
+        let h = sm.hierarchy();
+        for (k, logical) in full.iter_ones().enumerate() {
+            prop_assert_eq!(dir.block_select(h, k), Some(logical));
+            prop_assert_eq!(dir.block_rank(h, logical), k);
+        }
+        prop_assert_eq!(dir.block_select(h, sm.num_blocks()), None);
+    }
+
+    /// The directory-backed parallel SpMV must be bit-identical to the
+    /// serial seed kernel at every thread count, and match serial CSR to
+    /// floating-point tolerance.
+    #[test]
+    fn par_spmv_smash_is_bit_identical(a in arb_matrix(), ratios in arb_ratios()) {
+        let sm = SmashMatrix::encode(&a, SmashConfig::row_major(&ratios).unwrap());
+        let x = vector(a.cols());
+        let mut want = vec![0.0f64; a.rows()];
+        native::spmv_smash(&sm, &x, &mut want);
+        for threads in THREADS {
+            let pool = ThreadPool::new(threads);
+            let mut got = vec![f64::NAN; a.rows()];
+            par_spmv_smash(&pool, &sm, &x, &mut got);
+            prop_assert_eq!(&got, &want, "threads = {}", threads);
+        }
+        let mut csr = vec![0.0f64; a.rows()];
+        native::spmv_csr(&a, &x, &mut csr);
+        for (g, w) in want.iter().zip(&csr) {
+            prop_assert!((g - w).abs() < 1e-9 * (1.0 + w.abs()), "{} vs {}", g, w);
+        }
+    }
+
+    /// The directory-backed SpMM must remain bit-identical to the
+    /// full-expansion construction of its per-line block lists, and match
+    /// serial CSR SpMM to floating-point tolerance.
+    #[test]
+    fn spmm_smash_matches_expansion_and_csr(a in arb_matrix(), b_seed in 0u64..1000) {
+        let b = generators::uniform(a.cols(), 24, (a.cols() * 3).min(150), b_seed);
+        let sa = SmashMatrix::encode(&a, SmashConfig::row_major(&[2]).unwrap());
+        let sb = SmashMatrix::encode(&b, SmashConfig::col_major(&[2]).unwrap());
+        // The per-line lists the kernel derives from the directory must
+        // equal the lists the seed derived from the expanded Bitmap-0.
+        for sm in [&sa, &sb] {
+            let bpl = sm.blocks_per_line();
+            let starts = sm.line_block_starts();
+            for line in 0..sm.line_count() {
+                let got: Vec<u32> =
+                    sm.line_cursor(line).map(|(_, l)| (l % bpl) as u32).collect();
+                let want: Vec<u32> = sm
+                    .full_bitmap0()
+                    .iter_ones()
+                    .filter(|&l| l / bpl == line)
+                    .map(|l| (l % bpl) as u32)
+                    .collect();
+                prop_assert_eq!(&got, &want);
+                prop_assert_eq!(got.len(), (starts[line + 1] - starts[line]) as usize);
+            }
+        }
+        let got = native::spmm_smash(&sa, &sb).to_dense();
+        let want = native::spmm_csr(&a, &b.to_csc()).to_dense();
+        for i in 0..want.rows() {
+            for j in 0..want.cols() {
+                let (x, y) = (got.get(i, j), want.get(i, j));
+                prop_assert!((x - y).abs() < 1e-9 * (1.0 + y.abs()), "({},{}): {} vs {}", i, j, x, y);
+            }
+        }
+    }
+}
