@@ -33,6 +33,34 @@ pub fn for_each_line_block<T: Scalar>(
     }
 }
 
+/// Dot product of one NZA block against `n` contiguous elements of `x`
+/// starting at `col`, accumulated in serial element order.
+///
+/// This is the per-block body of every SMASH SpMV path — the serial
+/// single-level word scan and multi-level cursor walk
+/// (`smash_kernels::native::spmv_smash`) and the parallel row-range kernel
+/// (`smash_parallel::par_spmv_smash`) all call it, so their arithmetic
+/// order can never diverge and parallel output stays bit-identical to
+/// serial at every precision.
+///
+/// # Example
+///
+/// ```
+/// use smash_core::block_dot;
+///
+/// let block = [2.0f64, 3.0];
+/// let x = [1.0, 10.0, 100.0, 1000.0];
+/// assert_eq!(block_dot(&block, &x, 2, 2), 2.0 * 100.0 + 3.0 * 1000.0);
+/// ```
+#[inline]
+pub fn block_dot<T: Scalar>(block: &[T], x: &[T], col: usize, n: usize) -> T {
+    let mut acc = T::ZERO;
+    for k in 0..n {
+        acc += block[k] * x[col + k];
+    }
+    acc
+}
+
 /// A sparse matrix compressed with the SMASH encoding: a hierarchy of
 /// bitmaps plus the Non-Zero Values Array (paper §3.2, §4.1).
 ///

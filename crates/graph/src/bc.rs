@@ -12,6 +12,7 @@ use crate::{Graph, GraphMechanism};
 use smash_bmu::Bmu;
 use smash_core::{SmashConfig, SmashMatrix};
 use smash_kernels::spmv;
+use smash_matrix::Scalar;
 use smash_sim::{Engine, StreamId};
 
 /// Betweenness-centrality parameters.
@@ -41,12 +42,16 @@ impl Default for BcConfig {
 const S_VEC: StreamId = StreamId(41);
 
 /// Level structure of one BFS: per level, the frontier vertices.
-fn bfs_levels(g: &Graph, source: u32, max_levels: usize) -> (Vec<Vec<u32>>, Vec<f64>, Vec<i32>) {
+fn bfs_levels<T: Scalar>(
+    g: &Graph<T>,
+    source: u32,
+    max_levels: usize,
+) -> (Vec<Vec<u32>>, Vec<T>, Vec<i32>) {
     let n = g.vertices();
     let mut dist = vec![-1i32; n];
-    let mut sigma = vec![0.0f64; n];
+    let mut sigma = vec![T::ZERO; n];
     dist[source as usize] = 0;
-    sigma[source as usize] = 1.0;
+    sigma[source as usize] = T::ONE;
     let mut levels = vec![vec![source]];
     while levels.len() < max_levels {
         let frontier = levels.last().expect("at least the source level");
@@ -61,9 +66,10 @@ fn bfs_levels(g: &Graph, source: u32, max_levels: usize) -> (Vec<Vec<u32>>, Vec<
         }
         // Path counts flow along edges between consecutive levels.
         for &u in frontier {
+            let su = sigma[u as usize];
             for v in g.neighbours(u as usize) {
                 if dist[v] == levels.len() as i32 {
-                    sigma[v] += sigma[u as usize];
+                    sigma[v] += su;
                 }
             }
         }
@@ -76,19 +82,20 @@ fn bfs_levels(g: &Graph, source: u32, max_levels: usize) -> (Vec<Vec<u32>>, Vec<
     (levels, sigma, dist)
 }
 
-/// Reference (uninstrumented, level-capped) betweenness centrality.
-pub fn betweenness_reference(g: &Graph, cfg: &BcConfig) -> Vec<f64> {
+/// Reference (uninstrumented, level-capped) betweenness centrality,
+/// generic over the accumulation precision.
+pub fn betweenness_reference<T: Scalar>(g: &Graph<T>, cfg: &BcConfig) -> Vec<T> {
     let n = g.vertices();
-    let mut bc = vec![0.0f64; n];
+    let mut bc = vec![T::ZERO; n];
     for &s in &cfg.sources {
         let (levels, sigma, dist) = bfs_levels(g, s, cfg.max_levels);
-        let mut delta = vec![0.0f64; n];
+        let mut delta = vec![T::ZERO; n];
         for k in (1..levels.len()).rev() {
             for &u in &levels[k - 1] {
-                let mut acc = 0.0;
+                let mut acc = T::ZERO;
                 for v in g.neighbours(u as usize) {
                     if dist[v] == k as i32 {
-                        acc += (1.0 + delta[v]) / sigma[v];
+                        acc += (T::ONE + delta[v]) / sigma[v];
                     }
                 }
                 delta[u as usize] += sigma[u as usize] * acc;
@@ -104,12 +111,12 @@ pub fn betweenness_reference(g: &Graph, cfg: &BcConfig) -> Vec<f64> {
 /// Instrumented betweenness centrality: every level transition of both
 /// sweeps is one mechanism-routed SpMV over the adjacency (transpose),
 /// followed by element-wise mask/update passes.
-pub fn betweenness<E: Engine>(
+pub fn betweenness<E: Engine, T: Scalar>(
     e: &mut E,
     mech: GraphMechanism,
-    g: &Graph,
+    g: &Graph<T>,
     cfg: &BcConfig,
-) -> Vec<f64> {
+) -> Vec<T> {
     let n = g.vertices();
     let at = g.adjacency_transpose();
     let a = g.adjacency().clone();
@@ -121,9 +128,10 @@ pub fn betweenness<E: Engine>(
         GraphMechanism::Csr => (None, None),
     };
     let mut bmu = Bmu::new();
-    let vec_addr = e.alloc(8 * n, 64);
+    let vec_addr = e.alloc(std::mem::size_of::<T>() * n, 64);
+    let vs = std::mem::size_of::<T>() as u64;
 
-    let run_spmv = |e: &mut E, bmu: &mut Bmu, transpose: bool, x: &[f64]| -> Vec<f64> {
+    let run_spmv = |e: &mut E, bmu: &mut Bmu, transpose: bool, x: &[T]| -> Vec<T> {
         match mech {
             GraphMechanism::Csr => {
                 if transpose {
@@ -141,22 +149,22 @@ pub fn betweenness<E: Engine>(
     // Element-wise pass over the work vectors: load, update, store, branch.
     let vector_pass = |e: &mut E, writes: bool| {
         for i in 0..n {
-            let ld = e.load(S_VEC, vec_addr + 8 * i as u64, &[]);
+            let ld = e.load(S_VEC, vec_addr + vs * i as u64, &[]);
             e.branch(30, i % 3 == 0, &[ld]);
             if writes {
                 let up = e.fadd(&[ld]);
-                e.store(S_VEC, vec_addr + 8 * i as u64, &[up]);
+                e.store(S_VEC, vec_addr + vs * i as u64, &[up]);
             }
         }
     };
 
-    let mut bc = vec![0.0f64; n];
+    let mut bc = vec![T::ZERO; n];
     for &s in &cfg.sources {
         // Forward sweep: discover levels and accumulate sigma with SpMVs.
         let mut dist = vec![-1i32; n];
-        let mut sigma = vec![0.0f64; n];
+        let mut sigma = vec![T::ZERO; n];
         dist[s as usize] = 0;
-        sigma[s as usize] = 1.0;
+        sigma[s as usize] = T::ONE;
         let mut levels: Vec<Vec<u32>> = vec![vec![s]];
         loop {
             if levels.len() >= cfg.max_levels {
@@ -164,7 +172,7 @@ pub fn betweenness<E: Engine>(
             }
             let frontier = levels.last().expect("non-empty");
             // f = sigma masked to the frontier.
-            let mut f = vec![0.0f64; n];
+            let mut f = vec![T::ZERO; n];
             for &u in frontier {
                 f[u as usize] = sigma[u as usize];
             }
@@ -172,7 +180,7 @@ pub fn betweenness<E: Engine>(
             vector_pass(e, true); // mask t to unvisited, update sigma/dist
             let mut next = Vec::new();
             for (v, &tv) in t.iter().enumerate() {
-                if tv > 0.0 && dist[v] == -1 {
+                if tv > T::ZERO && dist[v] == -1 {
                     dist[v] = levels.len() as i32;
                     sigma[v] += tv;
                     next.push(v as u32);
@@ -184,11 +192,11 @@ pub fn betweenness<E: Engine>(
             levels.push(next);
         }
         // Backward sweep: dependency accumulation, one SpMV per level.
-        let mut delta = vec![0.0f64; n];
+        let mut delta = vec![T::ZERO; n];
         for k in (1..levels.len()).rev() {
-            let mut w = vec![0.0f64; n];
+            let mut w = vec![T::ZERO; n];
             for &v in &levels[k] {
-                w[v as usize] = (1.0 + delta[v as usize]) / sigma[v as usize];
+                w[v as usize] = (T::ONE + delta[v as usize]) / sigma[v as usize];
             }
             let t = run_spmv(e, &mut bmu, false, &w);
             vector_pass(e, true); // delta[u] += sigma[u] * t[u] on level k-1
@@ -287,7 +295,7 @@ mod tests {
         // 0 - 1 - 2 - 3 - 4 (symmetric path): vertex 2 lies on the most
         // shortest paths.
         let edges: Vec<(u32, u32)> = (0..4).flat_map(|i| [(i, i + 1), (i + 1, i)]).collect();
-        let g = Graph::from_edges(5, &edges);
+        let g = Graph::<f64>::from_edges(5, &edges);
         let cfg = BcConfig {
             sources: (0..5).collect(),
             max_levels: 16,

@@ -1,14 +1,20 @@
-use smash_matrix::{Coo, Csr};
+use smash_matrix::{Coo, Csr, Scalar};
 
 /// Directed graph stored as a CSR adjacency matrix (`A[u][v] = 1` for an
 /// edge `u -> v`), the representation the paper's Ligra-based workloads
 /// compile down to when expressed as SpMV (§6).
+///
+/// Generic over the edge-weight [`Scalar`] (default `f64`, so plain
+/// `Graph` keeps its historical meaning): `Graph<f32>` runs the same
+/// PageRank/BC pipelines at half the memory traffic — the
+/// approximate-analytics regime — and [`Graph::cast`] converts between
+/// precisions without touching the edge structure.
 #[derive(Debug, Clone, PartialEq)]
-pub struct Graph {
-    adj: Csr<f64>,
+pub struct Graph<T: Scalar = f64> {
+    adj: Csr<T>,
 }
 
-impl Graph {
+impl<T: Scalar> Graph<T> {
     /// Builds a graph from an edge list; duplicate edges and self-loops are
     /// dropped.
     ///
@@ -23,14 +29,14 @@ impl Graph {
                 "edge ({u}, {v}) outside {vertices} vertices"
             );
             if u != v {
-                coo.push(u as usize, v as usize, 1.0);
+                coo.push(u as usize, v as usize, T::ONE);
             }
         }
         coo.compress();
         // Duplicate edges were summed by compress; clamp back to 1.
         let mut dedup = Coo::with_capacity(vertices, vertices, coo.nnz());
         for &(u, v, _) in coo.entries() {
-            dedup.push(u as usize, v as usize, 1.0);
+            dedup.push(u as usize, v as usize, T::ONE);
         }
         Graph {
             adj: Csr::from_coo(&dedup),
@@ -66,19 +72,28 @@ impl Graph {
     }
 
     /// The 0/1 adjacency matrix.
-    pub fn adjacency(&self) -> &Csr<f64> {
+    pub fn adjacency(&self) -> &Csr<T> {
         &self.adj
     }
 
     /// The adjacency transpose (in-edges), used by pull-style traversals.
-    pub fn adjacency_transpose(&self) -> Csr<f64> {
+    pub fn adjacency_transpose(&self) -> Csr<T> {
         self.adj.transpose()
+    }
+
+    /// The same graph with edge weights converted to scalar type `U` —
+    /// the edge structure (and therefore every traversal) is unchanged,
+    /// only the arithmetic precision of the SpMV-based algorithms moves.
+    pub fn cast<U: Scalar>(&self) -> Graph<U> {
+        Graph {
+            adj: self.adj.cast(),
+        }
     }
 
     /// The column-stochastic PageRank transition matrix `M` with
     /// `M[v][u] = 1 / outdeg(u)` for each edge `u -> v`, so one PageRank
     /// iteration is the SpMV `r' = d·M·r + (1-d)/n`.
-    pub fn transition_matrix(&self) -> Csr<f64> {
+    pub fn transition_matrix(&self) -> Csr<T> {
         let n = self.vertices();
         let mut coo = Coo::with_capacity(n, n, self.edges());
         for u in 0..n {
@@ -86,7 +101,7 @@ impl Graph {
             if deg == 0 {
                 continue;
             }
-            let w = 1.0 / deg as f64;
+            let w = T::from_f64(1.0 / deg as f64);
             for v in self.neighbours(u) {
                 coo.push(v, u, w);
             }
@@ -115,7 +130,7 @@ mod tests {
 
     #[test]
     fn drops_duplicates_and_loops() {
-        let g = Graph::from_edges(3, &[(0, 1), (0, 1), (1, 1), (1, 2)]);
+        let g = Graph::<f64>::from_edges(3, &[(0, 1), (0, 1), (1, 1), (1, 2)]);
         assert_eq!(g.edges(), 2);
         assert_eq!(g.adjacency().values(), &[1.0, 1.0]);
     }
@@ -145,6 +160,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "outside")]
     fn rejects_out_of_range_edges() {
-        Graph::from_edges(2, &[(0, 5)]);
+        Graph::<f64>::from_edges(2, &[(0, 5)]);
     }
 }

@@ -9,6 +9,7 @@ use crate::Graph;
 use smash_bmu::Bmu;
 use smash_core::{SmashConfig, SmashMatrix};
 use smash_kernels::spmv;
+use smash_matrix::Scalar;
 use smash_sim::{Engine, StreamId, UopId};
 
 /// Mechanisms compared in the paper's Fig. 18.
@@ -54,16 +55,17 @@ impl Default for PageRankConfig {
 /// Prefetcher stream for the rank vectors.
 const S_RANK: StreamId = StreamId(40);
 
-/// Reference (uninstrumented) PageRank.
-pub fn pagerank_reference(g: &Graph, cfg: &PageRankConfig) -> Vec<f64> {
+/// Reference (uninstrumented) PageRank, generic over the rank precision.
+pub fn pagerank_reference<T: Scalar>(g: &Graph<T>, cfg: &PageRankConfig) -> Vec<T> {
     let n = g.vertices();
     let m = g.transition_matrix();
-    let mut r = vec![1.0 / n as f64; n];
-    let teleport = (1.0 - cfg.damping) / n as f64;
+    let mut r = vec![T::from_f64(1.0 / n as f64); n];
+    let teleport = T::from_f64((1.0 - cfg.damping) / n as f64);
+    let damping = T::from_f64(cfg.damping);
     for _ in 0..cfg.iterations {
         let y = m.spmv(&r);
         for (ri, yi) in r.iter_mut().zip(&y) {
-            *ri = cfg.damping * yi + teleport;
+            *ri = damping * *yi + teleport;
         }
     }
     r
@@ -71,12 +73,12 @@ pub fn pagerank_reference(g: &Graph, cfg: &PageRankConfig) -> Vec<f64> {
 
 /// Instrumented PageRank: each iteration emits one mechanism-specific SpMV
 /// plus the element-wise rank update.
-pub fn pagerank<E: Engine>(
+pub fn pagerank<E: Engine, T: Scalar>(
     e: &mut E,
     mech: GraphMechanism,
-    g: &Graph,
+    g: &Graph<T>,
     cfg: &PageRankConfig,
-) -> Vec<f64> {
+) -> Vec<T> {
     let n = g.vertices();
     let m = g.transition_matrix();
     let sm = match mech {
@@ -84,10 +86,12 @@ pub fn pagerank<E: Engine>(
         GraphMechanism::Csr => None,
     };
     let mut bmu = Bmu::new();
-    let r_addr = e.alloc(8 * n, 64);
+    let r_addr = e.alloc(std::mem::size_of::<T>() * n, 64);
+    let vs = std::mem::size_of::<T>() as u64;
 
-    let mut r = vec![1.0 / n as f64; n];
-    let teleport = (1.0 - cfg.damping) / n as f64;
+    let mut r = vec![T::from_f64(1.0 / n as f64); n];
+    let teleport = T::from_f64((1.0 - cfg.damping) / n as f64);
+    let damping = T::from_f64(cfg.damping);
     for _ in 0..cfg.iterations {
         let y = match mech {
             GraphMechanism::Csr => spmv::spmv_csr(e, &m, &r),
@@ -97,11 +101,11 @@ pub fn pagerank<E: Engine>(
         };
         // r = d * y + teleport, element-wise.
         for (i, (ri, yi)) in r.iter_mut().zip(&y).enumerate() {
-            let ld = e.load(S_RANK, r_addr + 8 * i as u64, &[]);
+            let ld = e.load(S_RANK, r_addr + vs * i as u64, &[]);
             let mul = e.fmul(&[ld]);
             let add = e.fadd(&[mul]);
-            e.store(S_RANK, r_addr + 8 * i as u64, &[add]);
-            *ri = cfg.damping * yi + teleport;
+            e.store(S_RANK, r_addr + vs * i as u64, &[add]);
+            *ri = damping * *yi + teleport;
         }
         let _: UopId = e.alu(&[]); // iteration counter
     }

@@ -21,23 +21,25 @@
 
 use crate::{BcConfig, Graph, PageRankConfig};
 use smash_core::{SmashConfig, SmashMatrix};
+use smash_matrix::Scalar;
 use smash_parallel::{par_csr_to_smash, par_spmv_csr, par_spmv_smash, ThreadPool};
 
 /// PageRank power iteration over an abstract SpMV (`y = M * r`): one
 /// algorithm body shared by the CSR and SMASH variants, so the two can
 /// never diverge.
-fn pagerank_with(
+fn pagerank_with<T: Scalar>(
     n: usize,
     cfg: &PageRankConfig,
-    mut spmv: impl FnMut(&[f64], &mut [f64]),
-) -> Vec<f64> {
-    let mut r = vec![1.0 / n as f64; n];
-    let mut y = vec![0.0f64; n];
-    let teleport = (1.0 - cfg.damping) / n as f64;
+    mut spmv: impl FnMut(&[T], &mut [T]),
+) -> Vec<T> {
+    let mut r = vec![T::from_f64(1.0 / n as f64); n];
+    let mut y = vec![T::ZERO; n];
+    let teleport = T::from_f64((1.0 - cfg.damping) / n as f64);
+    let damping = T::from_f64(cfg.damping);
     for _ in 0..cfg.iterations {
         spmv(&r, &mut y);
         for (ri, yi) in r.iter_mut().zip(&y) {
-            *ri = cfg.damping * yi + teleport;
+            *ri = damping * *yi + teleport;
         }
     }
     r
@@ -48,20 +50,20 @@ fn pagerank_with(
 /// adjacency): the forward sweep accumulates shortest-path counts, the
 /// backward sweep accumulates dependencies — one SpMV per level each.
 /// One algorithm body shared by the CSR and SMASH variants.
-fn betweenness_with(
+fn betweenness_with<T: Scalar>(
     n: usize,
     cfg: &BcConfig,
-    mut spmv_at: impl FnMut(&[f64], &mut [f64]),
-    mut spmv_a: impl FnMut(&[f64], &mut [f64]),
-) -> Vec<f64> {
-    let mut t = vec![0.0f64; n];
-    let mut bc = vec![0.0f64; n];
+    mut spmv_at: impl FnMut(&[T], &mut [T]),
+    mut spmv_a: impl FnMut(&[T], &mut [T]),
+) -> Vec<T> {
+    let mut t = vec![T::ZERO; n];
+    let mut bc = vec![T::ZERO; n];
     for &s in &cfg.sources {
         // Forward sweep: discover levels and accumulate sigma.
         let mut dist = vec![-1i32; n];
-        let mut sigma = vec![0.0f64; n];
+        let mut sigma = vec![T::ZERO; n];
         dist[s as usize] = 0;
-        sigma[s as usize] = 1.0;
+        sigma[s as usize] = T::ONE;
         let mut levels: Vec<Vec<u32>> = vec![vec![s]];
         loop {
             if levels.len() >= cfg.max_levels {
@@ -69,14 +71,14 @@ fn betweenness_with(
             }
             let frontier = levels.last().expect("non-empty");
             // f = sigma masked to the frontier.
-            let mut f = vec![0.0f64; n];
+            let mut f = vec![T::ZERO; n];
             for &u in frontier {
                 f[u as usize] = sigma[u as usize];
             }
             spmv_at(&f, &mut t);
             let mut next = Vec::new();
             for (v, &tv) in t.iter().enumerate() {
-                if tv > 0.0 && dist[v] == -1 {
+                if tv > T::ZERO && dist[v] == -1 {
                     dist[v] = levels.len() as i32;
                     sigma[v] += tv;
                     next.push(v as u32);
@@ -88,11 +90,11 @@ fn betweenness_with(
             levels.push(next);
         }
         // Backward sweep: dependency accumulation, one SpMV per level.
-        let mut delta = vec![0.0f64; n];
+        let mut delta = vec![T::ZERO; n];
         for k in (1..levels.len()).rev() {
-            let mut w = vec![0.0f64; n];
+            let mut w = vec![T::ZERO; n];
             for &v in &levels[k] {
-                w[v as usize] = (1.0 + delta[v as usize]) / sigma[v as usize];
+                w[v as usize] = (T::ONE + delta[v as usize]) / sigma[v as usize];
             }
             spmv_a(&w, &mut t);
             for &u in &levels[k - 1] {
@@ -108,7 +110,11 @@ fn betweenness_with(
 
 /// Parallel PageRank: each power iteration is one [`par_spmv_csr`] over
 /// the transition matrix followed by the element-wise rank update.
-pub fn pagerank_parallel(pool: &ThreadPool, g: &Graph, cfg: &PageRankConfig) -> Vec<f64> {
+pub fn pagerank_parallel<T: Scalar>(
+    pool: &ThreadPool,
+    g: &Graph<T>,
+    cfg: &PageRankConfig,
+) -> Vec<T> {
     let m = g.transition_matrix();
     pagerank_with(g.vertices(), cfg, |r, y| par_spmv_csr(pool, &m, r, y))
 }
@@ -125,13 +131,13 @@ pub fn pagerank_parallel(pool: &ThreadPool, g: &Graph, cfg: &PageRankConfig) -> 
 /// # Panics
 ///
 /// Panics if `smash_cfg` is not row-major.
-pub fn pagerank_parallel_smash(
+pub fn pagerank_parallel_smash<T: Scalar>(
     pool: &ThreadPool,
-    g: &Graph,
+    g: &Graph<T>,
     cfg: &PageRankConfig,
     smash_cfg: &SmashConfig,
-) -> Vec<f64> {
-    let m: SmashMatrix<f64> = par_csr_to_smash(pool, &g.transition_matrix(), smash_cfg.clone());
+) -> Vec<T> {
+    let m: SmashMatrix<T> = par_csr_to_smash(pool, &g.transition_matrix(), smash_cfg.clone());
     pagerank_with(g.vertices(), cfg, |r, y| par_spmv_smash(pool, &m, r, y))
 }
 
@@ -140,7 +146,7 @@ pub fn pagerank_parallel_smash(
 /// counts with one parallel SpMV over the adjacency transpose per level,
 /// the backward sweep accumulates dependencies with one parallel SpMV
 /// over the adjacency per level.
-pub fn betweenness_parallel(pool: &ThreadPool, g: &Graph, cfg: &BcConfig) -> Vec<f64> {
+pub fn betweenness_parallel<T: Scalar>(pool: &ThreadPool, g: &Graph<T>, cfg: &BcConfig) -> Vec<T> {
     let at = g.adjacency_transpose();
     let a = g.adjacency();
     betweenness_with(
@@ -161,14 +167,14 @@ pub fn betweenness_parallel(pool: &ThreadPool, g: &Graph, cfg: &BcConfig) -> Vec
 /// # Panics
 ///
 /// Panics if `smash_cfg` is not row-major.
-pub fn betweenness_parallel_smash(
+pub fn betweenness_parallel_smash<T: Scalar>(
     pool: &ThreadPool,
-    g: &Graph,
+    g: &Graph<T>,
     cfg: &BcConfig,
     smash_cfg: &SmashConfig,
-) -> Vec<f64> {
-    let at: SmashMatrix<f64> = par_csr_to_smash(pool, &g.adjacency_transpose(), smash_cfg.clone());
-    let a: SmashMatrix<f64> = par_csr_to_smash(pool, g.adjacency(), smash_cfg.clone());
+) -> Vec<T> {
+    let at: SmashMatrix<T> = par_csr_to_smash(pool, &g.adjacency_transpose(), smash_cfg.clone());
+    let a: SmashMatrix<T> = par_csr_to_smash(pool, g.adjacency(), smash_cfg.clone());
     betweenness_with(
         g.vertices(),
         cfg,

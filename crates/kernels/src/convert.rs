@@ -1,20 +1,26 @@
 //! Instrumented format conversions (paper §4.1.3 and the Fig. 20
 //! conversion-overhead experiment): CSR → SMASH and SMASH → CSR.
 
-use crate::common::{sites, streams, vector_ops, VEC_WIDTH};
+use crate::common::{lanes_of, sites, streams, vector_ops_of};
 use smash_core::{SmashConfig, SmashMatrix};
-use smash_matrix::Csr;
+use smash_matrix::{Csr, Scalar};
 use smash_sim::{Engine, UopId};
 
 /// Converts CSR to the hierarchical bitmap encoding, charging the engine
 /// for the three steps of §4.1.3: discovering non-zero blocks, appending
 /// them to the NZA, and building the bitmap hierarchy bottom-up.
-pub fn csr_to_smash<E: Engine>(e: &mut E, a: &Csr<f64>, config: SmashConfig) -> SmashMatrix<f64> {
+pub fn csr_to_smash<E: Engine, T: Scalar>(
+    e: &mut E,
+    a: &Csr<T>,
+    config: SmashConfig,
+) -> SmashMatrix<T> {
+    let vs = std::mem::size_of::<T>() as u64;
+    let lanes = lanes_of::<T>();
     let sm = SmashMatrix::encode(a, config);
 
     let col_a = e.alloc(4 * a.nnz(), 64);
-    let val_a = e.alloc(8 * a.nnz(), 64);
-    let nza_a = e.alloc(8 * sm.nza().len(), 64);
+    let val_a = e.alloc(vs as usize * a.nnz(), 64);
+    let nza_a = e.alloc(vs as usize * sm.nza().len(), 64);
     let levels = sm.hierarchy().num_levels();
     let bitmap_addrs: Vec<u64> = (0..levels)
         .map(|l| e.alloc(sm.hierarchy().stored_level(l).len().div_ceil(8), 64))
@@ -40,18 +46,18 @@ pub fn csr_to_smash<E: Engine>(e: &mut E, a: &Csr<f64>, config: SmashConfig) -> 
     // scatter the values.
     let b0 = sm.config().block_size();
     for blk in 0..sm.num_blocks() {
-        for lane in 0..vector_ops(b0) {
-            let off = (blk * b0 + lane * VEC_WIDTH) as u64;
-            e.store(streams::NZA_A, nza_a + 8 * off, &[]);
+        for lane in 0..vector_ops_of::<T>(b0) {
+            let off = (blk * b0 + lane * lanes) as u64;
+            e.store(streams::NZA_A, nza_a + vs * off, &[]);
         }
     }
     let mut j = 0u64;
     for i in 0..a.rows() {
         let (cols_i, _) = a.row(i);
         for _ in cols_i {
-            let vld = e.load(streams::VAL, val_a + 8 * j, &[]);
+            let vld = e.load(streams::VAL, val_a + vs * j, &[]);
             let addr = e.alu(&[]); // destination slot within the block
-            e.store(streams::NZA_A, nza_a + (j % 64) * 8, &[vld, addr]);
+            e.store(streams::NZA_A, nza_a + (j % 64) * vs, &[vld, addr]);
             j += 1;
         }
     }
@@ -79,13 +85,15 @@ pub fn csr_to_smash<E: Engine>(e: &mut E, a: &Csr<f64>, config: SmashConfig) -> 
 /// Converts a SMASH matrix back to CSR, charging the engine for the scan of
 /// the hierarchy (software cursor) and the per-element zero tests and
 /// output stores.
-pub fn smash_to_csr<E: Engine>(e: &mut E, sm: &SmashMatrix<f64>) -> Csr<f64> {
+pub fn smash_to_csr<E: Engine, T: Scalar>(e: &mut E, sm: &SmashMatrix<T>) -> Csr<T> {
+    let vs = std::mem::size_of::<T>() as u64;
+    let lanes = lanes_of::<T>();
     let csr = sm.decode();
 
     let levels = sm.hierarchy().num_levels();
-    let nza_a = e.alloc(8 * sm.nza().len(), 64);
+    let nza_a = e.alloc(vs as usize * sm.nza().len(), 64);
     let out_ind = e.alloc(4 * csr.nnz(), 64);
-    let out_val = e.alloc(8 * csr.nnz(), 64);
+    let out_val = e.alloc(vs as usize * csr.nnz(), 64);
     let bitmap_addrs: Vec<u64> = (0..levels)
         .map(|l| e.alloc(sm.hierarchy().stored_level(l).len().div_ceil(8), 64))
         .collect();
@@ -112,8 +120,8 @@ pub fn smash_to_csr<E: Engine>(e: &mut E, sm: &SmashMatrix<f64>) -> Csr<f64> {
         // A block: load its values, test each for zero, store survivors.
         let ord = out as usize; // monotone proxy for the NZA cursor
         let _ = ord;
-        for lane in 0..vector_ops(b0) {
-            e.load(streams::NZA_A, nza_a + 8 * (lane * VEC_WIDTH) as u64, &[]);
+        for lane in 0..vector_ops_of::<T>(b0) {
+            e.load(streams::NZA_A, nza_a + vs * (lane * lanes) as u64, &[]);
         }
         for _ in 0..b0 {
             e.branch(sites::ZERO_TEST, false, &[]);
@@ -121,7 +129,7 @@ pub fn smash_to_csr<E: Engine>(e: &mut E, sm: &SmashMatrix<f64>) -> Csr<f64> {
     }
     for _ in 0..csr.nnz() {
         e.store(streams::OUT, out_ind + 4 * out, &[]);
-        e.store(streams::OUT, out_val + 8 * out, &[]);
+        e.store(streams::OUT, out_val + vs * out, &[]);
         e.alu(&[]);
         out += 1;
     }

@@ -1,0 +1,426 @@
+//! The unified **executor** layer: one `spmv`/`spmm` entry point over
+//! *format × precision × serial/parallel*.
+//!
+//! The native kernel families of this crate expose roughly ten per-format
+//! functions (`spmv_csr`, `spmv_bcsr`, `spmv_smash`, their `par_*` twins,
+//! the SpMM variants, the compressor…). The [`Executor`] hides that fan-out
+//! behind a single dispatcher: callers hand it any supported operand
+//! format — [`Csr`], [`Bcsr`] or a compressed [`SmashMatrix`] — at any
+//! [`Scalar`] precision, and the executor picks the matching kernel and
+//! decides whether to run it serially or across a thread pool.
+//!
+//! Three [`ExecMode`]s exist:
+//!
+//! * [`ExecMode::Serial`] — always the single-threaded native kernel.
+//! * [`ExecMode::Parallel`] — always the thread-pool kernel (worker count
+//!   from [`SMASH_THREADS`](smash_parallel::THREADS_ENV) or the available cores).
+//! * [`ExecMode::Auto`] — per-call choice driven by the matrix shape and
+//!   non-zero count: small or skinny operands stay serial (pool dispatch
+//!   costs more than it buys), large ones go wide.
+//!
+//! **Determinism guarantee:** because every parallel kernel in
+//! `smash-parallel` is bit-identical to its serial counterpart, the
+//! executor's output is bit-identical across all three modes, every
+//! thread count, and both precisions — `Auto` never trades accuracy for
+//! speed.
+//!
+//! # Example
+//!
+//! ```
+//! use smash_kernels::Executor;
+//! use smash_matrix::generators;
+//!
+//! let a = generators::uniform(64, 64, 400, 1);
+//! let x = vec![1.0f64; 64];
+//! let mut y = vec![0.0f64; 64];
+//! let exec = Executor::auto();
+//! exec.spmv(&a, &x, &mut y);            // same entry point for every format
+//!
+//! let mut serial = vec![0.0f64; 64];
+//! Executor::serial().spmv(&a, &x, &mut serial);
+//! assert_eq!(y, serial);                // bit-identical across modes
+//! ```
+
+use crate::native;
+use smash_core::{Layout, SmashConfig, SmashMatrix};
+use smash_matrix::{Bcsr, Coo, Csc, Csr, Scalar};
+use smash_parallel::{
+    default_threads, par_csr_to_smash, par_spmm_csr, par_spmv_bcsr, par_spmv_csr, par_spmv_smash,
+    ThreadPool,
+};
+
+/// Minimum non-zero count before [`ExecMode::Auto`] reaches for the thread
+/// pool: below this, partitioning + wakeup overhead dominates the kernel.
+pub const AUTO_PARALLEL_NNZ: usize = 16_384;
+
+/// Minimum rows-per-worker before [`ExecMode::Auto`] parallelizes: with
+/// fewer, the contiguous row ranges are too small to amortize dispatch.
+pub const AUTO_MIN_ROWS_PER_THREAD: usize = 4;
+
+/// Serial/parallel dispatch policy of an [`Executor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Always run the single-threaded native kernel.
+    Serial,
+    /// Always run the thread-pool kernel.
+    Parallel,
+    /// Decide per call from the operand's shape and density.
+    Auto,
+}
+
+/// Any matrix format the executor can run an SpMV over, borrowed from the
+/// caller. Construct it implicitly through `Into` (`exec.spmv(&csr, …)`)
+/// or explicitly for dynamic format choice.
+#[derive(Debug, Clone, Copy)]
+pub enum SpmvOperand<'a, T> {
+    /// Plain compressed sparse row.
+    Csr(&'a Csr<T>),
+    /// Blocked CSR.
+    Bcsr(&'a Bcsr<T>),
+    /// SMASH-compressed (hierarchical bitmap + NZA), row-major.
+    Smash(&'a SmashMatrix<T>),
+}
+
+impl<'a, T> From<&'a Csr<T>> for SpmvOperand<'a, T> {
+    fn from(a: &'a Csr<T>) -> Self {
+        SpmvOperand::Csr(a)
+    }
+}
+
+impl<'a, T> From<&'a Bcsr<T>> for SpmvOperand<'a, T> {
+    fn from(a: &'a Bcsr<T>) -> Self {
+        SpmvOperand::Bcsr(a)
+    }
+}
+
+impl<'a, T> From<&'a SmashMatrix<T>> for SpmvOperand<'a, T> {
+    fn from(a: &'a SmashMatrix<T>) -> Self {
+        SpmvOperand::Smash(a)
+    }
+}
+
+impl<T: Scalar> SpmvOperand<'_, T> {
+    /// Rows of the operand.
+    pub fn rows(&self) -> usize {
+        match self {
+            SpmvOperand::Csr(a) => a.rows(),
+            SpmvOperand::Bcsr(a) => a.rows(),
+            SpmvOperand::Smash(a) => a.rows(),
+        }
+    }
+
+    /// Columns of the operand.
+    pub fn cols(&self) -> usize {
+        match self {
+            SpmvOperand::Csr(a) => a.cols(),
+            SpmvOperand::Bcsr(a) => a.cols(),
+            SpmvOperand::Smash(a) => a.cols(),
+        }
+    }
+
+    /// Stored work items: true non-zeros for CSR, stored (padded) values
+    /// for the blocked formats — the quantity dispatch cost competes with.
+    pub fn work(&self) -> usize {
+        match self {
+            SpmvOperand::Csr(a) => a.nnz(),
+            SpmvOperand::Bcsr(a) => a.nnz_stored(),
+            SpmvOperand::Smash(a) => a.nza().len(),
+        }
+    }
+}
+
+/// Format × precision × serial/parallel dispatcher for the native kernels.
+///
+/// One executor serves every [`Scalar`] precision — it owns a thread pool
+/// (for the parallel modes), not per-type state — so a single instance can
+/// run an `f64` solve and an `f32` inference pass back to back.
+///
+/// See the [module docs](self) for the dispatch rules and the determinism
+/// guarantee, and [`Executor::spmv`] / [`Executor::spmm`] for the entry
+/// points.
+#[derive(Debug)]
+pub struct Executor {
+    mode: ExecMode,
+    /// Present iff `mode` may parallelize (`Parallel` or `Auto`).
+    pool: Option<ThreadPool>,
+}
+
+impl Executor {
+    /// An executor that always runs the serial native kernels.
+    pub fn serial() -> Self {
+        Executor {
+            mode: ExecMode::Serial,
+            pool: None,
+        }
+    }
+
+    /// An executor that always uses the thread pool, sized from
+    /// [`SMASH_THREADS`](smash_parallel::THREADS_ENV) (or the available cores when unset).
+    pub fn parallel() -> Self {
+        Executor::with_threads(default_threads())
+    }
+
+    /// An executor that always uses a pool of exactly `threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn with_threads(threads: usize) -> Self {
+        Executor {
+            mode: ExecMode::Parallel,
+            pool: Some(ThreadPool::new(threads)),
+        }
+    }
+
+    /// An executor that chooses serial or parallel per call from the
+    /// operand's shape and non-zero count. The pool is sized from
+    /// [`SMASH_THREADS`](smash_parallel::THREADS_ENV) (or the available cores), so
+    /// `SMASH_THREADS=1` pins `Auto` to serial execution globally.
+    pub fn auto() -> Self {
+        Executor {
+            mode: ExecMode::Auto,
+            pool: Some(ThreadPool::new(default_threads())),
+        }
+    }
+
+    /// The dispatch mode of this executor.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Worker threads the parallel path would use (1 for a serial
+    /// executor).
+    pub fn threads(&self) -> usize {
+        self.pool.as_ref().map_or(1, ThreadPool::threads)
+    }
+
+    /// Whether a call over `rows` output rows and `work` stored values
+    /// runs on the pool under the current mode.
+    fn parallelize(&self, rows: usize, work: usize) -> bool {
+        match self.mode {
+            ExecMode::Serial => false,
+            ExecMode::Parallel => self.pool.is_some(),
+            ExecMode::Auto => {
+                let threads = self.threads();
+                threads > 1
+                    && work >= AUTO_PARALLEL_NNZ
+                    && rows >= AUTO_MIN_ROWS_PER_THREAD * threads
+            }
+        }
+    }
+
+    /// Sparse matrix-vector product `y = A * x` over any supported format
+    /// and precision.
+    ///
+    /// Dispatches to the serial or parallel kernel of the operand's format
+    /// per the executor's [`ExecMode`]; the result is bit-identical
+    /// whichever path runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != a.cols()`, `y.len() != a.rows()`, or (for
+    /// SMASH operands) the matrix is not row-major.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use smash_core::{SmashConfig, SmashMatrix};
+    /// use smash_kernels::Executor;
+    /// use smash_matrix::generators;
+    ///
+    /// let exec = Executor::auto();
+    /// let a = generators::banded(96, 96, 3, 500, 7);
+    /// let sm = SmashMatrix::encode(&a, SmashConfig::row_major(&[2, 4])?);
+    /// let x = vec![0.5f64; 96];
+    /// let (mut y_csr, mut y_sm) = (vec![0.0; 96], vec![0.0; 96]);
+    /// exec.spmv(&a, &x, &mut y_csr);   // CSR operand
+    /// exec.spmv(&sm, &x, &mut y_sm);   // compressed operand, same call
+    /// # Ok::<(), smash_core::SmashError>(())
+    /// ```
+    pub fn spmv<'a, T: Scalar>(&self, a: impl Into<SpmvOperand<'a, T>>, x: &[T], y: &mut [T]) {
+        let a = a.into();
+        let wide = self.parallelize(a.rows(), a.work());
+        match (a, wide) {
+            (SpmvOperand::Csr(a), false) => native::spmv_csr(a, x, y),
+            (SpmvOperand::Csr(a), true) => par_spmv_csr(self.pool(), a, x, y),
+            (SpmvOperand::Bcsr(a), false) => native::spmv_bcsr(a, x, y),
+            (SpmvOperand::Bcsr(a), true) => par_spmv_bcsr(self.pool(), a, x, y),
+            (SpmvOperand::Smash(a), false) => native::spmv_smash(a, x, y),
+            (SpmvOperand::Smash(a), true) => par_spmv_smash(self.pool(), a, x, y),
+        }
+    }
+
+    /// Inner-product sparse matrix-matrix multiply `C = A * B` with `B` in
+    /// CSC form, serial or row-parallel per the executor's mode. The two
+    /// paths produce identical triplet lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.cols() != b.rows()`.
+    pub fn spmm<T: Scalar>(&self, a: &Csr<T>, b: &Csc<T>) -> Coo<T> {
+        assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+        if self.parallelize(a.rows(), a.nnz() + b.nnz()) {
+            par_spmm_csr(self.pool(), a, b)
+        } else {
+            native::spmm_csr(a, b)
+        }
+    }
+
+    /// Block-granular SMASH SpMM (`A` row-major × `B` column-major, both
+    /// 1-level). Always serial — the block-index merge has no parallel
+    /// variant yet — so every mode returns the identical result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands are not 1-level row-major/col-major with
+    /// matching block sizes, or dimensions disagree.
+    pub fn spmm_smash<T: Scalar>(&self, a: &SmashMatrix<T>, b: &SmashMatrix<T>) -> Coo<T> {
+        assert_eq!(a.config().layout(), Layout::RowMajor, "A must be row-major");
+        native::spmm_smash(a, b)
+    }
+
+    /// Compresses a CSR matrix into the SMASH encoding, in parallel when
+    /// the executor's mode and the matrix size call for it. The produced
+    /// matrix is `==` to `SmashMatrix::encode(a, config)` either way.
+    pub fn encode<T: Scalar>(&self, a: &Csr<T>, config: SmashConfig) -> SmashMatrix<T> {
+        if self.parallelize(a.rows(), a.nnz()) {
+            par_csr_to_smash(self.pool(), a, config)
+        } else {
+            SmashMatrix::encode(a, config)
+        }
+    }
+
+    fn pool(&self) -> &ThreadPool {
+        self.pool
+            .as_ref()
+            .expect("parallel dispatch implies a pool")
+    }
+}
+
+impl Default for Executor {
+    /// The default executor is [`Executor::auto`].
+    fn default() -> Self {
+        Executor::auto()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::test_vector;
+    use smash_matrix::generators;
+
+    fn modes() -> Vec<(&'static str, Executor)> {
+        vec![
+            ("serial", Executor::serial()),
+            ("parallel", Executor::parallel()),
+            ("threads2", Executor::with_threads(2)),
+            ("auto", Executor::auto()),
+            ("default", Executor::default()),
+        ]
+    }
+
+    #[test]
+    fn all_modes_agree_bitwise_on_all_formats() {
+        // Big enough that Auto takes the parallel path for CSR.
+        let a = generators::clustered(256, 256, 20_000, 5, 3);
+        let bcsr = Bcsr::from_csr(&a, 2, 2).unwrap();
+        let sm = SmashMatrix::encode(&a, SmashConfig::row_major(&[2, 4]).unwrap());
+        let x = test_vector::<f64>(a.cols());
+        let mut want = vec![0.0; a.rows()];
+
+        for (fmt, serial_y) in [
+            ("csr", {
+                native::spmv_csr(&a, &x, &mut want);
+                want.clone()
+            }),
+            ("bcsr", {
+                native::spmv_bcsr(&bcsr, &x, &mut want);
+                want.clone()
+            }),
+            ("smash", {
+                native::spmv_smash(&sm, &x, &mut want);
+                want.clone()
+            }),
+        ] {
+            for (mode, exec) in modes() {
+                let mut y = vec![f64::NAN; a.rows()];
+                match fmt {
+                    "csr" => exec.spmv(&a, &x, &mut y),
+                    "bcsr" => exec.spmv(&bcsr, &x, &mut y),
+                    _ => exec.spmv(&sm, &x, &mut y),
+                }
+                assert_eq!(y, serial_y, "{fmt} via {mode}");
+            }
+        }
+    }
+
+    #[test]
+    fn auto_stays_serial_below_the_thresholds() {
+        let exec = Executor::auto();
+        // Tiny matrix: never worth dispatching.
+        assert!(!exec.parallelize(8, 64));
+        // Heavy but short: row ranges would be degenerate.
+        assert!(!exec.parallelize(2, 1_000_000));
+        if exec.threads() > 1 {
+            assert!(exec.parallelize(4 * exec.threads(), AUTO_PARALLEL_NNZ));
+        }
+    }
+
+    #[test]
+    fn serial_mode_reports_one_thread() {
+        assert_eq!(Executor::serial().threads(), 1);
+        assert_eq!(Executor::serial().mode(), ExecMode::Serial);
+        assert_eq!(Executor::with_threads(3).threads(), 3);
+    }
+
+    #[test]
+    fn spmm_modes_agree() {
+        let a = generators::uniform(96, 80, 6_000, 7);
+        let b = generators::uniform(80, 64, 4_000, 8).to_csc();
+        let want = native::spmm_csr(&a, &b);
+        for (mode, exec) in modes() {
+            assert_eq!(exec.spmm(&a, &b).entries(), want.entries(), "{mode}");
+        }
+    }
+
+    #[test]
+    fn encode_modes_agree() {
+        let a = generators::power_law(128, 128, 20_000, 1.3, 5);
+        let cfg = SmashConfig::row_major(&[2, 4]).unwrap();
+        let want = SmashMatrix::encode(&a, cfg.clone());
+        for (mode, exec) in modes() {
+            assert_eq!(exec.encode(&a, cfg.clone()), want, "{mode}");
+        }
+    }
+
+    #[test]
+    fn executor_is_precision_agnostic() {
+        let a64 = generators::uniform(64, 64, 2_000, 9);
+        let a32 = a64.cast::<f32>();
+        let exec = Executor::auto();
+        let mut y64 = vec![0.0f64; 64];
+        let mut y32 = vec![0.0f32; 64];
+        exec.spmv(&a64, &test_vector::<f64>(64), &mut y64);
+        exec.spmv(&a32, &test_vector::<f32>(64), &mut y32);
+        for (w, n) in y64.iter().zip(&y32) {
+            assert!(n.approx_eq(f32::from_f64(*w), f32::TOLERANCE));
+        }
+    }
+
+    #[test]
+    fn smash_spmm_through_executor_matches_native() {
+        let a = generators::uniform(40, 48, 300, 3);
+        let b = generators::clustered(48, 36, 250, 4, 4);
+        let sa = SmashMatrix::encode(&a, SmashConfig::row_major(&[2]).unwrap());
+        let sb = SmashMatrix::encode(&b, SmashConfig::col_major(&[2]).unwrap());
+        let want = native::spmm_smash(&sa, &sb);
+        for (mode, exec) in modes() {
+            assert_eq!(
+                exec.spmm_smash(&sa, &sb).entries(),
+                want.entries(),
+                "{mode}"
+            );
+        }
+    }
+}

@@ -4,23 +4,56 @@
 //! engine.
 
 use crate::common::{test_vector, Mechanism};
-use crate::{spmm, spmv};
+use crate::executor::Executor;
+use crate::{native, spmm, spmv};
 use smash_bmu::Bmu;
 use smash_core::{SmashConfig, SmashMatrix};
-use smash_matrix::{Bcsr, Coo, Csr};
+use smash_matrix::{Bcsr, Coo, Csr, Scalar};
 use smash_sim::{CountEngine, Engine, SimEngine, SimStats, SystemConfig};
 
 /// Block shape of the TACO-BCSR baseline (see DESIGN.md).
 pub const BCSR_BLOCK: usize = 2;
 
+/// Runs the *native* (wall-clock, uninstrumented) SpMV of `mech` through
+/// the [`Executor`]: the harness builds the mechanism's operand encoding
+/// (CSR, 2x2 BCSR, or the SMASH compressed form per `cfg`) and the
+/// executor picks the serial or parallel kernel. `IdealCsr` has no native
+/// counterpart (free position discovery is a simulation idealization), so
+/// it maps to the most-tuned software CSR, `spmv_csr_opt`.
+///
+/// # Panics
+///
+/// Panics if `x.len() != a.cols()` or `y.len() != a.rows()`.
+pub fn native_spmv<T: Scalar>(
+    exec: &Executor,
+    mech: Mechanism,
+    a: &Csr<T>,
+    cfg: &SmashConfig,
+    x: &[T],
+    y: &mut [T],
+) {
+    match mech {
+        Mechanism::TacoCsr => exec.spmv(a, x, y),
+        Mechanism::IdealCsr => native::spmv_csr_opt(a, x, y),
+        Mechanism::TacoBcsr => {
+            let b = Bcsr::from_csr(a, BCSR_BLOCK, BCSR_BLOCK).expect("non-zero block");
+            exec.spmv(&b, x, y);
+        }
+        Mechanism::SwSmash | Mechanism::Smash => {
+            let sm = exec.encode(a, cfg.clone());
+            exec.spmv(&sm, x, y);
+        }
+    }
+}
+
 /// Runs the instrumented SpMV of `mech` on the given engine and returns the
 /// product. `cfg` selects the bitmap hierarchy for the SMASH mechanisms.
-pub fn run_spmv<E: Engine>(
+pub fn run_spmv<E: Engine, T: Scalar>(
     e: &mut E,
     mech: Mechanism,
-    a: &Csr<f64>,
+    a: &Csr<T>,
     cfg: &SmashConfig,
-) -> Vec<f64> {
+) -> Vec<T> {
     let x = test_vector(a.cols());
     match mech {
         Mechanism::TacoCsr => spmv::spmv_csr(e, a, &x),
@@ -44,13 +77,13 @@ pub fn run_spmv<E: Engine>(
 /// Runs the instrumented SpMM of `mech` (`C = A * B`) on the given engine.
 /// SMASH mechanisms use single-level bitmaps with the Bitmap-0 ratio of
 /// `cfg`, per the paper's §5.2 SpMM formulation.
-pub fn run_spmm<E: Engine>(
+pub fn run_spmm<E: Engine, T: Scalar>(
     e: &mut E,
     mech: Mechanism,
-    a: &Csr<f64>,
-    b: &Csr<f64>,
+    a: &Csr<T>,
+    b: &Csr<T>,
     cfg: &SmashConfig,
-) -> Coo<f64> {
+) -> Coo<T> {
     let b0 = cfg.block_size() as u32;
     match mech {
         Mechanism::TacoCsr => spmm::spmm_csr(e, a, &b.to_csc()),
@@ -76,24 +109,29 @@ pub fn run_spmm<E: Engine>(
 }
 
 /// Full timing simulation of one SpMV (returns the statistics).
-pub fn sim_spmv(mech: Mechanism, a: &Csr<f64>, cfg: &SmashConfig, sys: &SystemConfig) -> SimStats {
+pub fn sim_spmv<T: Scalar>(
+    mech: Mechanism,
+    a: &Csr<T>,
+    cfg: &SmashConfig,
+    sys: &SystemConfig,
+) -> SimStats {
     let mut e = SimEngine::new(sys.clone());
     run_spmv(&mut e, mech, a, cfg);
     e.finish()
 }
 
 /// Instruction-count-only run of one SpMV.
-pub fn count_spmv(mech: Mechanism, a: &Csr<f64>, cfg: &SmashConfig) -> SimStats {
+pub fn count_spmv<T: Scalar>(mech: Mechanism, a: &Csr<T>, cfg: &SmashConfig) -> SimStats {
     let mut e = CountEngine::new();
     run_spmv(&mut e, mech, a, cfg);
     e.finish()
 }
 
 /// Full timing simulation of one SpMM.
-pub fn sim_spmm(
+pub fn sim_spmm<T: Scalar>(
     mech: Mechanism,
-    a: &Csr<f64>,
-    b: &Csr<f64>,
+    a: &Csr<T>,
+    b: &Csr<T>,
     cfg: &SmashConfig,
     sys: &SystemConfig,
 ) -> SimStats {
@@ -103,7 +141,12 @@ pub fn sim_spmm(
 }
 
 /// Instruction-count-only run of one SpMM.
-pub fn count_spmm(mech: Mechanism, a: &Csr<f64>, b: &Csr<f64>, cfg: &SmashConfig) -> SimStats {
+pub fn count_spmm<T: Scalar>(
+    mech: Mechanism,
+    a: &Csr<T>,
+    b: &Csr<T>,
+    cfg: &SmashConfig,
+) -> SimStats {
     let mut e = CountEngine::new();
     run_spmm(&mut e, mech, a, b, cfg);
     e.finish()
@@ -143,6 +186,23 @@ mod tests {
                         (c.get(i, j) - want.get(i, j)).abs() < 1e-9,
                         "{mech} ({i},{j})"
                     );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn native_spmv_matches_reference_for_all_mechanisms() {
+        let a = generators::clustered(64, 64, 800, 4, 11);
+        let cfg = SmashConfig::row_major(&[2, 4]).unwrap();
+        let x = test_vector::<f64>(64);
+        let want = a.spmv(&x);
+        for exec in [Executor::serial(), Executor::auto()] {
+            for mech in Mechanism::ALL {
+                let mut y = vec![f64::NAN; 64];
+                native_spmv(&exec, mech, &a, &cfg, &x, &mut y);
+                for (g, w) in y.iter().zip(&want) {
+                    assert!((g - w).abs() < 1e-9, "{mech}: {g} vs {w}");
                 }
             }
         }

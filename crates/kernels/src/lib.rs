@@ -18,6 +18,12 @@
 //! The [`harness`] module dispatches by [`Mechanism`], building the right
 //! operand encodings (CSR, 2x2 BCSR, SMASH bitmaps + NZA) internally.
 //!
+//! The [`executor`] module is the native-side counterpart: one
+//! [`Executor`] entry point over *format × precision × serial/parallel*,
+//! so callers stop hand-picking among the per-format kernel functions.
+//! All kernels are generic over [`smash_matrix::Scalar`] (`f64` and `f32`
+//! out of the box).
+//!
 //! # Example
 //!
 //! ```
@@ -39,6 +45,7 @@
 
 pub mod common;
 pub mod convert;
+pub mod executor;
 pub mod harness;
 pub mod native;
 pub mod parallel;
@@ -47,3 +54,4 @@ pub mod spmm;
 pub mod spmv;
 
 pub use common::{test_vector, Mechanism, VEC_WIDTH};
+pub use executor::{ExecMode, Executor, SpmvOperand};

@@ -10,57 +10,42 @@
 //! * [`spmv_bcsr`] — blocked (TACO-BCSR stand-in),
 //! * [`spmv_smash`] / [`spmm_smash`] — Software-only SMASH: word-level
 //!   bitmap scanning with `trailing_zeros`, block-wise multiply.
+//!
+//! Every kernel is generic over [`Scalar`], so the same loop bodies serve
+//! `f64` and `f32` (and any future precision) — the per-row/per-block
+//! arithmetic order is identical at every precision, which is what lets
+//! the parallel variants in `smash-parallel` stay bit-identical for all
+//! of them.
 
-use smash_core::{Layout, SmashMatrix};
-use smash_matrix::{Bcsr, Coo, Csc, Csr};
+use smash_core::{block_dot, Layout, SmashMatrix};
+use smash_matrix::{Bcsr, Coo, Csc, Csr, Scalar};
 
-/// Plain CSR SpMV (paper Code Listing 1).
+/// Plain CSR SpMV (paper Code Listing 1). The per-row body is
+/// [`Csr::row_dot`], shared with `smash_parallel::par_spmv_csr`.
 ///
 /// # Panics
 ///
 /// Panics if `x.len() != a.cols()`.
-pub fn spmv_csr(a: &Csr<f64>, x: &[f64], y: &mut [f64]) {
+pub fn spmv_csr<T: Scalar>(a: &Csr<T>, x: &[T], y: &mut [T]) {
     assert_eq!(x.len(), a.cols());
     assert_eq!(y.len(), a.rows());
     for (i, yi) in y.iter_mut().enumerate() {
-        let (cols, vals) = a.row(i);
-        let mut acc = 0.0;
-        for (&c, &v) in cols.iter().zip(vals) {
-            acc += v * x[c as usize];
-        }
-        *yi = acc;
+        *yi = a.row_dot(i, x);
     }
 }
 
 /// Optimized CSR SpMV: 4-way unrolled with independent accumulators, the
-/// kind of software tuning MKL layers over the same format.
+/// kind of software tuning MKL layers over the same format. The per-row
+/// body is [`Csr::row_dot_unrolled`].
 ///
 /// # Panics
 ///
 /// Panics if `x.len() != a.cols()`.
-pub fn spmv_csr_opt(a: &Csr<f64>, x: &[f64], y: &mut [f64]) {
+pub fn spmv_csr_opt<T: Scalar>(a: &Csr<T>, x: &[T], y: &mut [T]) {
     assert_eq!(x.len(), a.cols());
     assert_eq!(y.len(), a.rows());
-    let col_ind = a.col_ind();
-    let values = a.values();
     for (i, yi) in y.iter_mut().enumerate() {
-        let lo = a.row_ptr()[i] as usize;
-        let hi = a.row_ptr()[i + 1] as usize;
-        let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
-        let mut j = lo;
-        while j + 4 <= hi {
-            s0 += values[j] * x[col_ind[j] as usize];
-            s1 += values[j + 1] * x[col_ind[j + 1] as usize];
-            s2 += values[j + 2] * x[col_ind[j + 2] as usize];
-            s3 += values[j + 3] * x[col_ind[j + 3] as usize];
-            j += 4;
-        }
-        let mut acc = (s0 + s1) + (s2 + s3);
-        while j < hi {
-            acc += values[j] * x[col_ind[j] as usize];
-            j += 1;
-        }
-        *yi = acc;
+        *yi = a.row_dot_unrolled(i, x);
     }
 }
 
@@ -70,10 +55,10 @@ pub fn spmv_csr_opt(a: &Csr<f64>, x: &[f64], y: &mut [f64]) {
 /// # Panics
 ///
 /// Panics if `x.len() != a.cols()` or `y.len() != a.rows()`.
-pub fn spmv_bcsr(a: &Bcsr<f64>, x: &[f64], y: &mut [f64]) {
+pub fn spmv_bcsr<T: Scalar>(a: &Bcsr<T>, x: &[T], y: &mut [T]) {
     assert_eq!(x.len(), a.cols());
     assert_eq!(y.len(), a.rows());
-    y.fill(0.0);
+    y.fill(T::ZERO);
     let (br, bc) = a.block_shape();
     let bs = br * bc;
     let vals = a.values();
@@ -90,15 +75,15 @@ pub fn spmv_bcsr(a: &Bcsr<f64>, x: &[f64], y: &mut [f64]) {
                 let xs = &x[cbase..cbase + bc];
                 for lr in 0..br {
                     let trow = &tile[lr * bc..(lr + 1) * bc];
-                    let mut acc = 0.0;
-                    for (t, xv) in trow.iter().zip(xs) {
+                    let mut acc = T::ZERO;
+                    for (&t, &xv) in trow.iter().zip(xs) {
                         acc += t * xv;
                     }
                     y[ybase + lr] += acc;
                 }
             } else {
                 for lr in 0..br.min(a.rows() - ybase) {
-                    let mut acc = 0.0;
+                    let mut acc = T::ZERO;
                     for lc in 0..bc.min(a.cols() - cbase) {
                         acc += tile[lr * bc + lc] * x[cbase + lc];
                     }
@@ -116,11 +101,11 @@ pub fn spmv_bcsr(a: &Bcsr<f64>, x: &[f64], y: &mut [f64]) {
 /// # Panics
 ///
 /// Panics if `x.len() != a.cols()` or the matrix is not row-major.
-pub fn spmv_smash(a: &SmashMatrix<f64>, x: &[f64], y: &mut [f64]) {
+pub fn spmv_smash<T: Scalar>(a: &SmashMatrix<T>, x: &[T], y: &mut [T]) {
     assert_eq!(x.len(), a.cols());
     assert_eq!(y.len(), a.rows());
     assert_eq!(a.config().layout(), Layout::RowMajor, "row-major SpMV");
-    y.fill(0.0);
+    y.fill(T::ZERO);
     let b0 = a.config().block_size();
     let bpl = a.blocks_per_line();
     let nza = a.nza().values();
@@ -142,11 +127,7 @@ pub fn spmv_smash(a: &SmashMatrix<f64>, x: &[f64], y: &mut [f64]) {
                 let col = (logical % bpl) * b0;
                 let block = &nza[ordinal * b0..(ordinal + 1) * b0];
                 let n = b0.min(a.cols() - col);
-                let mut acc = 0.0;
-                for k in 0..n {
-                    acc += block[k] * x[col + k];
-                }
-                y[row] += acc;
+                y[row] += block_dot(block, x, col, n);
                 ordinal += 1;
             }
         }
@@ -158,11 +139,7 @@ pub fn spmv_smash(a: &SmashMatrix<f64>, x: &[f64], y: &mut [f64]) {
         let col = (logical % bpl) * b0;
         let block = &nza[ordinal * b0..(ordinal + 1) * b0];
         let n = b0.min(a.cols() - col);
-        let mut acc = 0.0;
-        for k in 0..n {
-            acc += block[k] * x[col + k];
-        }
-        y[row] += acc;
+        y[row] += block_dot(block, x, col, n);
         ordinal += 1;
     }
 }
@@ -172,7 +149,7 @@ pub fn spmv_smash(a: &SmashMatrix<f64>, x: &[f64], y: &mut [f64]) {
 /// # Panics
 ///
 /// Panics if the inner dimensions disagree.
-pub fn spmm_csr(a: &Csr<f64>, b: &Csc<f64>) -> Coo<f64> {
+pub fn spmm_csr<T: Scalar>(a: &Csr<T>, b: &Csc<T>) -> Coo<T> {
     a.spmm_inner(b).expect("dimensions checked by caller")
 }
 
@@ -182,7 +159,7 @@ pub fn spmm_csr(a: &Csr<f64>, b: &Csc<f64>) -> Coo<f64> {
 /// # Panics
 ///
 /// Panics if the inner dimensions disagree.
-pub fn spmm_csr_opt(a: &Csr<f64>, b: &Csc<f64>) -> Coo<f64> {
+pub fn spmm_csr_opt<T: Scalar>(a: &Csr<T>, b: &Csc<T>) -> Coo<T> {
     assert_eq!(a.cols(), b.rows());
     let mut c = Coo::new(a.rows(), b.cols());
     let cols: Vec<usize> = (0..b.cols()).filter(|&j| b.col_nnz(j) > 0).collect();
@@ -194,7 +171,7 @@ pub fn spmm_csr_opt(a: &Csr<f64>, b: &Csc<f64>) -> Coo<f64> {
         for &j in &cols {
             let (bc, bv) = b.col(j);
             let (mut p, mut q) = (0usize, 0usize);
-            let mut acc = 0.0;
+            let mut acc = T::ZERO;
             let mut hit = false;
             while p < ac.len() && q < bc.len() {
                 let x = ac[p];
@@ -209,7 +186,7 @@ pub fn spmm_csr_opt(a: &Csr<f64>, b: &Csc<f64>) -> Coo<f64> {
                     q += usize::from(z < x);
                 }
             }
-            if hit && acc != 0.0 {
+            if hit && !acc.is_zero() {
                 c.push(i, j, acc);
             }
         }
@@ -225,14 +202,14 @@ pub fn spmm_csr_opt(a: &Csr<f64>, b: &Csc<f64>) -> Coo<f64> {
 ///
 /// Panics if the block shapes differ, are non-square, or the inner
 /// dimensions disagree.
-pub fn spmm_bcsr(a: &Bcsr<f64>, bt: &Bcsr<f64>) -> Coo<f64> {
+pub fn spmm_bcsr<T: Scalar>(a: &Bcsr<T>, bt: &Bcsr<T>) -> Coo<T> {
     let (s, s2) = a.block_shape();
     assert_eq!((s, s2), bt.block_shape(), "block shapes must agree");
     assert_eq!(s, s2, "blocks must be square");
     assert_eq!(a.cols(), bt.cols(), "inner dimensions must agree");
     let bs = s * s;
     let mut c = Coo::new(a.rows(), bt.rows());
-    let mut tile = vec![0.0f64; bs];
+    let mut tile = vec![T::ZERO; bs];
     for bi in 0..a.num_block_rows() {
         let (alo, ahi) = (
             a.block_row_ptr()[bi] as usize,
@@ -246,7 +223,7 @@ pub fn spmm_bcsr(a: &Bcsr<f64>, bt: &Bcsr<f64>) -> Coo<f64> {
                 bt.block_row_ptr()[bj] as usize,
                 bt.block_row_ptr()[bj + 1] as usize,
             );
-            tile.iter_mut().for_each(|v| *v = 0.0);
+            tile.iter_mut().for_each(|v| *v = T::ZERO);
             let mut hit = false;
             let (mut p, mut q) = (alo, blo);
             while p < ahi && q < bhi {
@@ -257,7 +234,7 @@ pub fn spmm_bcsr(a: &Bcsr<f64>, bt: &Bcsr<f64>) -> Coo<f64> {
                         let tb = &bt.values()[q * bs..(q + 1) * bs];
                         for lr in 0..s {
                             for lc in 0..s {
-                                let mut dot = 0.0;
+                                let mut dot = T::ZERO;
                                 for k in 0..s {
                                     dot += ta[lr * s + k] * tb[lc * s + k];
                                 }
@@ -279,7 +256,7 @@ pub fn spmm_bcsr(a: &Bcsr<f64>, bt: &Bcsr<f64>) -> Coo<f64> {
                     }
                     for lc in 0..s {
                         let col = bj * s + lc;
-                        if col < bt.rows() && tile[lr * s + lc] != 0.0 {
+                        if col < bt.rows() && !tile[lr * s + lc].is_zero() {
                             c.push(row, col, tile[lr * s + lc]);
                         }
                     }
@@ -298,7 +275,7 @@ pub fn spmm_bcsr(a: &Bcsr<f64>, bt: &Bcsr<f64>) -> Coo<f64> {
 ///
 /// Panics if the operands are not 1-level row-major/col-major with matching
 /// block sizes, or dimensions disagree.
-pub fn spmm_smash(a: &SmashMatrix<f64>, b: &SmashMatrix<f64>) -> Coo<f64> {
+pub fn spmm_smash<T: Scalar>(a: &SmashMatrix<T>, b: &SmashMatrix<T>) -> Coo<T> {
     assert_eq!(a.cols(), b.rows());
     assert_eq!(a.config().layout(), Layout::RowMajor);
     assert_eq!(b.config().layout(), Layout::ColMajor);
@@ -308,7 +285,7 @@ pub fn spmm_smash(a: &SmashMatrix<f64>, b: &SmashMatrix<f64>) -> Coo<f64> {
     // Per-line in-line block offsets, flattened and addressed through the
     // directory's per-line starts — O(nnz blocks + lines) auxiliary
     // memory, never the O(dense) full Bitmap-0 expansion.
-    let collect = |sm: &SmashMatrix<f64>| -> Vec<u32> {
+    let collect = |sm: &SmashMatrix<T>| -> Vec<u32> {
         let bpl = sm.blocks_per_line();
         let mut offs = vec![0u32; sm.num_blocks()];
         for (ordinal, logical) in sm.hierarchy().blocks().enumerate() {
@@ -335,7 +312,7 @@ pub fn spmm_smash(a: &SmashMatrix<f64>, b: &SmashMatrix<f64>) -> Coo<f64> {
                 continue;
             }
             let (mut p, mut q) = (0usize, 0usize);
-            let mut acc = 0.0;
+            let mut acc = T::ZERO;
             let mut hit = false;
             while p < al.len() && q < bl.len() {
                 match al[p].cmp(&bl[q]) {
@@ -353,7 +330,7 @@ pub fn spmm_smash(a: &SmashMatrix<f64>, b: &SmashMatrix<f64>) -> Coo<f64> {
                     std::cmp::Ordering::Greater => q += 1,
                 }
             }
-            if hit && acc != 0.0 {
+            if hit && !acc.is_zero() {
                 c.push(i, j, acc);
             }
         }
@@ -389,6 +366,32 @@ mod tests {
         let sm = SmashMatrix::encode(&a, SmashConfig::row_major(&[2, 4, 16]).unwrap());
         spmv_smash(&sm, &x, &mut y);
         assert_close(&y, &want);
+    }
+
+    #[test]
+    fn all_native_spmv_agree_in_f32() {
+        // The same kernels, monomorphized to f32, against the f64 oracle.
+        let a64 = generators::clustered(80, 90, 700, 5, 3);
+        let a = a64.cast::<f32>();
+        let x = test_vector::<f32>(90);
+        let want = a64.spmv(&test_vector::<f64>(90));
+        let mut y = vec![0.0f32; 80];
+
+        let check = |y: &[f32]| {
+            for (g, w) in y.iter().zip(&want) {
+                assert!(g.approx_eq(f32::from_f64(*w), f32::TOLERANCE), "{g} vs {w}");
+            }
+        };
+        spmv_csr(&a, &x, &mut y);
+        check(&y);
+        spmv_csr_opt(&a, &x, &mut y);
+        check(&y);
+        let bcsr = Bcsr::from_csr(&a, 2, 2).unwrap();
+        spmv_bcsr(&bcsr, &x, &mut y);
+        check(&y);
+        let sm = SmashMatrix::encode(&a, SmashConfig::row_major(&[2, 4, 16]).unwrap());
+        spmv_smash(&sm, &x, &mut y);
+        check(&y);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! output entry — so *all* of its memory-index traffic is indexing work.
 
 use crate::common::{sites, streams};
-use smash_matrix::{Coo, Csr};
+use smash_matrix::{Coo, Csr, Scalar};
 use smash_sim::{Engine, UopId};
 
 /// CSR SpAdd via row-wise sorted merge.
@@ -14,18 +14,19 @@ use smash_sim::{Engine, UopId};
 /// # Panics
 ///
 /// Panics if the operand shapes differ.
-pub fn spadd_csr<E: Engine>(e: &mut E, a: &Csr<f64>, b: &Csr<f64>) -> Csr<f64> {
+pub fn spadd_csr<E: Engine, T: Scalar>(e: &mut E, a: &Csr<T>, b: &Csr<T>) -> Csr<T> {
+    let vs = std::mem::size_of::<T>() as u64;
     assert_eq!(
         (a.rows(), a.cols()),
         (b.rows(), b.cols()),
         "operand shapes must agree"
     );
     let a_ind = e.alloc(4 * a.nnz(), 64);
-    let a_val = e.alloc(8 * a.nnz(), 64);
+    let a_val = e.alloc(vs as usize * a.nnz(), 64);
     let b_ind = e.alloc(4 * b.nnz(), 64);
-    let b_val = e.alloc(8 * b.nnz(), 64);
+    let b_val = e.alloc(vs as usize * b.nnz(), 64);
     let c_ind = e.alloc(4 * (a.nnz() + b.nnz()), 64);
-    let c_val = e.alloc(8 * (a.nnz() + b.nnz()), 64);
+    let c_val = e.alloc(vs as usize * (a.nnz() + b.nnz()), 64);
 
     let mut c = Coo::with_capacity(a.rows(), a.cols(), a.nnz() + b.nnz());
     let mut out = 0u64;
@@ -52,8 +53,8 @@ pub fn spadd_csr<E: Engine>(e: &mut E, a: &Csr<f64>, b: &Csr<f64>) -> Csr<f64> {
             e.branch(sites::ADD_CMP, take_a && take_b, &[cmp]);
             let (col, val, vdep) = match (take_a, take_b) {
                 (true, true) => {
-                    let va = e.load(streams::VAL, a_val + 8 * (a_lo + p as u64), &[]);
-                    let vb = e.load(streams::VAL_B, b_val + 8 * (b_lo + q as u64), &[]);
+                    let va = e.load(streams::VAL, a_val + vs * (a_lo + p as u64), &[]);
+                    let vb = e.load(streams::VAL_B, b_val + vs * (b_lo + q as u64), &[]);
                     let s = e.fadd(&[va, vb]);
                     let out = (ac[p], av[p] + bv[q], s);
                     p += 1;
@@ -61,13 +62,13 @@ pub fn spadd_csr<E: Engine>(e: &mut E, a: &Csr<f64>, b: &Csr<f64>) -> Csr<f64> {
                     out
                 }
                 (true, false) => {
-                    let va = e.load(streams::VAL, a_val + 8 * (a_lo + p as u64), &[]);
+                    let va = e.load(streams::VAL, a_val + vs * (a_lo + p as u64), &[]);
                     let out = (ac[p], av[p], va);
                     p += 1;
                     out
                 }
                 (false, true) => {
-                    let vb = e.load(streams::VAL_B, b_val + 8 * (b_lo + q as u64), &[]);
+                    let vb = e.load(streams::VAL_B, b_val + vs * (b_lo + q as u64), &[]);
                     let out = (bc[q], bv[q], vb);
                     q += 1;
                     out
@@ -76,8 +77,8 @@ pub fn spadd_csr<E: Engine>(e: &mut E, a: &Csr<f64>, b: &Csr<f64>) -> Csr<f64> {
             };
             // Emit the output entry: column index and value.
             e.store(streams::OUT, c_ind + 4 * out, &[cmp]);
-            e.store(streams::OUT, c_val + 8 * out, &[vdep]);
-            if val != 0.0 {
+            e.store(streams::OUT, c_val + vs * out, &[vdep]);
+            if !val.is_zero() {
                 c.push(i, col as usize, val);
             }
             out += 1;
@@ -94,15 +95,16 @@ pub fn spadd_csr<E: Engine>(e: &mut E, a: &Csr<f64>, b: &Csr<f64>) -> Csr<f64> {
 /// # Panics
 ///
 /// Panics if the operand shapes differ.
-pub fn spadd_ideal<E: Engine>(e: &mut E, a: &Csr<f64>, b: &Csr<f64>) -> Csr<f64> {
+pub fn spadd_ideal<E: Engine, T: Scalar>(e: &mut E, a: &Csr<T>, b: &Csr<T>) -> Csr<T> {
+    let vs = std::mem::size_of::<T>() as u64;
     assert_eq!(
         (a.rows(), a.cols()),
         (b.rows(), b.cols()),
         "operand shapes must agree"
     );
-    let a_val = e.alloc(8 * a.nnz(), 64);
-    let b_val = e.alloc(8 * b.nnz(), 64);
-    let c_val = e.alloc(8 * (a.nnz() + b.nnz()), 64);
+    let a_val = e.alloc(vs as usize * a.nnz(), 64);
+    let b_val = e.alloc(vs as usize * b.nnz(), 64);
+    let c_val = e.alloc(vs as usize * (a.nnz() + b.nnz()), 64);
 
     let mut c = Coo::with_capacity(a.rows(), a.cols(), a.nnz() + b.nnz());
     let mut out = 0u64;
@@ -120,8 +122,8 @@ pub fn spadd_ideal<E: Engine>(e: &mut E, a: &Csr<f64>, b: &Csr<f64>) -> Csr<f64>
             e.branch(sites::ADD_CMP, take_a && take_b, &[cmp]);
             let (col, val, vdep) = match (take_a, take_b) {
                 (true, true) => {
-                    let va = e.load(streams::VAL, a_val + 8 * (a_lo + p as u64), &[]);
-                    let vb = e.load(streams::VAL_B, b_val + 8 * (b_lo + q as u64), &[]);
+                    let va = e.load(streams::VAL, a_val + vs * (a_lo + p as u64), &[]);
+                    let vb = e.load(streams::VAL_B, b_val + vs * (b_lo + q as u64), &[]);
                     let s = e.fadd(&[va, vb]);
                     let o = (ac[p], av[p] + bv[q], s);
                     p += 1;
@@ -129,21 +131,21 @@ pub fn spadd_ideal<E: Engine>(e: &mut E, a: &Csr<f64>, b: &Csr<f64>) -> Csr<f64>
                     o
                 }
                 (true, false) => {
-                    let va = e.load(streams::VAL, a_val + 8 * (a_lo + p as u64), &[]);
+                    let va = e.load(streams::VAL, a_val + vs * (a_lo + p as u64), &[]);
                     let o = (ac[p], av[p], va);
                     p += 1;
                     o
                 }
                 (false, true) => {
-                    let vb = e.load(streams::VAL_B, b_val + 8 * (b_lo + q as u64), &[]);
+                    let vb = e.load(streams::VAL_B, b_val + vs * (b_lo + q as u64), &[]);
                     let o = (bc[q], bv[q], vb);
                     q += 1;
                     o
                 }
                 (false, false) => unreachable!("merge invariant"),
             };
-            e.store(streams::OUT, c_val + 8 * out, &[vdep]);
-            if val != 0.0 {
+            e.store(streams::OUT, c_val + vs * out, &[vdep]);
+            if !val.is_zero() {
                 c.push(i, col as usize, val);
             }
             out += 1;

@@ -7,25 +7,26 @@
 //! which is the dominant indexing cost of SpMM and the reason the paper's
 //! SpMM speedups exceed its SpMV speedups.
 
-use crate::common::{sites, streams, vector_ops, VEC_WIDTH};
+use crate::common::{lanes_of, sites, streams, vector_ops_of};
 use smash_bmu::{Bmu, BmuBinding, MAX_HW_LEVELS};
 use smash_core::{Layout, SmashMatrix};
-use smash_matrix::{Bcsr, Coo, Csc, Csr};
+use smash_matrix::{Bcsr, Coo, Csc, Csr, Scalar};
 use smash_sim::{Engine, UopId};
 
 /// CSR×CSC inner-product SpMM with element-granularity index matching
 /// (paper Code Listing 2). For every `(row, column)` pair the two sorted
 /// index lists are merged; each step loads an index from memory, compares,
 /// and branches on the data-dependent outcome.
-pub fn spmm_csr<E: Engine>(e: &mut E, a: &Csr<f64>, b: &Csc<f64>) -> Coo<f64> {
+pub fn spmm_csr<E: Engine, T: Scalar>(e: &mut E, a: &Csr<T>, b: &Csc<T>) -> Coo<T> {
+    let vs = std::mem::size_of::<T>() as u64;
     assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
     let a_ptr = e.alloc(4 * (a.rows() + 1), 64);
     let a_ind = e.alloc(4 * a.nnz(), 64);
-    let a_val = e.alloc(8 * a.nnz(), 64);
+    let a_val = e.alloc(vs as usize * a.nnz(), 64);
     let b_ptr = e.alloc(4 * (b.cols() + 1), 64);
     let b_ind = e.alloc(4 * b.nnz(), 64);
-    let b_val = e.alloc(8 * b.nnz(), 64);
-    let c_out = e.alloc(8 * a.rows() * b.cols(), 64);
+    let b_val = e.alloc(vs as usize * b.nnz(), 64);
+    let c_out = e.alloc(vs as usize * a.rows() * b.cols(), 64);
 
     let mut c = Coo::new(a.rows(), b.cols());
     for i in 0..a.rows() {
@@ -43,7 +44,7 @@ pub fn spmm_csr<E: Engine>(e: &mut E, a: &Csr<f64>, b: &Csc<f64>) -> Coo<f64> {
             e.load(streams::PTR_B, b_ptr + 4 * (j as u64 + 1), &[]);
             let (mut p, mut q) = (0usize, 0usize);
             let mut acc_u = UopId::NONE;
-            let mut acc = 0.0f64;
+            let mut acc = T::ZERO;
             let mut hit = false;
             // TACO's co-iteration merge re-loads both coordinates every
             // iteration (the increments are data-dependent, so nothing
@@ -60,8 +61,8 @@ pub fn spmm_csr<E: Engine>(e: &mut E, a: &Csr<f64>, b: &Csc<f64>) -> Coo<f64> {
                 let matched = ac[p] == bc[q];
                 e.branch(sites::MATCH_CMP, matched, &[cmp]);
                 if matched {
-                    let va = e.load(streams::VAL, a_val + 8 * (a_lo + p as u64), &[]);
-                    let vb = e.load(streams::VAL_B, b_val + 8 * (b_lo + q as u64), &[]);
+                    let va = e.load(streams::VAL, a_val + vs * (a_lo + p as u64), &[]);
+                    let vb = e.load(streams::VAL_B, b_val + vs * (b_lo + q as u64), &[]);
                     let m = e.fmul(&[va, vb]);
                     acc_u = e.fadd(&[m, acc_u]);
                     acc += av[p] * bv[q];
@@ -78,9 +79,9 @@ pub fn spmm_csr<E: Engine>(e: &mut E, a: &Csr<f64>, b: &Csc<f64>) -> Coo<f64> {
                 let more = p < ac.len() && q < bc.len();
                 e.branch(sites::MERGE_BOUND, more, &[]); // loop bound
             }
-            if hit && acc != 0.0 {
+            if hit && !acc.is_zero() {
                 let addr = (i * b.cols() + j) as u64;
-                e.store(streams::OUT, c_out + 8 * addr, &[acc_u]);
+                e.store(streams::OUT, c_out + vs * addr, &[acc_u]);
                 c.push(i, j, acc);
             }
             e.branch(sites::SPMM_COL, j + 1 < b.cols(), &[]);
@@ -93,11 +94,12 @@ pub fn spmm_csr<E: Engine>(e: &mut E, a: &Csr<f64>, b: &Csc<f64>) -> Coo<f64> {
 /// Idealized SpMM (paper Fig. 3): *accessing* positions is free — the
 /// merge still iterates and compares (positions arrive in registers), but
 /// every coordinate load and its dependent address work vanish.
-pub fn spmm_ideal<E: Engine>(e: &mut E, a: &Csr<f64>, b: &Csc<f64>) -> Coo<f64> {
+pub fn spmm_ideal<E: Engine, T: Scalar>(e: &mut E, a: &Csr<T>, b: &Csc<T>) -> Coo<T> {
+    let vs = std::mem::size_of::<T>() as u64;
     assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
-    let a_val = e.alloc(8 * a.nnz(), 64);
-    let b_val = e.alloc(8 * b.nnz(), 64);
-    let c_out = e.alloc(8 * a.rows() * b.cols(), 64);
+    let a_val = e.alloc(vs as usize * a.nnz(), 64);
+    let b_val = e.alloc(vs as usize * b.nnz(), 64);
+    let c_out = e.alloc(vs as usize * a.rows() * b.cols(), 64);
 
     let mut c = Coo::new(a.rows(), b.cols());
     for i in 0..a.rows() {
@@ -111,7 +113,7 @@ pub fn spmm_ideal<E: Engine>(e: &mut E, a: &Csr<f64>, b: &Csc<f64>) -> Coo<f64> 
             let (bc, bv) = b.col(j);
             let b_lo = b.col_ptr()[j] as u64;
             let mut acc_u = UopId::NONE;
-            let mut acc = 0.0f64;
+            let mut acc = T::ZERO;
             let mut hit = false;
             let (mut p, mut q) = (0usize, 0usize);
             while p < ac.len() && q < bc.len() {
@@ -122,8 +124,8 @@ pub fn spmm_ideal<E: Engine>(e: &mut E, a: &Csr<f64>, b: &Csc<f64>) -> Coo<f64> 
                 e.branch(sites::MATCH_CMP, matched, &[cmp]);
                 match ac[p].cmp(&bc[q]) {
                     std::cmp::Ordering::Equal => {
-                        let va = e.load(streams::VAL, a_val + 8 * (a_lo + p as u64), &[]);
-                        let vb = e.load(streams::VAL_B, b_val + 8 * (b_lo + q as u64), &[]);
+                        let va = e.load(streams::VAL, a_val + vs * (a_lo + p as u64), &[]);
+                        let vb = e.load(streams::VAL_B, b_val + vs * (b_lo + q as u64), &[]);
                         let m = e.fmul(&[va, vb]);
                         acc_u = e.fadd(&[m, acc_u]);
                         acc += av[p] * bv[q];
@@ -135,9 +137,9 @@ pub fn spmm_ideal<E: Engine>(e: &mut E, a: &Csr<f64>, b: &Csc<f64>) -> Coo<f64> 
                     std::cmp::Ordering::Greater => q += 1,
                 }
             }
-            if hit && acc != 0.0 {
+            if hit && !acc.is_zero() {
                 let addr = (i * b.cols() + j) as u64;
-                e.store(streams::OUT, c_out + 8 * addr, &[acc_u]);
+                e.store(streams::OUT, c_out + vs * addr, &[acc_u]);
                 c.push(i, j, acc);
             }
             e.branch(sites::SPMM_COL, j + 1 < b.cols(), &[]);
@@ -155,16 +157,18 @@ pub fn spmm_ideal<E: Engine>(e: &mut E, a: &Csr<f64>, b: &Csc<f64>) -> Coo<f64> 
 ///
 /// Panics if the two operands' block shapes differ or are non-square, or if
 /// the inner dimensions disagree.
-pub fn spmm_bcsr<E: Engine>(e: &mut E, a: &Bcsr<f64>, bt: &Bcsr<f64>) -> Coo<f64> {
+pub fn spmm_bcsr<E: Engine, T: Scalar>(e: &mut E, a: &Bcsr<T>, bt: &Bcsr<T>) -> Coo<T> {
+    let vs = std::mem::size_of::<T>() as u64;
+    let lanes = lanes_of::<T>();
     let (s, s2) = a.block_shape();
     assert_eq!((s, s2), bt.block_shape(), "block shapes must agree");
     assert_eq!(s, s2, "blocks must be square");
     assert_eq!(a.cols(), bt.cols(), "inner dimensions must agree");
     let a_ind = e.alloc(4 * a.num_blocks(), 64);
     let b_ind = e.alloc(4 * bt.num_blocks(), 64);
-    let a_val = e.alloc(8 * a.nnz_stored(), 64);
-    let b_val = e.alloc(8 * bt.nnz_stored(), 64);
-    let c_out = e.alloc(8 * a.rows() * bt.rows(), 64);
+    let a_val = e.alloc(vs as usize * a.nnz_stored(), 64);
+    let b_val = e.alloc(vs as usize * bt.nnz_stored(), 64);
+    let c_out = e.alloc(vs as usize * a.rows() * bt.rows(), 64);
 
     let bs = s * s;
     let mut c = Coo::new(a.rows(), bt.rows());
@@ -184,7 +188,7 @@ pub fn spmm_bcsr<E: Engine>(e: &mut E, a: &Bcsr<f64>, bt: &Bcsr<f64>) -> Coo<f64
                 bt.block_row_ptr()[bj + 1] as usize,
             );
             e.load(streams::PTR_B, b_ind, &[]);
-            let mut tile_acc = vec![0.0f64; bs];
+            let mut tile_acc = vec![T::ZERO; bs];
             let mut acc_u = vec![UopId::NONE; bs];
             let mut hit = false;
             let (mut p, mut q) = (alo, blo);
@@ -205,16 +209,15 @@ pub fn spmm_bcsr<E: Engine>(e: &mut E, a: &Bcsr<f64>, bt: &Bcsr<f64>) -> Coo<f64
                         // vectorized along k.
                         for lr in 0..s {
                             for lc in 0..s {
-                                for lane in 0..vector_ops(s) {
-                                    let ka = (p * bs + lr * s + lane * VEC_WIDTH) as u64;
-                                    let kb = (q * bs + lc * s + lane * VEC_WIDTH) as u64;
-                                    let va = e.load(streams::VAL, a_val + 8 * ka, &[]);
-                                    let vb = e.load(streams::VAL_B, b_val + 8 * kb, &[]);
+                                for lane in 0..vector_ops_of::<T>(s) {
+                                    let ka = (p * bs + lr * s + lane * lanes) as u64;
+                                    let kb = (q * bs + lc * s + lane * lanes) as u64;
+                                    let va = e.load(streams::VAL, a_val + vs * ka, &[]);
+                                    let vb = e.load(streams::VAL_B, b_val + vs * kb, &[]);
                                     let m = e.fmul(&[va, vb]);
                                     acc_u[lr * s + lc] = e.fadd(&[m, acc_u[lr * s + lc]]);
                                 }
-                                let dot: f64 =
-                                    (0..s).map(|k| ta[lr * s + k] * tb[lc * s + k]).sum();
+                                let dot: T = (0..s).map(|k| ta[lr * s + k] * tb[lc * s + k]).sum();
                                 tile_acc[lr * s + lc] += dot;
                             }
                         }
@@ -240,9 +243,9 @@ pub fn spmm_bcsr<E: Engine>(e: &mut E, a: &Bcsr<f64>, bt: &Bcsr<f64>) -> Coo<f64
                     for lc in 0..s {
                         let col = bj * s + lc;
                         let v = tile_acc[lr * s + lc];
-                        if col < bt.rows() && v != 0.0 {
+                        if col < bt.rows() && !v.is_zero() {
                             let addr = (row * bt.rows() + col) as u64;
-                            e.store(streams::OUT, c_out + 8 * addr, &[acc_u[lr * s + lc]]);
+                            e.store(streams::OUT, c_out + vs * addr, &[acc_u[lr * s + lc]]);
                             c.push(row, col, v);
                         }
                     }
@@ -267,7 +270,7 @@ struct SmashLines {
     starts: Vec<u32>,
 }
 
-fn smash_lines(sm: &SmashMatrix<f64>) -> SmashLines {
+fn smash_lines<T: Scalar>(sm: &SmashMatrix<T>) -> SmashLines {
     let mut blocks = vec![Vec::new(); sm.line_count()];
     for (line, list) in blocks.iter_mut().enumerate() {
         list.extend(sm.line_cursor(line).map(|(_, logical)| logical));
@@ -291,12 +294,14 @@ fn smash_lines(sm: &SmashMatrix<f64>) -> SmashLines {
 ///
 /// Panics if either operand has more than one bitmap level, if block sizes
 /// differ, or if inner dimensions disagree.
-pub fn spmm_hw_smash<E: Engine>(
+pub fn spmm_hw_smash<E: Engine, T: Scalar>(
     e: &mut E,
     bmu: &mut Bmu,
-    a: &SmashMatrix<f64>,
-    b: &SmashMatrix<f64>,
-) -> Coo<f64> {
+    a: &SmashMatrix<T>,
+    b: &SmashMatrix<T>,
+) -> Coo<T> {
+    let vs = std::mem::size_of::<T>() as u64;
+    let lanes = lanes_of::<T>();
     assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
     assert_eq!(a.config().layout(), Layout::RowMajor, "A must be row-major");
     assert_eq!(b.config().layout(), Layout::ColMajor, "B must be col-major");
@@ -309,13 +314,13 @@ pub fn spmm_hw_smash<E: Engine>(
     let b0 = a.config().block_size();
     assert_eq!(b0, b.config().block_size(), "block sizes must agree");
 
-    let nza_a = e.alloc(8 * a.nza().len(), 64);
-    let nza_b = e.alloc(8 * b.nza().len(), 64);
+    let nza_a = e.alloc(vs as usize * a.nza().len(), 64);
+    let nza_b = e.alloc(vs as usize * b.nza().len(), 64);
     let bm_a = e.alloc(a.hierarchy().stored_level(0).len().div_ceil(8), 64);
     let bm_b = e.alloc(b.hierarchy().stored_level(0).len().div_ceil(8), 64);
     let starts_a_addr = e.alloc(4 * (a.line_count() + 1), 64);
     let starts_b_addr = e.alloc(4 * (b.line_count() + 1), 64);
-    let c_out = e.alloc(8 * a.rows() * b.cols(), 64);
+    let c_out = e.alloc(vs as usize * a.rows() * b.cols(), 64);
 
     let mut level_addrs_a = [0u64; MAX_HW_LEVELS];
     level_addrs_a[0] = bm_a;
@@ -416,7 +421,7 @@ pub fn spmm_hw_smash<E: Engine>(
             let mut ord_b = lines_b.starts[j] as usize;
 
             let mut acc_u = UopId::NONE;
-            let mut acc = 0.0f64;
+            let mut acc = T::ZERO;
             let mut hit = false;
             loop {
                 // Compare the inner-dimension positions of the two current
@@ -438,15 +443,15 @@ pub fn spmm_hw_smash<E: Engine>(
                         let b_addr = e.alu(&[sb]);
                         let blk_a = a.nza().block(ord_a);
                         let blk_b = b.nza().block(ord_b);
-                        for lane in 0..vector_ops(b0) {
-                            let oa = (ord_a * b0 + lane * VEC_WIDTH) as u64;
-                            let ob = (ord_b * b0 + lane * VEC_WIDTH) as u64;
-                            let va = e.load(streams::NZA_A, nza_a + 8 * oa, &[a_addr]);
-                            let vb = e.load(streams::NZA_B, nza_b + 8 * ob, &[b_addr]);
+                        for lane in 0..vector_ops_of::<T>(b0) {
+                            let oa = (ord_a * b0 + lane * lanes) as u64;
+                            let ob = (ord_b * b0 + lane * lanes) as u64;
+                            let va = e.load(streams::NZA_A, nza_a + vs * oa, &[a_addr]);
+                            let vb = e.load(streams::NZA_B, nza_b + vs * ob, &[b_addr]);
                             let m = e.fmul(&[va, vb]);
                             acc_u = e.fadd(&[m, acc_u]);
                         }
-                        acc += blk_a.iter().zip(blk_b).map(|(&x, &y)| x * y).sum::<f64>();
+                        acc += blk_a.iter().zip(blk_b).map(|(&x, &y)| x * y).sum::<T>();
                         k_a += 1;
                         k_b += 1;
                         ord_a += 1;
@@ -481,9 +486,9 @@ pub fn spmm_hw_smash<E: Engine>(
                     }
                 }
             }
-            if hit && acc != 0.0 {
+            if hit && !acc.is_zero() {
                 let addr = (i * b.cols() + j) as u64;
-                e.store(streams::OUT, c_out + 8 * addr, &[acc_u]);
+                e.store(streams::OUT, c_out + vs * addr, &[acc_u]);
                 c.push(i, j, acc);
             }
         }
@@ -495,7 +500,13 @@ pub fn spmm_hw_smash<E: Engine>(
 /// Software-only SMASH SpMM: the same block-granular index matching as the
 /// hardware version, but each line's bitmap slice is scanned in software
 /// (word loads + CTZ + masking, §4.4) for every dot product.
-pub fn spmm_sw_smash<E: Engine>(e: &mut E, a: &SmashMatrix<f64>, b: &SmashMatrix<f64>) -> Coo<f64> {
+pub fn spmm_sw_smash<E: Engine, T: Scalar>(
+    e: &mut E,
+    a: &SmashMatrix<T>,
+    b: &SmashMatrix<T>,
+) -> Coo<T> {
+    let vs = std::mem::size_of::<T>() as u64;
+    let lanes = lanes_of::<T>();
     assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
     assert_eq!(a.config().layout(), Layout::RowMajor, "A must be row-major");
     assert_eq!(b.config().layout(), Layout::ColMajor, "B must be col-major");
@@ -504,11 +515,11 @@ pub fn spmm_sw_smash<E: Engine>(e: &mut E, a: &SmashMatrix<f64>, b: &SmashMatrix
     let b0 = a.config().block_size();
     assert_eq!(b0, b.config().block_size(), "block sizes must agree");
 
-    let nza_a = e.alloc(8 * a.nza().len(), 64);
-    let nza_b = e.alloc(8 * b.nza().len(), 64);
+    let nza_a = e.alloc(vs as usize * a.nza().len(), 64);
+    let nza_b = e.alloc(vs as usize * b.nza().len(), 64);
     let bm_a = e.alloc(a.hierarchy().stored_level(0).len().div_ceil(8), 64);
     let bm_b = e.alloc(b.hierarchy().stored_level(0).len().div_ceil(8), 64);
-    let c_out = e.alloc(8 * a.rows() * b.cols(), 64);
+    let c_out = e.alloc(vs as usize * a.rows() * b.cols(), 64);
     // Scratch arrays holding the positions extracted from each line's
     // bitmap slice (hot, reused across the merge).
     let scratch_a = e.alloc(4 * (a.blocks_per_line() + 1), 64);
@@ -555,7 +566,7 @@ pub fn spmm_sw_smash<E: Engine>(e: &mut E, a: &SmashMatrix<f64>, b: &SmashMatrix
             }
             let db = scan_line(e, bm_b, bpl_b, j, bblocks.len());
             let mut acc_u = UopId::NONE;
-            let mut acc = 0.0f64;
+            let mut acc = T::ZERO;
             let mut hit = false;
             let (mut p, mut q) = (0usize, 0usize);
             while p < ablocks.len() && q < bblocks.len() {
@@ -575,11 +586,11 @@ pub fn spmm_sw_smash<E: Engine>(e: &mut E, a: &SmashMatrix<f64>, b: &SmashMatrix
                         hit = true;
                         let ord_a = lines_a.starts[i] as usize + p;
                         let ord_b = lines_b.starts[j] as usize + q;
-                        for lane in 0..vector_ops(b0) {
-                            let oa = (ord_a * b0 + lane * VEC_WIDTH) as u64;
-                            let ob = (ord_b * b0 + lane * VEC_WIDTH) as u64;
-                            let va = e.load(streams::NZA_A, nza_a + 8 * oa, &[]);
-                            let vb = e.load(streams::NZA_B, nza_b + 8 * ob, &[]);
+                        for lane in 0..vector_ops_of::<T>(b0) {
+                            let oa = (ord_a * b0 + lane * lanes) as u64;
+                            let ob = (ord_b * b0 + lane * lanes) as u64;
+                            let va = e.load(streams::NZA_A, nza_a + vs * oa, &[]);
+                            let vb = e.load(streams::NZA_B, nza_b + vs * ob, &[]);
                             let m = e.fmul(&[va, vb]);
                             acc_u = e.fadd(&[m, acc_u]);
                         }
@@ -589,7 +600,7 @@ pub fn spmm_sw_smash<E: Engine>(e: &mut E, a: &SmashMatrix<f64>, b: &SmashMatrix
                             .iter()
                             .zip(b.nza().block(ord_b))
                             .map(|(&x, &y)| x * y)
-                            .sum::<f64>();
+                            .sum::<T>();
                         p += 1;
                         q += 1;
                     }
@@ -603,9 +614,9 @@ pub fn spmm_sw_smash<E: Engine>(e: &mut E, a: &SmashMatrix<f64>, b: &SmashMatrix
                     }
                 }
             }
-            if hit && acc != 0.0 {
+            if hit && !acc.is_zero() {
                 let addr = (i * b.cols() + j) as u64;
-                e.store(streams::OUT, c_out + 8 * addr, &[acc_u]);
+                e.store(streams::OUT, c_out + vs * addr, &[acc_u]);
                 c.push(i, j, acc);
             }
         }

@@ -6,25 +6,26 @@
 //! [`Engine`], including the data dependencies that make CSR's
 //! `x[col_ind[j]]` a pointer chase (paper §2.1.1).
 
-use crate::common::{sites, streams, vector_ops, VEC_WIDTH};
+use crate::common::{lanes_of, sites, streams, vector_ops_of};
 use smash_bmu::{Bmu, BmuBinding, MAX_HW_LEVELS};
 use smash_core::SmashMatrix;
-use smash_matrix::{Bcsr, Csr};
+use smash_matrix::{Bcsr, Csr, Scalar};
 use smash_sim::{Engine, UopId};
 
 /// CSR SpMV exactly as TACO emits it (paper Code Listing 1): for each
 /// non-zero, load the column index, use it to address `x` (a dependent
 /// load), multiply with the value and accumulate.
-pub fn spmv_csr<E: Engine>(e: &mut E, a: &Csr<f64>, x: &[f64]) -> Vec<f64> {
+pub fn spmv_csr<E: Engine, T: Scalar>(e: &mut E, a: &Csr<T>, x: &[T]) -> Vec<T> {
+    let vs = std::mem::size_of::<T>() as u64;
     assert_eq!(x.len(), a.cols(), "vector length must equal cols");
     let rows = a.rows();
     let row_ptr_a = e.alloc(4 * (rows + 1), 64);
     let col_a = e.alloc(4 * a.nnz(), 64);
-    let val_a = e.alloc(8 * a.nnz(), 64);
-    let x_a = e.alloc(8 * x.len(), 64);
-    let y_a = e.alloc(8 * rows, 64);
+    let val_a = e.alloc(vs as usize * a.nnz(), 64);
+    let x_a = e.alloc(vs as usize * x.len(), 64);
+    let y_a = e.alloc(vs as usize * rows, 64);
 
-    let mut y = vec![0.0f64; rows];
+    let mut y = vec![T::ZERO; rows];
     // Hoisted load of row_ptr[0].
     let mut hi_load = e.load(streams::PTR, row_ptr_a, &[]);
     let _ = hi_load;
@@ -34,7 +35,7 @@ pub fn spmv_csr<E: Engine>(e: &mut E, a: &Csr<f64>, x: &[f64]) -> Vec<f64> {
         // Load row_ptr[i + 1]; the inner-loop bound depends on it.
         hi_load = e.load(streams::PTR, row_ptr_a + 4 * (i as u64 + 1), &[]);
         let mut acc = UopId::NONE;
-        let mut yv = 0.0f64;
+        let mut yv = T::ZERO;
         let n = cols_i.len();
         for (k, (&c, &v)) in cols_i.iter().zip(vals_i).enumerate() {
             let j = lo + k as u64;
@@ -43,8 +44,8 @@ pub fn spmv_csr<E: Engine>(e: &mut E, a: &Csr<f64>, x: &[f64]) -> Vec<f64> {
             // ...sign-extend + address generation depend on it...
             let addr = e.alu(&[cld]);
             // ...and x[j] is the dependent (pointer-chasing) load.
-            let xld = e.load(streams::X, x_a + 8 * c as u64, &[addr]);
-            let vld = e.load(streams::VAL, val_a + 8 * j, &[]);
+            let xld = e.load(streams::X, x_a + vs * c as u64, &[addr]);
+            let vld = e.load(streams::VAL, val_a + vs * j, &[]);
             let m = e.fmul(&[xld, vld]);
             acc = e.fadd(&[m, acc]);
             yv += v * x[c as usize];
@@ -52,7 +53,7 @@ pub fn spmv_csr<E: Engine>(e: &mut E, a: &Csr<f64>, x: &[f64]) -> Vec<f64> {
             e.branch(sites::SPMV_INNER, k + 1 < n, &[hi_load]);
         }
         *yi = yv;
-        e.store(streams::OUT, y_a + 8 * i as u64, &[acc]);
+        e.store(streams::OUT, y_a + vs * i as u64, &[acc]);
         e.alu(&[]); // i++
         e.branch(sites::SPMV_OUTER, i + 1 < rows, &[]);
     }
@@ -62,24 +63,25 @@ pub fn spmv_csr<E: Engine>(e: &mut E, a: &Csr<f64>, x: &[f64]) -> Vec<f64> {
 /// Idealized CSR SpMV (paper Fig. 3): identical computation, but the
 /// positions of non-zeros are known for free — no `col_ind` loads, no
 /// dependent address generation, no `row_ptr` loads.
-pub fn spmv_ideal<E: Engine>(e: &mut E, a: &Csr<f64>, x: &[f64]) -> Vec<f64> {
+pub fn spmv_ideal<E: Engine, T: Scalar>(e: &mut E, a: &Csr<T>, x: &[T]) -> Vec<T> {
+    let vs = std::mem::size_of::<T>() as u64;
     assert_eq!(x.len(), a.cols(), "vector length must equal cols");
     let rows = a.rows();
-    let val_a = e.alloc(8 * a.nnz(), 64);
-    let x_a = e.alloc(8 * x.len(), 64);
-    let y_a = e.alloc(8 * rows, 64);
+    let val_a = e.alloc(vs as usize * a.nnz(), 64);
+    let x_a = e.alloc(vs as usize * x.len(), 64);
+    let y_a = e.alloc(vs as usize * rows, 64);
 
-    let mut y = vec![0.0f64; rows];
+    let mut y = vec![T::ZERO; rows];
     let mut j = 0u64;
     for (i, yi) in y.iter_mut().enumerate() {
         let (cols_i, vals_i) = a.row(i);
         let mut acc = UopId::NONE;
-        let mut yv = 0.0f64;
+        let mut yv = T::ZERO;
         let n = cols_i.len();
         for (k, (&c, &v)) in cols_i.iter().zip(vals_i).enumerate() {
             // Position is known: x is loaded with no producing dependency.
-            let xld = e.load(streams::X, x_a + 8 * c as u64, &[]);
-            let vld = e.load(streams::VAL, val_a + 8 * j, &[]);
+            let xld = e.load(streams::X, x_a + vs * c as u64, &[]);
+            let vld = e.load(streams::VAL, val_a + vs * j, &[]);
             let m = e.fmul(&[xld, vld]);
             acc = e.fadd(&[m, acc]);
             yv += v * x[c as usize];
@@ -88,7 +90,7 @@ pub fn spmv_ideal<E: Engine>(e: &mut E, a: &Csr<f64>, x: &[f64]) -> Vec<f64> {
             j += 1;
         }
         *yi = yv;
-        e.store(streams::OUT, y_a + 8 * i as u64, &[acc]);
+        e.store(streams::OUT, y_a + vs * i as u64, &[acc]);
         e.branch(sites::SPMV_OUTER, i + 1 < rows, &[]);
     }
     y
@@ -96,17 +98,19 @@ pub fn spmv_ideal<E: Engine>(e: &mut E, a: &Csr<f64>, x: &[f64]) -> Vec<f64> {
 
 /// BCSR SpMV (TACO-BCSR baseline): one index per block, dense SIMD compute
 /// inside each block — including its explicit zeros.
-pub fn spmv_bcsr<E: Engine>(e: &mut E, a: &Bcsr<f64>, x: &[f64]) -> Vec<f64> {
+pub fn spmv_bcsr<E: Engine, T: Scalar>(e: &mut E, a: &Bcsr<T>, x: &[T]) -> Vec<T> {
+    let vs = std::mem::size_of::<T>() as u64;
+    let lanes = lanes_of::<T>();
     assert_eq!(x.len(), a.cols(), "vector length must equal cols");
     let (br, bc) = a.block_shape();
     let n_block_rows = a.num_block_rows();
     let ptr_a = e.alloc(4 * (n_block_rows + 1), 64);
     let ind_a = e.alloc(4 * a.num_blocks(), 64);
-    let val_a = e.alloc(8 * a.nnz_stored(), 64);
-    let x_a = e.alloc(8 * x.len(), 64);
-    let y_a = e.alloc(8 * a.rows(), 64);
+    let val_a = e.alloc(vs as usize * a.nnz_stored(), 64);
+    let x_a = e.alloc(vs as usize * x.len(), 64);
+    let y_a = e.alloc(vs as usize * a.rows(), 64);
 
-    let mut y = vec![0.0f64; a.rows()];
+    let mut y = vec![T::ZERO; a.rows()];
     let bs = br * bc;
     let mut hi_load = e.load(streams::PTR, ptr_a, &[]);
     let _ = hi_load;
@@ -116,7 +120,7 @@ pub fn spmv_bcsr<E: Engine>(e: &mut E, a: &Bcsr<f64>, x: &[f64]) -> Vec<f64> {
         let hi = a.block_row_ptr()[bi + 1] as usize;
         // One accumulator chain per row of the block row.
         let mut accs = vec![UopId::NONE; br];
-        let mut yvs = vec![0.0f64; br];
+        let mut yvs = vec![T::ZERO; br];
         for k in lo..hi {
             let bcol = a.block_col_ind()[k] as usize;
             // Block index load + x base address generation (the only
@@ -129,11 +133,11 @@ pub fn spmv_bcsr<E: Engine>(e: &mut E, a: &Bcsr<f64>, x: &[f64]) -> Vec<f64> {
                 if row >= a.rows() {
                     break;
                 }
-                for lane in 0..vector_ops(bc) {
-                    let off = (k * bs + lr * bc + lane * VEC_WIDTH) as u64;
-                    let vld = e.load(streams::VAL, val_a + 8 * off, &[]);
-                    let xoff = (bcol * bc + lane * VEC_WIDTH) as u64;
-                    let xld = e.load(streams::X, x_a + 8 * xoff, &[addr]);
+                for lane in 0..vector_ops_of::<T>(bc) {
+                    let off = (k * bs + lr * bc + lane * lanes) as u64;
+                    let vld = e.load(streams::VAL, val_a + vs * off, &[]);
+                    let xoff = (bcol * bc + lane * lanes) as u64;
+                    let xld = e.load(streams::X, x_a + vs * xoff, &[addr]);
                     let m = e.fmul(&[vld, xld]);
                     accs[lr] = e.fadd(&[m, accs[lr]]);
                 }
@@ -153,7 +157,7 @@ pub fn spmv_bcsr<E: Engine>(e: &mut E, a: &Bcsr<f64>, x: &[f64]) -> Vec<f64> {
                 break;
             }
             y[row] = yvs[lr];
-            e.store(streams::OUT, y_a + 8 * row as u64, &[accs[lr]]);
+            e.store(streams::OUT, y_a + vs * row as u64, &[accs[lr]]);
         }
         e.alu(&[]);
         e.branch(sites::SPMV_OUTER, bi + 1 < n_block_rows, &[]);
@@ -164,18 +168,20 @@ pub fn spmv_bcsr<E: Engine>(e: &mut E, a: &Bcsr<f64>, x: &[f64]) -> Vec<f64> {
 /// Software-only SMASH SpMV (paper §4.4): the bitmap hierarchy is scanned in
 /// software — word loads, count-trailing-zeros and AND-masking per set bit —
 /// then each non-zero block is processed with SIMD, explicit zeros included.
-pub fn spmv_sw_smash<E: Engine>(e: &mut E, a: &SmashMatrix<f64>, x: &[f64]) -> Vec<f64> {
+pub fn spmv_sw_smash<E: Engine, T: Scalar>(e: &mut E, a: &SmashMatrix<T>, x: &[T]) -> Vec<T> {
+    let vs = std::mem::size_of::<T>() as u64;
+    let lanes = lanes_of::<T>();
     assert_eq!(x.len(), a.cols(), "vector length must equal cols");
     let levels = a.hierarchy().num_levels();
     let b0 = a.config().block_size();
-    let nza_a = e.alloc(8 * a.nza().len(), 64);
-    let x_a = e.alloc(8 * x.len(), 64);
-    let y_a = e.alloc(8 * a.rows(), 64);
+    let nza_a = e.alloc(vs as usize * a.nza().len(), 64);
+    let x_a = e.alloc(vs as usize * x.len(), 64);
+    let y_a = e.alloc(vs as usize * a.rows(), 64);
     let bitmap_addrs: Vec<u64> = (0..levels)
         .map(|l| e.alloc(a.hierarchy().stored_level(l).len().div_ceil(8), 64))
         .collect();
 
-    let mut y = vec![0.0f64; a.rows()];
+    let mut y = vec![T::ZERO; a.rows()];
     // Per-level scanning state: last word loaded, its uop, and the serial
     // CTZ/mask chain (each "find next set bit" consumes the previous
     // masked word — the §4.4 software loop is inherently sequential).
@@ -196,7 +202,7 @@ pub fn spmv_sw_smash<E: Engine>(e: &mut E, a: &SmashMatrix<f64>, x: &[f64]) -> V
 
     let mut ordinal = 0usize;
     let mut acc = UopId::NONE;
-    let mut yv = 0.0f64;
+    let mut yv = T::ZERO;
     let mut cur_row = usize::MAX;
     for visit in a.hierarchy().visits() {
         let word = visit.storage / 64;
@@ -220,22 +226,18 @@ pub fn spmv_sw_smash<E: Engine>(e: &mut E, a: &SmashMatrix<f64>, x: &[f64]) -> V
         if row != cur_row {
             if cur_row != usize::MAX {
                 y[cur_row] = yv;
-                e.store(streams::OUT, y_a + 8 * cur_row as u64, &[acc]);
+                e.store(streams::OUT, y_a + vs * cur_row as u64, &[acc]);
             }
             e.branch(sites::LINE_CHANGE, true, &[idx2]);
             cur_row = row;
-            yv = 0.0;
+            yv = T::ZERO;
             acc = UopId::NONE;
         }
         let block = a.nza().block(ordinal);
-        for lane in 0..vector_ops(b0) {
-            let off = (ordinal * b0 + lane * VEC_WIDTH) as u64;
-            let vld = e.load(streams::NZA_A, nza_a + 8 * off, &[]);
-            let xld = e.load(
-                streams::X,
-                x_a + 8 * (col + lane * VEC_WIDTH) as u64,
-                &[idx2],
-            );
+        for lane in 0..vector_ops_of::<T>(b0) {
+            let off = (ordinal * b0 + lane * lanes) as u64;
+            let vld = e.load(streams::NZA_A, nza_a + vs * off, &[]);
+            let xld = e.load(streams::X, x_a + vs * (col + lane * lanes) as u64, &[idx2]);
             let m = e.fmul(&[vld, xld]);
             acc = e.fadd(&[m, acc]);
         }
@@ -249,7 +251,7 @@ pub fn spmv_sw_smash<E: Engine>(e: &mut E, a: &SmashMatrix<f64>, x: &[f64]) -> V
     }
     if cur_row != usize::MAX {
         y[cur_row] = yv;
-        e.store(streams::OUT, y_a + 8 * cur_row as u64, &[acc]);
+        e.store(streams::OUT, y_a + vs * cur_row as u64, &[acc]);
     }
     // The scan reads each stored bitmap to its end.
     for level in 0..levels {
@@ -269,13 +271,15 @@ pub fn spmv_sw_smash<E: Engine>(e: &mut E, a: &SmashMatrix<f64>, x: &[f64]) -> V
 /// Full SMASH SpMV (paper Algorithm 1): the BMU scans the hierarchy; the
 /// core executes one `pbmap`/`rdind` pair per non-zero block and SIMD
 /// compute over the block's elements.
-pub fn spmv_hw_smash<E: Engine>(
+pub fn spmv_hw_smash<E: Engine, T: Scalar>(
     e: &mut E,
     bmu: &mut Bmu,
     grp: usize,
-    a: &SmashMatrix<f64>,
-    x: &[f64],
-) -> Vec<f64> {
+    a: &SmashMatrix<T>,
+    x: &[T],
+) -> Vec<T> {
+    let vs = std::mem::size_of::<T>() as u64;
+    let lanes = lanes_of::<T>();
     assert_eq!(x.len(), a.cols(), "vector length must equal cols");
     let levels = a.hierarchy().num_levels();
     assert!(
@@ -283,9 +287,9 @@ pub fn spmv_hw_smash<E: Engine>(
         "hardware buffers at most {MAX_HW_LEVELS} levels"
     );
     let b0 = a.config().block_size();
-    let nza_a = e.alloc(8 * a.nza().len(), 64);
-    let x_a = e.alloc(8 * x.len(), 64);
-    let y_a = e.alloc(8 * a.rows(), 64);
+    let nza_a = e.alloc(vs as usize * a.nza().len(), 64);
+    let x_a = e.alloc(vs as usize * x.len(), 64);
+    let y_a = e.alloc(vs as usize * a.rows(), 64);
     let mut level_addrs = [0u64; MAX_HW_LEVELS];
     for (l, addr) in level_addrs.iter_mut().enumerate().take(levels) {
         *addr = e.alloc(a.hierarchy().stored_level(l).len().div_ceil(8), 64);
@@ -305,9 +309,9 @@ pub fn spmv_hw_smash<E: Engine>(
         bmu.rdbmap(e, grp, lvl, level_addrs[lvl], &binding);
     }
 
-    let mut y = vec![0.0f64; a.rows()];
+    let mut y = vec![T::ZERO; a.rows()];
     let mut acc = UopId::NONE;
-    let mut yv = 0.0f64;
+    let mut yv = T::ZERO;
     let mut cur_row = usize::MAX;
     let mut ordinal = 0usize;
     let num_blocks = a.num_blocks();
@@ -322,24 +326,20 @@ pub fn spmv_hw_smash<E: Engine>(
         if row != cur_row {
             if cur_row != usize::MAX {
                 y[cur_row] = yv;
-                e.store(streams::OUT, y_a + 8 * cur_row as u64, &[acc]);
+                e.store(streams::OUT, y_a + vs * cur_row as u64, &[acc]);
             }
             e.branch(sites::LINE_CHANGE, true, &[ind.uop]);
             cur_row = row;
-            yv = 0.0;
+            yv = T::ZERO;
             acc = UopId::NONE;
         }
         // x base address from the column index register.
         let addr = e.alu(&[ind.uop]);
         let block = a.nza().block(ordinal);
-        for lane in 0..vector_ops(b0) {
-            let off = (ordinal * b0 + lane * VEC_WIDTH) as u64;
-            let vld = e.load(streams::NZA_A, nza_a + 8 * off, &[]);
-            let xld = e.load(
-                streams::X,
-                x_a + 8 * (col + lane * VEC_WIDTH) as u64,
-                &[addr],
-            );
+        for lane in 0..vector_ops_of::<T>(b0) {
+            let off = (ordinal * b0 + lane * lanes) as u64;
+            let vld = e.load(streams::NZA_A, nza_a + vs * off, &[]);
+            let xld = e.load(streams::X, x_a + vs * (col + lane * lanes) as u64, &[addr]);
             let m = e.fmul(&[vld, xld]);
             acc = e.fadd(&[m, acc]);
         }
@@ -355,7 +355,7 @@ pub fn spmv_hw_smash<E: Engine>(
     }
     if cur_row != usize::MAX {
         y[cur_row] = yv;
-        e.store(streams::OUT, y_a + 8 * cur_row as u64, &[acc]);
+        e.store(streams::OUT, y_a + vs * cur_row as u64, &[acc]);
     }
     y
 }

@@ -286,6 +286,76 @@ impl<T: Scalar> Csr<T> {
         4 * (self.rows + 1) + 4 * self.nnz() + self.nnz() * std::mem::size_of::<T>()
     }
 
+    /// Returns a copy with every value converted to scalar type `U`
+    /// (through `f64`, so `f64 -> f32` truncates). The sparsity structure
+    /// is shared verbatim, which is what makes a `Csr<f32>` built this way
+    /// a faithful reduced-precision twin of its `f64` original in the
+    /// mixed-precision equivalence tests.
+    pub fn cast<U: Scalar>(&self) -> Csr<U> {
+        Csr {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr: self.row_ptr.clone(),
+            col_ind: self.col_ind.clone(),
+            values: self
+                .values
+                .iter()
+                .map(|v| U::from_f64(v.to_f64()))
+                .collect(),
+        }
+    }
+
+    /// Dot product of row `i` against the dense vector `x`, accumulated in
+    /// serial order with separate multiplies and adds (paper Code
+    /// Listing 1). This is *the* per-row body of the plain CSR SpMV: both
+    /// the serial `smash_kernels::native::spmv_csr` and the parallel
+    /// `smash_parallel::par_spmv_csr` call it, which is what keeps the two
+    /// bit-identical at every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows` or a column index of the row is `>= x.len()`.
+    #[inline]
+    pub fn row_dot(&self, i: usize, x: &[T]) -> T {
+        let (cols, vals) = self.row(i);
+        let mut acc = T::ZERO;
+        for (&c, &v) in cols.iter().zip(vals) {
+            acc += v * x[c as usize];
+        }
+        acc
+    }
+
+    /// Dot product of row `i` against `x`, 4-way unrolled with independent
+    /// accumulators — the software tuning MKL layers over the same format.
+    /// Shared by `smash_kernels::native::spmv_csr_opt`; note the different
+    /// reassociation means its result can differ from
+    /// [`row_dot`](Csr::row_dot) by rounding error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows` or a column index of the row is `>= x.len()`.
+    #[inline]
+    pub fn row_dot_unrolled(&self, i: usize, x: &[T]) -> T {
+        assert!(i < self.rows, "row out of bounds");
+        let lo = self.row_ptr[i] as usize;
+        let hi = self.row_ptr[i + 1] as usize;
+        let (mut s0, mut s1, mut s2, mut s3) = (T::ZERO, T::ZERO, T::ZERO, T::ZERO);
+        let mut j = lo;
+        while j + 4 <= hi {
+            s0 += self.values[j] * x[self.col_ind[j] as usize];
+            s1 += self.values[j + 1] * x[self.col_ind[j + 1] as usize];
+            s2 += self.values[j + 2] * x[self.col_ind[j + 2] as usize];
+            s3 += self.values[j + 3] * x[self.col_ind[j + 3] as usize];
+            j += 4;
+        }
+        let mut acc = (s0 + s1) + (s2 + s3);
+        while j < hi {
+            acc += self.values[j] * x[self.col_ind[j] as usize];
+            j += 1;
+        }
+        acc
+    }
+
     /// Reference sparse matrix-vector product `y = A * x`
     /// (paper Code Listing 1).
     ///
@@ -526,6 +596,33 @@ mod tests {
         let a = Csr::<f64>::from_coo(&Coo::new(3, 3));
         assert_eq!(a.nnz(), 0);
         assert_eq!(a.spmv(&[1.0, 1.0, 1.0]), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn row_dot_variants_match_spmv() {
+        let a = fig1();
+        let x = [1.0, 2.0, 3.0, 4.0];
+        for (i, want) in a.spmv(&x).into_iter().enumerate() {
+            assert!((a.row_dot(i, &x) - want).abs() < 1e-12);
+            assert!((a.row_dot_unrolled(i, &x) - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cast_preserves_structure_and_truncates_values() {
+        let a = fig1();
+        let f = a.cast::<f32>();
+        assert_eq!(f.row_ptr(), a.row_ptr());
+        assert_eq!(f.col_ind(), a.col_ind());
+        for (w, n) in a.values().iter().zip(f.values()) {
+            assert_eq!(*n, *w as f32);
+        }
+        // Round-tripping back to f64 keeps structure, loses only precision.
+        let back = f.cast::<f64>();
+        assert_eq!(back.row_ptr(), a.row_ptr());
+        for (w, b) in a.values().iter().zip(back.values()) {
+            assert!((w - b).abs() < 1e-6);
+        }
     }
 
     #[test]

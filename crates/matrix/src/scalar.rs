@@ -40,6 +40,14 @@ pub trait Scalar:
     const ZERO: Self;
     /// Multiplicative identity.
     const ONE: Self;
+    /// Machine epsilon of the type (distance from 1 to the next larger
+    /// representable value), widened to `f64` for tolerance arithmetic.
+    const EPSILON: f64;
+    /// Default relative tolerance for kernel-equivalence checks: wide
+    /// enough to absorb the reassociation error of unrolled/blocked
+    /// kernels at this precision, tight enough to catch index mix-ups.
+    /// (`~1e-9` for `f64`, `~1e-4` for `f32`.)
+    const TOLERANCE: f64;
 
     /// Converts from `f64`, truncating precision if necessary.
     fn from_f64(v: f64) -> Self;
@@ -65,13 +73,23 @@ pub trait Scalar:
         let scale = 1.0_f64.max(a.abs()).max(b.abs());
         (a - b).abs() <= tol * scale
     }
+
+    /// [`approx_eq`](Scalar::approx_eq) at the type's own
+    /// [`TOLERANCE`](Scalar::TOLERANCE) — the check kernel-equivalence
+    /// tests use when comparing a result against an oracle computed in
+    /// this precision (or widened from it).
+    fn approx_eq_default(self, other: Self) -> bool {
+        self.approx_eq(other, Self::TOLERANCE)
+    }
 }
 
 macro_rules! impl_scalar_float {
-    ($t:ty) => {
+    ($t:ty, $tol:expr) => {
         impl Scalar for $t {
             const ZERO: Self = 0.0;
             const ONE: Self = 1.0;
+            const EPSILON: f64 = <$t>::EPSILON as f64;
+            const TOLERANCE: f64 = $tol;
 
             fn from_f64(v: f64) -> Self {
                 v as $t
@@ -89,8 +107,8 @@ macro_rules! impl_scalar_float {
     };
 }
 
-impl_scalar_float!(f32);
-impl_scalar_float!(f64);
+impl_scalar_float!(f32, 1e-4);
+impl_scalar_float!(f64, 1e-9);
 
 #[cfg(test)]
 mod tests {
@@ -121,5 +139,42 @@ mod tests {
         assert!(!1.0f64.approx_eq(1.1, 1e-9));
         // Relative tolerance for large magnitudes.
         assert!(1e12f64.approx_eq(1e12 + 1.0, 1e-9));
+    }
+
+    #[test]
+    fn tolerance_constants_track_precision() {
+        // The per-type tolerance sits well above machine epsilon (room for
+        // accumulated rounding) and f32 is the coarser of the two. Checked
+        // through a generic helper so the comparison is not a clippy-level
+        // constant: this is exactly how kernel tests consume the constants.
+        fn spread<T: Scalar>() -> (f64, f64) {
+            (T::EPSILON, T::TOLERANCE)
+        }
+        let (eps64, tol64) = spread::<f64>();
+        let (eps32, tol32) = spread::<f32>();
+        assert!(tol64 > eps64);
+        assert!(tol32 > eps32);
+        assert!(tol32 > tol64);
+        assert_eq!(eps32, f32::EPSILON as f64);
+    }
+
+    #[test]
+    fn approx_eq_default_uses_per_type_tolerance() {
+        // An error of 1e-6 passes at f32 tolerance but fails at f64's.
+        assert!(1.0f32.approx_eq_default(1.0 + 1e-6));
+        assert!(!1.0f64.approx_eq_default(1.0 + 1e-6));
+        assert!(1.0f64.approx_eq_default(1.0 + 1e-12));
+        assert!(!1.0f32.approx_eq_default(1.01));
+    }
+
+    #[test]
+    fn f32_impl_roundtrips_and_computes() {
+        let x: f32 = 3.0;
+        assert_eq!(x.mul_add(2.0, 1.0), 7.0);
+        assert_eq!((-2.5f32).abs(), 2.5);
+        assert_eq!(f32::from_f64(0.25).to_f64(), 0.25);
+        // Truncation: a value not representable in f32 rounds.
+        let fine = 1.0 + 1e-12;
+        assert_eq!(f32::from_f64(fine), 1.0f32);
     }
 }

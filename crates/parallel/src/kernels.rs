@@ -17,8 +17,10 @@
 
 use crate::partition::{partition_by_weight, partition_rows};
 use crate::pool::ThreadPool;
-use smash_core::{for_each_line_block, BitmapHierarchy, Layout, Nza, SmashConfig, SmashMatrix};
-use smash_matrix::{Bcsr, Coo, Csc, Csr};
+use smash_core::{
+    block_dot, for_each_line_block, BitmapHierarchy, Layout, Nza, SmashConfig, SmashMatrix,
+};
+use smash_matrix::{Bcsr, Coo, Csc, Csr, Scalar};
 
 /// Parallel plain CSR SpMV; bit-identical to
 /// [`spmv_csr`](../../smash_kernels/native/fn.spmv_csr.html) at any
@@ -27,7 +29,7 @@ use smash_matrix::{Bcsr, Coo, Csc, Csr};
 /// # Panics
 ///
 /// Panics if `x.len() != a.cols()` or `y.len() != a.rows()`.
-pub fn par_spmv_csr(pool: &ThreadPool, a: &Csr<f64>, x: &[f64], y: &mut [f64]) {
+pub fn par_spmv_csr<T: Scalar>(pool: &ThreadPool, a: &Csr<T>, x: &[T], y: &mut [T]) {
     assert_eq!(x.len(), a.cols());
     assert_eq!(y.len(), a.rows());
     let ranges = partition_rows(a.row_ptr(), pool.threads());
@@ -39,12 +41,10 @@ pub fn par_spmv_csr(pool: &ThreadPool, a: &Csr<f64>, x: &[f64], y: &mut [f64]) {
             s.execute(move || {
                 let lo = range.start;
                 for i in range {
-                    let (cols, vals) = a.row(i);
-                    let mut acc = 0.0;
-                    for (&c, &v) in cols.iter().zip(vals) {
-                        acc += v * x[c as usize];
-                    }
-                    chunk[i - lo] = acc;
+                    // The same per-row body as the serial kernel
+                    // (`Csr::row_dot`) — sharing it keeps the two
+                    // bit-identical at every precision.
+                    chunk[i - lo] = a.row_dot(i, x);
                 }
             });
         }
@@ -58,7 +58,7 @@ pub fn par_spmv_csr(pool: &ThreadPool, a: &Csr<f64>, x: &[f64], y: &mut [f64]) {
 /// # Panics
 ///
 /// Panics if `x.len() != a.cols()` or `y.len() != a.rows()`.
-pub fn par_spmv_bcsr(pool: &ThreadPool, a: &Bcsr<f64>, x: &[f64], y: &mut [f64]) {
+pub fn par_spmv_bcsr<T: Scalar>(pool: &ThreadPool, a: &Bcsr<T>, x: &[T], y: &mut [T]) {
     assert_eq!(x.len(), a.cols());
     assert_eq!(y.len(), a.rows());
     let (br, bc) = a.block_shape();
@@ -82,7 +82,7 @@ pub fn par_spmv_bcsr(pool: &ThreadPool, a: &Bcsr<f64>, x: &[f64], y: &mut [f64])
             consumed = row_hi;
             rest = tail;
             s.execute(move || {
-                chunk.fill(0.0);
+                chunk.fill(T::ZERO);
                 for bi in range {
                     let (lo, hi) = (ptr[bi] as usize, ptr[bi + 1] as usize);
                     let ybase = bi * br - row_lo;
@@ -94,15 +94,15 @@ pub fn par_spmv_bcsr(pool: &ThreadPool, a: &Bcsr<f64>, x: &[f64], y: &mut [f64])
                             let xs = &x[cbase..cbase + bc];
                             for lr in 0..br {
                                 let trow = &tile[lr * bc..(lr + 1) * bc];
-                                let mut acc = 0.0;
-                                for (t, xv) in trow.iter().zip(xs) {
+                                let mut acc = T::ZERO;
+                                for (&t, &xv) in trow.iter().zip(xs) {
                                     acc += t * xv;
                                 }
                                 chunk[ybase + lr] += acc;
                             }
                         } else {
                             for lr in 0..br.min(rows - bi * br) {
-                                let mut acc = 0.0;
+                                let mut acc = T::ZERO;
                                 for lc in 0..bc.min(cols - cbase) {
                                     acc += tile[lr * bc + lc] * x[cbase + lc];
                                 }
@@ -115,7 +115,7 @@ pub fn par_spmv_bcsr(pool: &ThreadPool, a: &Bcsr<f64>, x: &[f64], y: &mut [f64])
         }
         // Rows beyond the last block row cannot exist (BCSR pads upward),
         // but guard against an all-empty matrix with zero block rows.
-        rest.fill(0.0);
+        rest.fill(T::ZERO);
     });
 }
 
@@ -133,7 +133,7 @@ pub fn par_spmv_bcsr(pool: &ThreadPool, a: &Bcsr<f64>, x: &[f64], y: &mut [f64])
 ///
 /// Panics if `x.len() != a.cols()`, `y.len() != a.rows()`, or the matrix
 /// is not row-major.
-pub fn par_spmv_smash(pool: &ThreadPool, a: &SmashMatrix<f64>, x: &[f64], y: &mut [f64]) {
+pub fn par_spmv_smash<T: Scalar>(pool: &ThreadPool, a: &SmashMatrix<T>, x: &[T], y: &mut [T]) {
     assert_eq!(x.len(), a.cols());
     assert_eq!(y.len(), a.rows());
     assert_eq!(a.config().layout(), Layout::RowMajor, "row-major SpMV");
@@ -153,17 +153,14 @@ pub fn par_spmv_smash(pool: &ThreadPool, a: &SmashMatrix<f64>, x: &[f64], y: &mu
             let (chunk, tail) = rest.split_at_mut(range.len());
             rest = tail;
             s.execute(move || {
-                chunk.fill(0.0);
+                chunk.fill(T::ZERO);
                 for row in range.clone() {
                     for (ordinal, logical) in a.line_cursor(row) {
                         let col = (logical % bpl) * b0;
                         let block = &nza[ordinal * b0..(ordinal + 1) * b0];
                         let n = b0.min(cols - col);
-                        let mut acc = 0.0;
-                        for k in 0..n {
-                            acc += block[k] * x[col + k];
-                        }
-                        chunk[row - range.start] += acc;
+                        // The shared per-block body of every SMASH SpMV.
+                        chunk[row - range.start] += block_dot(block, x, col, n);
                     }
                 }
             });
@@ -173,7 +170,11 @@ pub fn par_spmv_smash(pool: &ThreadPool, a: &SmashMatrix<f64>, x: &[f64], y: &mu
 
 /// Inner-product SpMM over one row range, driving the same
 /// [`Csr::spmm_inner_row`] routine as the serial `spmm_inner`.
-fn spmm_rows(a: &Csr<f64>, b: &Csc<f64>, rows: std::ops::Range<usize>) -> Vec<(u32, u32, f64)> {
+fn spmm_rows<T: Scalar>(
+    a: &Csr<T>,
+    b: &Csc<T>,
+    rows: std::ops::Range<usize>,
+) -> Vec<(u32, u32, T)> {
     let mut out = Vec::new();
     for i in rows {
         a.spmm_inner_row(i, b, |j, acc| out.push((i as u32, j as u32, acc)));
@@ -190,10 +191,10 @@ fn spmm_rows(a: &Csr<f64>, b: &Csc<f64>, rows: std::ops::Range<usize>) -> Vec<(u
 /// # Panics
 ///
 /// Panics if `a.cols() != b.rows()`.
-pub fn par_spmm_csr(pool: &ThreadPool, a: &Csr<f64>, b: &Csc<f64>) -> Coo<f64> {
+pub fn par_spmm_csr<T: Scalar>(pool: &ThreadPool, a: &Csr<T>, b: &Csc<T>) -> Coo<T> {
     assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
     let ranges = partition_rows(a.row_ptr(), pool.threads());
-    let mut chunks: Vec<Vec<(u32, u32, f64)>> = vec![Vec::new(); ranges.len()];
+    let mut chunks: Vec<Vec<(u32, u32, T)>> = vec![Vec::new(); ranges.len()];
     pool.scoped(|s| {
         for (range, slot) in ranges.iter().cloned().zip(chunks.iter_mut()) {
             s.execute(move || *slot = spmm_rows(a, b, range));
@@ -215,7 +216,11 @@ pub fn par_spmm_csr(pool: &ThreadPool, a: &Csr<f64>, b: &Csc<f64>) -> Coo<f64> {
 /// Workers discover the occupied blocks and materialize the NZA values
 /// for disjoint line ranges; the main thread splices the per-range
 /// results in line order and builds the upper bitmap levels once.
-pub fn par_csr_to_smash(pool: &ThreadPool, a: &Csr<f64>, config: SmashConfig) -> SmashMatrix<f64> {
+pub fn par_csr_to_smash<T: Scalar>(
+    pool: &ThreadPool,
+    a: &Csr<T>,
+    config: SmashConfig,
+) -> SmashMatrix<T> {
     match config.layout() {
         Layout::RowMajor => par_encode_lines(pool, a.rows(), a.cols(), config, |l| a.row(l)),
         Layout::ColMajor => {
@@ -229,15 +234,15 @@ pub fn par_csr_to_smash(pool: &ThreadPool, a: &Csr<f64>, config: SmashConfig) ->
 
 /// Shared parallel encoder over an abstract "line" accessor (CSR rows or
 /// CSC columns), mirroring `SmashMatrix::encode_lines`.
-fn par_encode_lines<'m, F>(
+fn par_encode_lines<'m, T: Scalar, F>(
     pool: &ThreadPool,
     rows: usize,
     cols: usize,
     config: SmashConfig,
     line_entries: F,
-) -> SmashMatrix<f64>
+) -> SmashMatrix<T>
 where
-    F: Fn(usize) -> (&'m [u32], &'m [f64]) + Sync,
+    F: Fn(usize) -> (&'m [u32], &'m [T]) + Sync,
 {
     let b0 = config.block_size();
     let (lines, line_len) = match config.layout() {
@@ -248,14 +253,14 @@ where
     let ranges = partition_by_weight(lines, pool.threads(), |l| line_entries(l).0.len() as u64);
     // Per range: the logical Bitmap-0 indices of occupied blocks plus the
     // flattened (zero-padded) block values, both in bit order.
-    let mut parts: Vec<(Vec<usize>, Vec<f64>)> = vec![Default::default(); ranges.len()];
+    let mut parts: Vec<(Vec<usize>, Vec<T>)> = vec![Default::default(); ranges.len()];
     pool.scoped(|s| {
         for (range, slot) in ranges.iter().cloned().zip(parts.iter_mut()) {
             let line_entries = &line_entries;
             s.execute(move || {
                 let mut bits = Vec::new();
                 let mut vals = Vec::new();
-                let mut block = vec![0.0f64; b0];
+                let mut block = vec![T::ZERO; b0];
                 for line in range {
                     let (offsets, values) = line_entries(line);
                     let base = line * bpl;

@@ -15,17 +15,21 @@
 //! * [`bmu`] — the Bitmap Management Unit hardware model and the five-
 //!   instruction SMASH ISA (the paper's hardware contribution),
 //! * [`kernels`] — SpMV/SpMM/SpAdd kernels for every mechanism the paper
-//!   evaluates,
+//!   evaluates, all generic over [`matrix::Scalar`] (`f64` and `f32`),
+//!   plus the [`Executor`]: one `spmv`/`spmm` entry point over
+//!   *format × precision × serial/parallel*,
 //! * [`parallel`] — a scoped thread pool plus multi-threaded variants of
 //!   the native kernels, bit-identical to the serial ones at every thread
 //!   count (`SMASH_THREADS` overrides the worker count),
-//! * [`graph`] — PageRank and Betweenness Centrality built on the kernels.
+//! * [`graph`] — PageRank and Betweenness Centrality built on the kernels,
+//!   generic over precision through `Graph<T>`.
 //!
 //! # Quickstart
 //!
 //! ```
 //! use smash::encoding::{SmashConfig, SmashMatrix};
 //! use smash::matrix::generators;
+//! use smash::Executor;
 //!
 //! // A random sparse matrix, compressed with a 3-level bitmap hierarchy.
 //! let a = generators::uniform(256, 256, 2048, 42);
@@ -36,6 +40,16 @@
 //! assert_eq!(sm.decode(), a);
 //! // ...and the non-zero values array stores whole blocks (paper §4.1).
 //! assert_eq!(sm.nza().len() % 2, 0);
+//!
+//! // Compute runs through the executor: same entry point for CSR and the
+//! // compressed form, serial/parallel picked automatically. For a given
+//! // format the result is bit-identical whichever mode runs.
+//! let exec = Executor::auto();
+//! let x = vec![1.0f64; 256];
+//! let (mut y_auto, mut y_serial) = (vec![0.0; 256], vec![0.0; 256]);
+//! exec.spmv(&sm, &x, &mut y_auto);
+//! Executor::serial().spmv(&sm, &x, &mut y_serial);
+//! assert_eq!(y_auto, y_serial);
 //! ```
 
 pub use smash_bmu as bmu;
@@ -45,3 +59,5 @@ pub use smash_kernels as kernels;
 pub use smash_matrix as matrix;
 pub use smash_parallel as parallel;
 pub use smash_sim as sim;
+
+pub use smash_kernels::{ExecMode, Executor, SpmvOperand};

@@ -1,8 +1,10 @@
 //! The parallel kernels must be **bit-identical** to their serial
 //! counterparts — not merely close — at every thread count, including
 //! degenerate and adversarial shapes (empty rows, a single dense row,
-//! heavy nnz skew). Exact `==` on `f64` output is intentional: the
-//! parallel implementations never reorder a floating-point addition.
+//! heavy nnz skew). Exact `==` on the float output is intentional: the
+//! parallel implementations never reorder a floating-point addition. The
+//! guarantee is precision-independent — the `f32` suite runs the same
+//! exact-equality checks as the `f64` one.
 
 use proptest::prelude::*;
 use smash::encoding::{SmashConfig, SmashMatrix};
@@ -91,12 +93,81 @@ fn arb_matrix() -> impl Strategy<Value = Csr<f64>> {
         })
 }
 
+/// The f32 twin of [`assert_all_kernels_equivalent`]: parallel f32 output
+/// must be *bit-identical* (`==`) to serial f32 at threads {1, 2, 8} —
+/// reduced precision narrows the error margin of any reordering to the
+/// point where reassociation would show up immediately, so this is the
+/// sharpest determinism check in the suite.
+fn assert_f32_parallel_bit_identical(a64: &Csr<f64>) {
+    let a = a64.cast::<f32>();
+    let x: Vec<f32> = vector(a.cols()).iter().map(|&v| v as f32).collect();
+    let bcsr = Bcsr::from_csr(&a, 2, 2).expect("valid 2x2 blocking");
+    let cfg = SmashConfig::row_major(&[2, 4]).expect("valid config");
+    let sm = SmashMatrix::encode(&a, cfg.clone());
+    let bc = a.transpose().to_csc();
+
+    // Serial references in f32, computed once.
+    let mut want_csr = vec![0.0f32; a.rows()];
+    native::spmv_csr(&a, &x, &mut want_csr);
+    let mut want_bcsr = vec![0.0f32; a.rows()];
+    native::spmv_bcsr(&bcsr, &x, &mut want_bcsr);
+    let mut want_smash = vec![0.0f32; a.rows()];
+    native::spmv_smash(&sm, &x, &mut want_smash);
+    let want_spmm = native::spmm_csr(&a, &bc);
+
+    let mut got = vec![f32::NAN; a.rows()];
+    for threads in [1usize, 2, 8] {
+        let pool = ThreadPool::new(threads);
+        par_spmv_csr(&pool, &a, &x, &mut got);
+        assert_eq!(got, want_csr, "f32 spmv_csr, threads = {threads}");
+        par_spmv_bcsr(&pool, &bcsr, &x, &mut got);
+        assert_eq!(got, want_bcsr, "f32 spmv_bcsr, threads = {threads}");
+        par_spmv_smash(&pool, &sm, &x, &mut got);
+        assert_eq!(got, want_smash, "f32 spmv_smash, threads = {threads}");
+        assert_eq!(
+            par_spmm_csr(&pool, &a, &bc).entries(),
+            want_spmm.entries(),
+            "f32 spmm_csr, threads = {threads}"
+        );
+        assert_eq!(
+            par_csr_to_smash(&pool, &a, cfg.clone()),
+            sm,
+            "f32 csr_to_smash, threads = {threads}"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
     #[test]
     fn parallel_kernels_bit_identical_on_arbitrary_matrices(a in arb_matrix()) {
         assert_all_kernels_equivalent(&a);
+    }
+
+    #[test]
+    fn f32_parallel_bit_identical_on_arbitrary_matrices(a in arb_matrix()) {
+        assert_f32_parallel_bit_identical(&a);
+    }
+}
+
+#[test]
+fn f32_parallel_bit_identical_on_adversarial_shapes() {
+    assert_f32_parallel_bit_identical(&Csr::from_coo(&Coo::new(33, 17)));
+    assert_f32_parallel_bit_identical(&generators::power_law(96, 64, 900, 1.4, 13));
+    assert_f32_parallel_bit_identical(&generators::uniform(200, 3, 150, 5));
+    assert_f32_parallel_bit_identical(&generators::uniform(1, 1, 1, 7));
+}
+
+#[test]
+fn f32_graph_applications_bit_identical_across_thread_counts() {
+    use smash::graph::{generators as graph_gen, pagerank_parallel, PageRankConfig};
+    let g = graph_gen::rmat(128, 768, 17).cast::<f32>();
+    let cfg = PageRankConfig::default();
+    let want: Vec<f32> = pagerank_parallel(&ThreadPool::new(1), &g, &cfg);
+    for threads in [2usize, 8] {
+        let got = pagerank_parallel(&ThreadPool::new(threads), &g, &cfg);
+        assert_eq!(got, want, "f32 pagerank, threads = {threads}");
     }
 }
 
