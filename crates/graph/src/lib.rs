@@ -18,12 +18,17 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod batched;
 pub mod bc;
 pub mod generators;
 mod graph;
 pub mod pagerank;
 pub mod parallel;
 
+pub use batched::{
+    personalized_pagerank, personalized_pagerank_batched, personalized_pagerank_batched_smash,
+    seed_batch,
+};
 pub use bc::{betweenness, betweenness_reference, BcConfig};
 pub use generators::{generate_graphs, paper_graphs, GraphSpec};
 pub use graph::Graph;

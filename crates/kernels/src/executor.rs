@@ -43,10 +43,10 @@
 
 use crate::native;
 use smash_core::{Layout, SmashConfig, SmashMatrix};
-use smash_matrix::{Bcsr, Coo, Csc, Csr, Scalar};
+use smash_matrix::{Bcsr, Coo, Csc, Csr, Dense, Scalar};
 use smash_parallel::{
-    default_threads, par_csr_to_smash, par_spmm_csr, par_spmv_bcsr, par_spmv_csr, par_spmv_smash,
-    ThreadPool,
+    default_threads, par_csr_to_smash, par_spmm_csr, par_spmm_dense_bcsr, par_spmm_dense_csr,
+    par_spmm_dense_smash, par_spmv_bcsr, par_spmv_csr, par_spmv_smash, ThreadPool,
 };
 
 /// Minimum non-zero count before [`ExecMode::Auto`] reaches for the thread
@@ -250,6 +250,62 @@ impl Executor {
         }
     }
 
+    /// Batched sparse × dense multiply `C = A * B` over any supported
+    /// sparse format: `B` is a dense batch of right-hand-side columns
+    /// (e.g. many concurrent queries against one served matrix), processed
+    /// in register-blocked column tiles so the sparse operand is streamed
+    /// once per tile instead of once per vector.
+    ///
+    /// Dispatches to the serial or parallel kernel of the operand's format
+    /// per the executor's [`ExecMode`]. Under [`ExecMode::Auto`] the
+    /// decision weighs the *total* work — stored values × right-hand
+    /// sides — against [`AUTO_PARALLEL_NNZ`], so a matrix too small to
+    /// parallelize one SpMV can still go wide once enough right-hand
+    /// sides are batched. Whichever path runs, the result is bit-identical
+    /// — and column `j` of `C` is bit-identical to [`Executor::spmv`]
+    /// against column `j` of `B`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.rows() != a.cols()`, `c.rows() != a.rows()`,
+    /// `c.cols() != b.cols()`, or (for SMASH operands) the matrix is not
+    /// row-major.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use smash_kernels::Executor;
+    /// use smash_matrix::{generators, Dense};
+    ///
+    /// let a = generators::banded(64, 64, 3, 400, 7);
+    /// let b = Dense::from_vec(64, 8, vec![0.5f64; 64 * 8])?;
+    /// let mut c = Dense::zeros(64, 8);
+    /// Executor::auto().spmm_dense(&a, &b, &mut c);
+    ///
+    /// let mut serial = Dense::zeros(64, 8);
+    /// Executor::serial().spmm_dense(&a, &b, &mut serial);
+    /// assert_eq!(c, serial); // bit-identical across modes
+    /// # Ok::<(), smash_matrix::MatrixError>(())
+    /// ```
+    pub fn spmm_dense<'a, T: Scalar>(
+        &self,
+        a: impl Into<SpmvOperand<'a, T>>,
+        b: &Dense<T>,
+        c: &mut Dense<T>,
+    ) {
+        let a = a.into();
+        let work = a.work().saturating_mul(b.cols().max(1));
+        let wide = self.parallelize(a.rows(), work);
+        match (a, wide) {
+            (SpmvOperand::Csr(a), false) => native::spmm_dense_csr(a, b, c),
+            (SpmvOperand::Csr(a), true) => par_spmm_dense_csr(self.pool(), a, b, c),
+            (SpmvOperand::Bcsr(a), false) => native::spmm_dense_bcsr(a, b, c),
+            (SpmvOperand::Bcsr(a), true) => par_spmm_dense_bcsr(self.pool(), a, b, c),
+            (SpmvOperand::Smash(a), false) => native::spmm_dense_smash(a, b, c),
+            (SpmvOperand::Smash(a), true) => par_spmm_dense_smash(self.pool(), a, b, c),
+        }
+    }
+
     /// Inner-product sparse matrix-matrix multiply `C = A * B` with `B` in
     /// CSC form, serial or row-parallel per the executor's mode. The two
     /// paths produce identical triplet lists.
@@ -406,6 +462,74 @@ mod tests {
         for (w, n) in y64.iter().zip(&y32) {
             assert!(n.approx_eq(f32::from_f64(*w), f32::TOLERANCE));
         }
+    }
+
+    fn test_batch(rows: usize, cols: usize) -> Dense<f64> {
+        generators::dense_batch(rows, cols, 5)
+    }
+
+    #[test]
+    fn spmm_dense_modes_agree_bitwise_on_all_formats() {
+        // Small nnz but many right-hand sides: nnz * cols crosses the Auto
+        // threshold, exercising the batched parallel path.
+        let a = generators::clustered(256, 256, 8_000, 5, 3);
+        let bcsr = Bcsr::from_csr(&a, 2, 2).unwrap();
+        let sm = SmashMatrix::encode(&a, SmashConfig::row_major(&[2, 4]).unwrap());
+        let b = test_batch(256, 8);
+        let mut want = Dense::zeros(256, 8);
+        let mut got = Dense::zeros(256, 8);
+        for (fmt, serial_c) in [
+            ("csr", {
+                native::spmm_dense_csr(&a, &b, &mut want);
+                want.clone()
+            }),
+            ("bcsr", {
+                native::spmm_dense_bcsr(&bcsr, &b, &mut want);
+                want.clone()
+            }),
+            ("smash", {
+                native::spmm_dense_smash(&sm, &b, &mut want);
+                want.clone()
+            }),
+        ] {
+            for (mode, exec) in modes() {
+                got.as_mut_slice().fill(f64::NAN);
+                match fmt {
+                    "csr" => exec.spmm_dense(&a, &b, &mut got),
+                    "bcsr" => exec.spmm_dense(&bcsr, &b, &mut got),
+                    _ => exec.spmm_dense(&sm, &b, &mut got),
+                }
+                assert_eq!(got, serial_c, "{fmt} via {mode}");
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_dense_columns_match_spmv_through_executor() {
+        let a = generators::uniform(96, 80, 2_000, 9);
+        let b = test_batch(80, 6);
+        let exec = Executor::auto();
+        let mut c = Dense::zeros(96, 6);
+        exec.spmm_dense(&a, &b, &mut c);
+        for j in 0..6 {
+            let mut y = vec![0.0; 96];
+            exec.spmv(&a, &b.col(j), &mut y);
+            assert_eq!(c.col(j), y, "column {j}");
+        }
+    }
+
+    #[test]
+    fn auto_weighs_batched_work_by_rhs_count() {
+        let exec = Executor::auto();
+        if exec.threads() <= 1 {
+            return; // single-core host: Auto never parallelizes
+        }
+        let rows = 4 * exec.threads();
+        // One vector of work below the threshold...
+        assert!(!exec.parallelize(rows, AUTO_PARALLEL_NNZ / 8));
+        // ...crosses it once 8 right-hand sides are batched (the executor
+        // multiplies stored work by the batch width).
+        assert!(exec.parallelize(rows, (AUTO_PARALLEL_NNZ / 8) * 8));
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //!
 //! Two families:
 //!
-//! * **Instrumented kernels** ([`spmv`], [`spmm`], [`spadd`], [`convert`]) —
+//! * **Instrumented kernels** ([`spmv`], [`spmm`], [`spmdm`], [`spadd`],
+//!   [`convert`]) —
 //!   compute the real result *and* describe their instruction stream
 //!   (with data dependencies) to a `smash-sim` [`Engine`](smash_sim::Engine),
 //!   so the simulator can time them on the Table 2 machine. These power the
@@ -50,6 +51,7 @@ pub mod harness;
 pub mod native;
 pub mod parallel;
 pub mod spadd;
+pub mod spmdm;
 pub mod spmm;
 pub mod spmv;
 

@@ -17,8 +17,8 @@
 //! the parallel variants in `smash-parallel` stay bit-identical for all
 //! of them.
 
-use smash_core::{block_dot, Layout, SmashMatrix};
-use smash_matrix::{Bcsr, Coo, Csc, Csr, Scalar};
+use smash_core::{block_axpy_dense, block_dot, for_each_nz_block, Layout, SmashMatrix};
+use smash_matrix::{Bcsr, Coo, Csc, Csr, Dense, Scalar};
 
 /// Plain CSR SpMV (paper Code Listing 1). The per-row body is
 /// [`Csr::row_dot`], shared with `smash_parallel::par_spmv_csr`.
@@ -107,41 +107,84 @@ pub fn spmv_smash<T: Scalar>(a: &SmashMatrix<T>, x: &[T], y: &mut [T]) {
     assert_eq!(a.config().layout(), Layout::RowMajor, "row-major SpMV");
     y.fill(T::ZERO);
     let b0 = a.config().block_size();
-    let bpl = a.blocks_per_line();
     let nza = a.nza().values();
-    let mut ordinal = 0usize;
-    if a.hierarchy().num_levels() == 1 {
-        // Single-level fast path: the §4.4 loop verbatim — load a 64-bit
-        // bitmap word, trailing_zeros to find the set bit, AND to clear it.
-        let words = a.hierarchy().stored_level(0).words();
-        let total_bits = a.hierarchy().stored_level(0).len();
-        for (wi, &word) in words.iter().enumerate() {
-            let mut m = word;
-            while m != 0 {
-                let logical = wi * 64 + m.trailing_zeros() as usize;
-                m &= m - 1;
-                if logical >= total_bits {
-                    break;
-                }
-                let row = logical / bpl;
-                let col = (logical % bpl) * b0;
-                let block = &nza[ordinal * b0..(ordinal + 1) * b0];
-                let n = b0.min(a.cols() - col);
-                y[row] += block_dot(block, x, col, n);
-                ordinal += 1;
-            }
-        }
-        return;
-    }
-    // Multi-level hierarchies scan through the depth-first cursor.
-    for logical in a.hierarchy().blocks() {
-        let row = logical / bpl;
-        let col = (logical % bpl) * b0;
+    for_each_nz_block(a, |row, col, ordinal| {
         let block = &nza[ordinal * b0..(ordinal + 1) * b0];
         let n = b0.min(a.cols() - col);
         y[row] += block_dot(block, x, col, n);
-        ordinal += 1;
+    });
+}
+
+/// Batched CSR sparse × dense multiply (`C = A * B`, `B` a dense batch of
+/// right-hand-side columns): the SpMM shape that amortizes the sparse
+/// operand over many concurrent queries. The per-row body is
+/// [`Csr::row_spmm_dense`], shared with
+/// `smash_parallel::par_spmm_dense_csr` — columns of `B` are processed in
+/// register-blocked tiles of width 8/4/1, so the matrix is streamed once
+/// per tile instead of once per right-hand side, and column `j` of `C` is
+/// bit-identical to [`spmv_csr`] against column `j` of `B`.
+///
+/// # Panics
+///
+/// Panics if `b.rows() != a.cols()`, `c.rows() != a.rows()`, or
+/// `c.cols() != b.cols()`.
+pub fn spmm_dense_csr<T: Scalar>(a: &Csr<T>, b: &Dense<T>, c: &mut Dense<T>) {
+    assert_eq!(b.rows(), a.cols(), "inner dimensions must agree");
+    assert_eq!(c.rows(), a.rows(), "output rows must equal a.rows()");
+    assert_eq!(c.cols(), b.cols(), "output cols must equal b.cols()");
+    for i in 0..a.rows() {
+        a.row_spmm_dense(i, b, c.row_mut(i));
     }
+}
+
+/// Batched BCSR sparse × dense multiply. The per-block-row body is
+/// [`Bcsr::block_row_spmm_dense`], shared with
+/// `smash_parallel::par_spmm_dense_bcsr`; column `j` of `C` is
+/// bit-identical to [`spmv_bcsr`] against column `j` of `B`.
+///
+/// # Panics
+///
+/// Panics if `b.rows() != a.cols()`, `c.rows() != a.rows()`, or
+/// `c.cols() != b.cols()`.
+pub fn spmm_dense_bcsr<T: Scalar>(a: &Bcsr<T>, b: &Dense<T>, c: &mut Dense<T>) {
+    assert_eq!(b.rows(), a.cols(), "inner dimensions must agree");
+    assert_eq!(c.rows(), a.rows(), "output rows must equal a.rows()");
+    assert_eq!(c.cols(), b.cols(), "output cols must equal b.cols()");
+    c.as_mut_slice().fill(T::ZERO);
+    let (br, _) = a.block_shape();
+    let n = b.cols();
+    let rows = a.rows();
+    for bi in 0..a.num_block_rows() {
+        let row_lo = bi * br;
+        let row_hi = (row_lo + br).min(rows);
+        a.block_row_spmm_dense(bi, b, &mut c.as_mut_slice()[row_lo * n..row_hi * n]);
+    }
+}
+
+/// Batched software-SMASH sparse × dense multiply over the compressed
+/// form: the same bitmap scan as [`spmv_smash`] (word-level
+/// `trailing_zeros` on one level, depth-first cursor otherwise), with the
+/// per-block body [`block_axpy_dense`] shared with
+/// `smash_parallel::par_spmm_dense_smash`. Column `j` of `C` is
+/// bit-identical to [`spmv_smash`] against column `j` of `B`.
+///
+/// # Panics
+///
+/// Panics if `b.rows() != a.cols()`, `c.rows() != a.rows()`,
+/// `c.cols() != b.cols()`, or the matrix is not row-major.
+pub fn spmm_dense_smash<T: Scalar>(a: &SmashMatrix<T>, b: &Dense<T>, c: &mut Dense<T>) {
+    assert_eq!(b.rows(), a.cols(), "inner dimensions must agree");
+    assert_eq!(c.rows(), a.rows(), "output rows must equal a.rows()");
+    assert_eq!(c.cols(), b.cols(), "output cols must equal b.cols()");
+    assert_eq!(a.config().layout(), Layout::RowMajor, "row-major SpMM");
+    c.as_mut_slice().fill(T::ZERO);
+    let b0 = a.config().block_size();
+    let nza = a.nza().values();
+    for_each_nz_block(a, |row, col, ordinal| {
+        let block = &nza[ordinal * b0..(ordinal + 1) * b0];
+        let n = b0.min(a.cols() - col);
+        block_axpy_dense(block, b, col, n, c.row_mut(row));
+    });
 }
 
 /// Plain CSR×CSC inner-product SpMM (paper Code Listing 2).
@@ -430,5 +473,78 @@ mod tests {
         for (a, b) in y.iter().zip(want) {
             assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()), "{a} vs {b}");
         }
+    }
+
+    fn test_batch(rows: usize, cols: usize) -> Dense<f64> {
+        generators::dense_batch(rows, cols, 5)
+    }
+
+    #[test]
+    fn spmm_dense_columns_are_bit_identical_to_spmv() {
+        let a = generators::clustered(80, 90, 700, 5, 3);
+        // Widths that exercise the 8-tile, 4-tile and scalar remainders.
+        for n in [1usize, 3, 4, 7, 8, 11, 16] {
+            let b = test_batch(90, n);
+            let mut c = Dense::zeros(80, n);
+            let bcsr = Bcsr::from_csr(&a, 2, 2).unwrap();
+            let sm = SmashMatrix::encode(&a, SmashConfig::row_major(&[2, 4, 16]).unwrap());
+            let sm_flat = SmashMatrix::encode(&a, SmashConfig::row_major(&[4]).unwrap());
+
+            spmm_dense_csr(&a, &b, &mut c);
+            for j in 0..n {
+                let x = b.col(j);
+                let mut y = vec![0.0; 80];
+                spmv_csr(&a, &x, &mut y);
+                assert_eq!(c.col(j), y, "csr column {j} of {n}");
+            }
+
+            spmm_dense_bcsr(&bcsr, &b, &mut c);
+            for j in 0..n {
+                let x = b.col(j);
+                let mut y = vec![0.0; 80];
+                spmv_bcsr(&bcsr, &x, &mut y);
+                assert_eq!(c.col(j), y, "bcsr column {j} of {n}");
+            }
+
+            for m in [&sm, &sm_flat] {
+                spmm_dense_smash(m, &b, &mut c);
+                for j in 0..n {
+                    let x = b.col(j);
+                    let mut y = vec![0.0; 80];
+                    spmv_smash(m, &x, &mut y);
+                    assert_eq!(c.col(j), y, "smash column {j} of {n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_dense_matches_dense_reference() {
+        let a = generators::uniform(40, 50, 400, 7);
+        let b = test_batch(50, 9);
+        let want = a.to_dense().matmul(&b).unwrap();
+        let mut c = Dense::zeros(40, 9);
+        spmm_dense_csr(&a, &b, &mut c);
+        for i in 0..40 {
+            for j in 0..9 {
+                assert!(
+                    (c.get(i, j) - want.get(i, j)).abs() < 1e-9,
+                    "({i},{j}): {} vs {}",
+                    c.get(i, j),
+                    want.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_dense_overwrites_stale_output() {
+        let a = generators::banded(32, 32, 3, 120, 5);
+        let b = test_batch(32, 8);
+        let mut c1 = Dense::zeros(32, 8);
+        spmm_dense_csr(&a, &b, &mut c1);
+        let mut c2 = Dense::from_vec(32, 8, vec![f64::NAN; 32 * 8]).unwrap();
+        spmm_dense_csr(&a, &b, &mut c2);
+        assert_eq!(c1, c2);
     }
 }

@@ -251,6 +251,49 @@ impl<T: Scalar> Bcsr<T> {
         }
         y
     }
+
+    /// Multiplies block row `bi` against every column of the dense
+    /// right-hand-side batch `b`, accumulating into `out` — the flattened
+    /// (row-major, `b.cols()`-wide) output rows of this block row, clipped
+    /// to the matrix height. `out` must be zero-initialized by the caller.
+    ///
+    /// This is *the* per-block-row body of the batched BCSR SpMM, shared by
+    /// the serial `smash_kernels::native::spmm_dense_bcsr` and the parallel
+    /// `smash_parallel::par_spmm_dense_bcsr`. The columns of `b` are
+    /// processed in register-blocked tiles of width 8/4/1; within a tile,
+    /// every accumulator follows the per-column order of the native blocked
+    /// SpMV (per stored block, accumulate over the block's columns, then add
+    /// into the output), so column `j` of the result is bit-identical to a
+    /// blocked SpMV against column `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bi >= num_block_rows()` or
+    /// `out.len() != min(block_rows, rows - bi * block_rows) * b.cols()`.
+    #[inline]
+    pub fn block_row_spmm_dense(&self, bi: usize, b: &Dense<T>, out: &mut [T]) {
+        assert!(bi < self.num_block_rows(), "block row out of bounds");
+        let n = b.cols();
+        let (br, bc) = (self.block_rows, self.block_cols);
+        let rows_here = br.min(self.rows - bi * br);
+        assert_eq!(
+            out.len(),
+            rows_here * n,
+            "output must cover the clipped block row"
+        );
+        let bs = br * bc;
+        let lo = self.block_row_ptr[bi] as usize;
+        let hi = self.block_row_ptr[bi + 1] as usize;
+        for k in lo..hi {
+            let cbase = self.block_col_ind[k] as usize * bc;
+            let lc_max = bc.min(self.cols - cbase);
+            let tile = &self.values[k * bs..(k + 1) * bs];
+            for lr in 0..rows_here {
+                let trow = &tile[lr * bc..lr * bc + lc_max];
+                crate::axpy_dense_tiles(trow, b, cbase, &mut out[lr * n..(lr + 1) * n]);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

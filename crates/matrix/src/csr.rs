@@ -356,6 +356,37 @@ impl<T: Scalar> Csr<T> {
         acc
     }
 
+    /// Multiplies row `i` against every column of the dense right-hand-side
+    /// batch `b`, writing the full output row into `out`
+    /// (`out[j] = Σ_k A[i][k] * b[k][j]`).
+    ///
+    /// This is *the* per-row body of the batched CSR SpMM: the serial
+    /// `smash_kernels::native::spmm_dense_csr` and the parallel
+    /// `smash_parallel::par_spmm_dense_csr` both call it, which keeps the
+    /// two bit-identical at every thread count. The columns of `b` are
+    /// processed in register-blocked tiles of width 8, then 4, then one —
+    /// the row's indices and values are streamed once per *tile* instead
+    /// of once per right-hand side, and within each tile every accumulator
+    /// follows exactly the serial order of [`row_dot`](Csr::row_dot), so
+    /// column `j` of the result is bit-identical to an independent SpMV
+    /// against column `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`, `out.len() != b.cols()`, or a column index of
+    /// the row is `>= b.rows()`.
+    #[inline]
+    pub fn row_spmm_dense(&self, i: usize, b: &Dense<T>, out: &mut [T]) {
+        let (cols, vals) = self.row(i);
+        let n = b.cols();
+        assert_eq!(out.len(), n, "output row length must equal b.cols()");
+        crate::for_each_rhs_tile(n, |j0, w| match w {
+            8 => row_tile::<T, 8>(cols, vals, b, j0, out),
+            4 => row_tile::<T, 4>(cols, vals, b, j0, out),
+            _ => row_tile::<T, 1>(cols, vals, b, j0, out),
+        });
+    }
+
     /// Reference sparse matrix-vector product `y = A * x`
     /// (paper Code Listing 1).
     ///
@@ -477,6 +508,27 @@ impl<T: Scalar> Csr<T> {
         }
         Ok(Csr::from_coo(&coo))
     }
+}
+
+/// One width-`W` column tile of [`Csr::row_spmm_dense`]: `W` independent
+/// accumulators, each following the serial per-non-zero order of
+/// [`Csr::row_dot`], written out in one shot when the row is exhausted.
+#[inline]
+fn row_tile<T: Scalar, const W: usize>(
+    cols: &[u32],
+    vals: &[T],
+    b: &Dense<T>,
+    j0: usize,
+    out: &mut [T],
+) {
+    let mut acc = [T::ZERO; W];
+    for (&c, &v) in cols.iter().zip(vals) {
+        let brow = &b.row(c as usize)[j0..j0 + W];
+        for (a, &bv) in acc.iter_mut().zip(brow) {
+            *a += v * bv;
+        }
+    }
+    out[j0..j0 + W].copy_from_slice(&acc);
 }
 
 #[cfg(test)]

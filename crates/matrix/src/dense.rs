@@ -1,5 +1,78 @@
 use crate::{MatrixError, Result, Scalar};
 
+/// The register-blocked right-hand-side column-tile schedule shared by
+/// **every** batched sparse × dense kernel in the workspace: invokes
+/// `f(start, width)` for contiguous tiles of width **8** while one fits,
+/// then **4**, then **1**, covering `0..n` exactly once.
+///
+/// This is the single definition of the tiling — `Csr::row_spmm_dense`,
+/// `Bcsr::block_row_spmm_dense`, `smash_core::block_axpy_dense` and the
+/// instrumented `smash_kernels::spmdm` models all drive their tile loops
+/// through it, so the instruction streams the instrumented kernels charge
+/// can never diverge from the arithmetic the native kernels perform.
+pub fn for_each_rhs_tile(n: usize, mut f: impl FnMut(usize, usize)) {
+    let mut j0 = 0usize;
+    while n - j0 >= 8 {
+        f(j0, 8);
+        j0 += 8;
+    }
+    while n - j0 >= 4 {
+        f(j0, 4);
+        j0 += 4;
+    }
+    while j0 < n {
+        f(j0, 1);
+        j0 += 1;
+    }
+}
+
+/// The shared accumulating tile body of the blocked batched kernels:
+/// multiplies the contiguous values `vals` (logical columns
+/// `cbase..cbase + vals.len()`) against every column of `b`, adding into
+/// the output row `out` (`out[j] += Σ_k vals[k] * b[cbase + k][j]`),
+/// tiled through [`for_each_rhs_tile`].
+///
+/// Within each tile every accumulator runs from zero over `vals` in order
+/// and is then added into `out` — the exact per-column order of the
+/// corresponding blocked SpMV bodies, which is what keeps
+/// `Bcsr::block_row_spmm_dense` and `smash_core::block_axpy_dense` (both
+/// one call to this) bit-identical per column to their SpMV twins.
+///
+/// # Panics
+///
+/// Panics if `out.len() != b.cols()` or `cbase + vals.len() > b.rows()`.
+pub fn axpy_dense_tiles<T: Scalar>(vals: &[T], b: &Dense<T>, cbase: usize, out: &mut [T]) {
+    assert_eq!(out.len(), b.cols(), "output row length must equal b.cols()");
+    for_each_rhs_tile(b.cols(), |j0, w| match w {
+        8 => axpy_tile::<T, 8>(vals, b, cbase, j0, out),
+        4 => axpy_tile::<T, 4>(vals, b, cbase, j0, out),
+        _ => axpy_tile::<T, 1>(vals, b, cbase, j0, out),
+    });
+}
+
+/// One width-`W` column tile of [`axpy_dense_tiles`]: `W` independent
+/// accumulators over `vals`, added into the output row when the values
+/// are exhausted (mirroring the `y[row] += acc` of the blocked SpMVs).
+#[inline]
+fn axpy_tile<T: Scalar, const W: usize>(
+    vals: &[T],
+    b: &Dense<T>,
+    cbase: usize,
+    j0: usize,
+    out: &mut [T],
+) {
+    let mut acc = [T::ZERO; W];
+    for (k, &v) in vals.iter().enumerate() {
+        let brow = &b.row(cbase + k)[j0..j0 + W];
+        for (a, &bv) in acc.iter_mut().zip(brow) {
+            *a += v * bv;
+        }
+    }
+    for (o, a) in out[j0..j0 + W].iter_mut().zip(acc) {
+        *o += a;
+    }
+}
+
 /// Row-major dense matrix.
 ///
 /// `Dense` is the uncompressed reference representation: every conversion
@@ -91,9 +164,63 @@ impl<T: Scalar> Dense<T> {
         &self.data[i * self.cols..(i + 1) * self.cols]
     }
 
+    /// Mutably borrows row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [T] {
+        assert!(i < self.rows, "row out of bounds");
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
     /// The full row-major backing storage.
     pub fn as_slice(&self) -> &[T] {
         &self.data
+    }
+
+    /// The full row-major backing storage, mutably. Parallel kernels split
+    /// this into disjoint per-worker row ranges.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Copies column `j` into a contiguous vector (e.g. to run one
+    /// right-hand side of a batched operand through a vector kernel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= cols`.
+    pub fn col(&self, j: usize) -> Vec<T> {
+        assert!(j < self.cols, "column out of bounds");
+        (0..self.rows)
+            .map(|i| self.data[i * self.cols + j])
+            .collect()
+    }
+
+    /// Builds a `rows x columns.len()` matrix whose `j`-th column is
+    /// `columns[j]` — the natural constructor for a batch of right-hand-side
+    /// vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::InvalidStructure`] if any column's length
+    /// differs from `rows`.
+    pub fn from_columns(rows: usize, columns: &[Vec<T>]) -> Result<Self> {
+        let n = columns.len();
+        let mut m = Dense::zeros(rows, n);
+        for (j, col) in columns.iter().enumerate() {
+            if col.len() != rows {
+                return Err(MatrixError::InvalidStructure(format!(
+                    "column {j} has length {}, expected {rows}",
+                    col.len()
+                )));
+            }
+            for (i, &v) in col.iter().enumerate() {
+                m.data[i * n + j] = v;
+            }
+        }
+        Ok(m)
     }
 
     /// Number of non-zero elements.
@@ -303,5 +430,40 @@ mod tests {
     #[should_panic(expected = "index out of bounds")]
     fn get_out_of_bounds_panics() {
         sample().get(3, 0);
+    }
+
+    #[test]
+    fn from_columns_and_col_roundtrip() {
+        let cols = vec![vec![1.0, 2.0, 3.0], vec![-4.0, 0.0, 6.0]];
+        let m = Dense::from_columns(3, &cols).unwrap();
+        assert_eq!((m.rows(), m.cols()), (3, 2));
+        assert_eq!(m.col(0), cols[0]);
+        assert_eq!(m.col(1), cols[1]);
+        assert_eq!(m.row(1), &[2.0, 0.0]);
+        // Length mismatch is rejected.
+        assert!(Dense::from_columns(2, &cols).is_err());
+    }
+
+    #[test]
+    fn row_mut_and_as_mut_slice_write_through() {
+        let mut m = Dense::<f64>::zeros(2, 3);
+        m.row_mut(1).copy_from_slice(&[7.0, 8.0, 9.0]);
+        assert_eq!(m.get(1, 2), 9.0);
+        m.as_mut_slice().fill(1.5);
+        assert_eq!(m.nnz(), 6);
+        assert_eq!(m.as_slice(), &[1.5; 6]);
+    }
+
+    #[test]
+    fn rhs_tile_schedule_covers_every_width_once() {
+        for n in [0usize, 1, 3, 4, 5, 7, 8, 9, 12, 17, 64] {
+            let mut covered = 0usize;
+            crate::for_each_rhs_tile(n, |j0, w| {
+                assert_eq!(j0, covered, "tiles must be contiguous");
+                assert!(w == 8 || w == 4 || w == 1, "width {w}");
+                covered += w;
+            });
+            assert_eq!(covered, n, "schedule must cover 0..{n}");
+        }
     }
 }

@@ -6,7 +6,7 @@
 //! for the SuiteSparse inputs the paper used (see DESIGN.md substitution
 //! table). All generators are deterministic in their `seed`.
 
-use crate::{Coo, Csr};
+use crate::{Coo, Csr, Dense, Scalar};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
@@ -15,6 +15,31 @@ use std::collections::HashSet;
 /// never cancel an entry to exact zero.
 fn draw_value(rng: &mut StdRng) -> f64 {
     rng.gen_range(0.1..1.0)
+}
+
+/// Deterministic dense right-hand-side batch for the batched (sparse ×
+/// dense) kernels: every entry is bounded away from zero, varied across
+/// both rows and columns (so column mix-ups cannot cancel), and derived
+/// from the same `f64` pattern at every precision — `dense_batch::<f32>`
+/// is the entry-wise truncation of `dense_batch::<f64>`, letting
+/// mixed-precision tests compare like against like.
+///
+/// # Example
+///
+/// ```
+/// let b = smash_matrix::generators::dense_batch::<f64>(16, 4, 5);
+/// assert_eq!((b.rows(), b.cols()), (16, 4));
+/// assert!(b.as_slice().iter().all(|&v| v >= 0.25));
+/// ```
+pub fn dense_batch<T: Scalar>(rows: usize, cols: usize, seed: u64) -> Dense<T> {
+    let mut b = Dense::zeros(rows, cols);
+    for i in 0..rows {
+        for j in 0..cols {
+            let v = 0.25 + ((i * 31 + j * 17 + seed as usize) % 89) as f64 / 89.0;
+            b.set(i, j, T::from_f64(v));
+        }
+    }
+    b
 }
 
 /// Inserts up to `nnz` distinct random positions produced by `sample`.

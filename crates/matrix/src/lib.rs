@@ -42,7 +42,7 @@ pub use bcsr::Bcsr;
 pub use coo::Coo;
 pub use csc::Csc;
 pub use csr::Csr;
-pub use dense::Dense;
+pub use dense::{axpy_dense_tiles, for_each_rhs_tile, Dense};
 pub use error::MatrixError;
 pub use scalar::Scalar;
 

@@ -1,23 +1,93 @@
 //! Minimal Matrix Market (`.mtx`) coordinate-format reader and writer.
 //!
 //! Supports the subset needed to exchange the workloads of this workspace:
-//! `matrix coordinate real {general|symmetric}` and
-//! `matrix coordinate pattern {general|symmetric}` (pattern entries read as
-//! `1.0`). Indices are 1-based on disk, 0-based in memory.
+//! `matrix coordinate {real|double|integer|pattern}
+//! {general|symmetric|skew-symmetric}`. Pattern entries read as `1.0`,
+//! integer values are parsed through [`Scalar::from_f64`], symmetric
+//! entries mirror their off-diagonals, and skew-symmetric entries mirror
+//! them negated (with explicit diagonal entries rejected, since a
+//! skew-symmetric diagonal is identically zero). Indices are 1-based on
+//! disk, 0-based in memory.
+//!
+//! **Duplicate coordinates are summed.** A file may list the same `(row,
+//! col)` pair more than once (assembled finite-element exports commonly
+//! do); the parser feeds every triplet through [`Coo::compress`], whose
+//! pinned semantics are to sort row-major and *sum* duplicates, dropping
+//! entries that cancel to exactly zero. A regression test
+//! (`duplicate_entries_are_summed`) guards this behavior.
+//!
+//! The writer preserves the field and symmetry of a parsed file:
+//! [`read_coo_with`] returns the [`MarketHeader`] alongside the matrix, and
+//! [`write_coo_as`] emits that header back — a `pattern symmetric` file
+//! round-trips to the same entry count with no fabricated values, instead
+//! of silently doubling as `real general`.
 
 use crate::{Coo, MatrixError, Result, Scalar};
 use std::io::{BufRead, BufReader, Read, Write};
 
+/// Value field declared in a Matrix Market header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MarketField {
+    /// `real` (or `double`): one floating-point value per entry.
+    #[default]
+    Real,
+    /// `integer`: one integer value per entry, parsed through
+    /// [`Scalar::from_f64`].
+    Integer,
+    /// `pattern`: positions only; entries read as `1.0` and write no value.
+    Pattern,
+}
+
+impl MarketField {
+    /// The header token of this field.
+    pub fn token(&self) -> &'static str {
+        match self {
+            MarketField::Real => "real",
+            MarketField::Integer => "integer",
+            MarketField::Pattern => "pattern",
+        }
+    }
+}
+
 /// Symmetry declared in a Matrix Market header.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Symmetry {
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MarketSymmetry {
+    /// `general`: every entry is stored explicitly.
+    #[default]
     General,
+    /// `symmetric`: off-diagonal entries mirror across the diagonal.
     Symmetric,
+    /// `skew-symmetric`: off-diagonals mirror negated; the diagonal is
+    /// implicitly zero and explicit diagonal entries are rejected.
+    SkewSymmetric,
+}
+
+impl MarketSymmetry {
+    /// The header token of this symmetry.
+    pub fn token(&self) -> &'static str {
+        match self {
+            MarketSymmetry::General => "general",
+            MarketSymmetry::Symmetric => "symmetric",
+            MarketSymmetry::SkewSymmetric => "skew-symmetric",
+        }
+    }
+}
+
+/// The `%%MatrixMarket` header of a coordinate stream, as returned by
+/// [`read_coo_with`] and consumed by [`write_coo_as`] for lossless
+/// round-trips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MarketHeader {
+    /// Value field of the stream.
+    pub field: MarketField,
+    /// Symmetry of the stream.
+    pub symmetry: MarketSymmetry,
 }
 
 /// Reads a Matrix Market coordinate stream into a [`Coo`] matrix.
 ///
 /// A `&mut R` can be passed for readers that must remain usable afterwards.
+/// Duplicate coordinates are **summed** (see the [module docs](self)).
 ///
 /// # Errors
 ///
@@ -36,6 +106,18 @@ enum Symmetry {
 /// # }
 /// ```
 pub fn read_coo<T: Scalar, R: Read>(reader: R) -> Result<Coo<T>> {
+    read_coo_with(reader).map(|(coo, _)| coo)
+}
+
+/// Reads a Matrix Market coordinate stream into a [`Coo`] matrix, returning
+/// the parsed [`MarketHeader`] alongside it so the caller can write the
+/// matrix back out in the same field/symmetry (see [`write_coo_as`]).
+///
+/// # Errors
+///
+/// Returns [`MatrixError::Parse`] for malformed content and
+/// [`MatrixError::Io`] for underlying reader failures.
+pub fn read_coo_with<T: Scalar, R: Read>(reader: R) -> Result<(Coo<T>, MarketHeader)> {
     let mut lines = BufReader::new(reader).lines();
     let mut line_no = 0usize;
 
@@ -70,9 +152,10 @@ pub fn read_coo<T: Scalar, R: Read>(reader: R) -> Result<Coo<T>> {
             message: format!("unsupported object/format: {} {}", head[1], head[2]),
         });
     }
-    let pattern = match head[3].to_ascii_lowercase().as_str() {
-        "real" | "integer" | "double" => false,
-        "pattern" => true,
+    let field = match head[3].to_ascii_lowercase().as_str() {
+        "real" | "double" => MarketField::Real,
+        "integer" => MarketField::Integer,
+        "pattern" => MarketField::Pattern,
         other => {
             return Err(MatrixError::Parse {
                 line: 1,
@@ -80,10 +163,12 @@ pub fn read_coo<T: Scalar, R: Read>(reader: R) -> Result<Coo<T>> {
             })
         }
     };
+    let pattern = field == MarketField::Pattern;
     let symmetry = match head.get(4).map(|s| s.to_ascii_lowercase()) {
-        None => Symmetry::General,
-        Some(s) if s == "general" => Symmetry::General,
-        Some(s) if s == "symmetric" => Symmetry::Symmetric,
+        None => MarketSymmetry::General,
+        Some(s) if s == "general" => MarketSymmetry::General,
+        Some(s) if s == "symmetric" => MarketSymmetry::Symmetric,
+        Some(s) if s == "skew-symmetric" => MarketSymmetry::SkewSymmetric,
         Some(other) => {
             return Err(MatrixError::Parse {
                 line: 1,
@@ -156,9 +241,23 @@ pub fn read_coo<T: Scalar, R: Read>(reader: R) -> Result<Coo<T>> {
             })?;
             T::from_f64(raw)
         };
+        if symmetry == MarketSymmetry::SkewSymmetric && r == c {
+            return Err(MatrixError::Parse {
+                line: line_no,
+                message: format!(
+                    "skew-symmetric stream stores an explicit diagonal entry ({r}, {c})"
+                ),
+            });
+        }
         coo.push(r - 1, c - 1, v);
-        if symmetry == Symmetry::Symmetric && r != c {
-            coo.push(c - 1, r - 1, v);
+        match symmetry {
+            MarketSymmetry::General => {}
+            MarketSymmetry::Symmetric => {
+                if r != c {
+                    coo.push(c - 1, r - 1, v);
+                }
+            }
+            MarketSymmetry::SkewSymmetric => coo.push(c - 1, r - 1, -v),
         }
         seen += 1;
     }
@@ -168,22 +267,145 @@ pub fn read_coo<T: Scalar, R: Read>(reader: R) -> Result<Coo<T>> {
             message: format!("header declared {nnz} entries, found {seen}"),
         });
     }
+    // Pinned semantics: duplicate coordinates (within the file, or created
+    // by symmetry mirroring) are *summed* here.
     coo.compress();
-    Ok(coo)
+    Ok((coo, MarketHeader { field, symmetry }))
 }
 
-/// Writes a [`Coo`] matrix as `matrix coordinate real general`.
+/// Writes a [`Coo`] matrix as `matrix coordinate real general` — shorthand
+/// for [`write_coo_as`] with the default [`MarketHeader`].
 ///
 /// A `&mut W` can be passed for writers that must remain usable afterwards.
 ///
 /// # Errors
 ///
 /// Returns [`MatrixError::Io`] if the writer fails.
-pub fn write_coo<T: Scalar, W: Write>(mut writer: W, coo: &Coo<T>) -> Result<()> {
-    writeln!(writer, "%%MatrixMarket matrix coordinate real general")?;
-    writeln!(writer, "{} {} {}", coo.rows(), coo.cols(), coo.nnz())?;
-    for &(r, c, v) in coo.entries() {
-        writeln!(writer, "{} {} {}", r + 1, c + 1, v.to_f64())?;
+pub fn write_coo<T: Scalar, W: Write>(writer: W, coo: &Coo<T>) -> Result<()> {
+    write_coo_as(writer, coo, MarketHeader::default())
+}
+
+/// Writes a [`Coo`] matrix with an explicit [`MarketHeader`], so a file
+/// parsed with [`read_coo_with`] round-trips losslessly: a `pattern` stream
+/// stays positions-only (no fabricated `1.0` values) and a `symmetric` /
+/// `skew-symmetric` stream stores only its lower triangle (no doubling).
+///
+/// For [`MarketSymmetry::Symmetric`] the matrix must equal its transpose
+/// (checked exactly, entry by entry); only entries with `row >= col` are
+/// emitted. For [`MarketSymmetry::SkewSymmetric`] the matrix must equal the
+/// negated transpose and have an empty diagonal; only `row > col` entries
+/// are emitted. Violations are reported instead of silently writing a file
+/// that would parse back as a different matrix.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::InvalidStructure`] if the matrix does not satisfy
+/// the declared symmetry or field (a `pattern` write requires every stored
+/// value to be exactly `1` — a summed duplicate would silently read back as
+/// `1.0` — and an `integer` write rejects fractional values, which strict
+/// Matrix Market parsers refuse), and [`MatrixError::Io`] if the writer
+/// fails.
+pub fn write_coo_as<T: Scalar, W: Write>(
+    mut writer: W,
+    coo: &Coo<T>,
+    header: MarketHeader,
+) -> Result<()> {
+    // The symmetry checks binary-search mirror entries and the pattern
+    // check must see summed duplicates, so those paths need the compressed
+    // (sorted, duplicate-summed) form. A valued `general` write streams the
+    // entries as-is with no copy: duplicate coordinates on disk re-sum on
+    // read to the same matrix.
+    let needs_compressed =
+        header.symmetry != MarketSymmetry::General || header.field == MarketField::Pattern;
+    let compressed;
+    let m = if !needs_compressed || coo.is_compressed() {
+        coo
+    } else {
+        let mut c = coo.clone();
+        c.compress();
+        compressed = c;
+        &compressed
+    };
+    let entries = m.entries();
+    for &(r, c, v) in entries {
+        match header.field {
+            MarketField::Pattern if v != T::ONE => {
+                return Err(MatrixError::InvalidStructure(format!(
+                    "pattern write would lose value {v} at ({}, {})",
+                    r + 1,
+                    c + 1
+                )));
+            }
+            MarketField::Integer if v.to_f64().fract() != 0.0 => {
+                return Err(MatrixError::InvalidStructure(format!(
+                    "integer write cannot represent fractional value {v} at ({}, {})",
+                    r + 1,
+                    c + 1
+                )));
+            }
+            _ => {}
+        }
+    }
+    let mirror_of = |r: u32, c: u32| -> Option<T> {
+        entries
+            .binary_search_by_key(&((c as u64) << 32 | r as u64), |&(er, ec, _)| {
+                (er as u64) << 32 | ec as u64
+            })
+            .ok()
+            .map(|k| entries[k].2)
+    };
+    match header.symmetry {
+        MarketSymmetry::General => {}
+        MarketSymmetry::Symmetric => {
+            for &(r, c, v) in entries {
+                if r != c && mirror_of(r, c) != Some(v) {
+                    return Err(MatrixError::InvalidStructure(format!(
+                        "matrix is not symmetric: entry ({}, {}) has no equal mirror",
+                        r + 1,
+                        c + 1
+                    )));
+                }
+            }
+        }
+        MarketSymmetry::SkewSymmetric => {
+            for &(r, c, v) in entries {
+                if r == c {
+                    return Err(MatrixError::InvalidStructure(format!(
+                        "matrix is not skew-symmetric: non-zero diagonal entry ({}, {})",
+                        r + 1,
+                        c + 1
+                    )));
+                }
+                if mirror_of(r, c) != Some(-v) {
+                    return Err(MatrixError::InvalidStructure(format!(
+                        "matrix is not skew-symmetric: entry ({}, {}) has no negated mirror",
+                        r + 1,
+                        c + 1
+                    )));
+                }
+            }
+        }
+    }
+    let keep = |r: u32, c: u32| match header.symmetry {
+        MarketSymmetry::General => true,
+        MarketSymmetry::Symmetric => r >= c,
+        MarketSymmetry::SkewSymmetric => r > c,
+    };
+    let stored = entries.iter().filter(|&&(r, c, _)| keep(r, c)).count();
+    writeln!(
+        writer,
+        "%%MatrixMarket matrix coordinate {} {}",
+        header.field.token(),
+        header.symmetry.token()
+    )?;
+    writeln!(writer, "{} {} {stored}", m.rows(), m.cols())?;
+    for &(r, c, v) in entries.iter().filter(|&&(r, c, _)| keep(r, c)) {
+        match header.field {
+            MarketField::Pattern => writeln!(writer, "{} {}", r + 1, c + 1)?,
+            MarketField::Real | MarketField::Integer => {
+                writeln!(writer, "{} {} {}", r + 1, c + 1, v.to_f64())?
+            }
+        }
     }
     Ok(())
 }
@@ -319,6 +541,163 @@ mod tests {
             "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n".as_bytes()
         )
         .is_err());
+    }
+
+    #[test]
+    fn integer_field_parses_through_from_f64() {
+        let text = "%%MatrixMarket matrix coordinate integer general\n2 2 2\n1 1 3\n2 1 -7\n";
+        let (m, header) = read_coo_with::<f64, _>(text.as_bytes()).unwrap();
+        assert_eq!(m.entries(), &[(0, 0, 3.0), (1, 0, -7.0)]);
+        assert_eq!(header.field, MarketField::Integer);
+        assert_eq!(header.symmetry, MarketSymmetry::General);
+    }
+
+    #[test]
+    fn integer_symmetric_header_parses() {
+        let text = "%%MatrixMarket matrix coordinate integer symmetric\n2 2 1\n2 1 4\n";
+        let m = read_coo::<f64, _>(text.as_bytes()).unwrap();
+        assert_eq!(m.entries(), &[(0, 1, 4.0), (1, 0, 4.0)]);
+    }
+
+    #[test]
+    fn skew_symmetric_mirrors_negated() {
+        let text =
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n3 3 2\n2 1 5.0\n3 1 -2.5\n";
+        let (m, header) = read_coo_with::<f64, _>(text.as_bytes()).unwrap();
+        assert_eq!(header.symmetry, MarketSymmetry::SkewSymmetric);
+        assert_eq!(
+            m.entries(),
+            &[(0, 1, -5.0), (0, 2, 2.5), (1, 0, 5.0), (2, 0, -2.5)]
+        );
+    }
+
+    #[test]
+    fn skew_symmetric_rejects_explicit_diagonal() {
+        let text = "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 2 1.0\n";
+        assert!(read_coo::<f64, _>(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn duplicate_entries_are_summed() {
+        // Pinned semantics: the parser feeds duplicates through
+        // `Coo::compress`, which *sums* them (and drops exact cancels).
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    2 2 4\n1 1 1.5\n1 1 2.5\n2 1 3.0\n2 1 -3.0\n";
+        let m = read_coo::<f64, _>(text.as_bytes()).unwrap();
+        assert_eq!(m.entries(), &[(0, 0, 4.0)]);
+    }
+
+    #[test]
+    fn pattern_write_preserves_field() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 3 2\n1 1\n2 3\n";
+        let (m, header) = read_coo_with::<f64, _>(text.as_bytes()).unwrap();
+        assert_eq!(header.field, MarketField::Pattern);
+        let mut buf = Vec::new();
+        write_coo_as(&mut buf, &m, header).unwrap();
+        // Round-trip is byte-lossless: no fabricated `1` values appear.
+        assert_eq!(std::str::from_utf8(&buf).unwrap(), text);
+    }
+
+    #[test]
+    fn symmetric_write_stores_lower_triangle_only() {
+        let text =
+            "%%MatrixMarket matrix coordinate real symmetric\n3 3 3\n1 1 2.0\n2 1 5.0\n3 2 -1.0\n";
+        let (m, header) = read_coo_with::<f64, _>(text.as_bytes()).unwrap();
+        assert_eq!(m.nnz(), 5); // mirrored in memory
+        let mut buf = Vec::new();
+        write_coo_as(&mut buf, &m, header).unwrap();
+        let out = std::str::from_utf8(&buf).unwrap();
+        assert!(out.starts_with("%%MatrixMarket matrix coordinate real symmetric\n3 3 3\n"));
+        // And the round-trip reproduces the mirrored matrix exactly.
+        let (back, back_header) = read_coo_with::<f64, _>(&buf[..]).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back_header, header);
+    }
+
+    #[test]
+    fn skew_symmetric_write_roundtrips() {
+        let text =
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n3 3 2\n2 1 5.0\n3 1 -2.5\n";
+        let (m, header) = read_coo_with::<f64, _>(text.as_bytes()).unwrap();
+        let mut buf = Vec::new();
+        write_coo_as(&mut buf, &m, header).unwrap();
+        let out = std::str::from_utf8(&buf).unwrap();
+        // Strict lower triangle only: 2 stored entries, not 4.
+        assert!(
+            out.starts_with("%%MatrixMarket matrix coordinate real skew-symmetric\n3 3 2\n"),
+            "{out}"
+        );
+        let (back, back_header) = read_coo_with::<f64, _>(&buf[..]).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back_header, header);
+    }
+
+    #[test]
+    fn symmetric_write_rejects_asymmetric_matrix() {
+        let mut coo = Coo::<f64>::new(2, 2);
+        coo.push(1, 0, 5.0); // no (0, 1) mirror
+        coo.compress();
+        let header = MarketHeader {
+            field: MarketField::Real,
+            symmetry: MarketSymmetry::Symmetric,
+        };
+        assert!(write_coo_as(Vec::new(), &coo, header).is_err());
+        // Same matrix, skew declaration: mirror must be *negated*.
+        let skew = MarketHeader {
+            symmetry: MarketSymmetry::SkewSymmetric,
+            ..header
+        };
+        assert!(write_coo_as(Vec::new(), &coo, skew).is_err());
+        // A diagonal entry also violates skew symmetry.
+        let mut diag = Coo::<f64>::new(2, 2);
+        diag.push(0, 0, 1.0);
+        diag.compress();
+        assert!(write_coo_as(Vec::new(), &diag, skew).is_err());
+    }
+
+    #[test]
+    fn general_write_streams_duplicates_that_resum_on_read() {
+        // A valued `general` write streams uncompressed entries as-is (no
+        // copy, no sort); the on-disk duplicates re-sum on read to the
+        // same semantic matrix.
+        let mut coo = Coo::<f64>::new(2, 2);
+        coo.push(1, 1, 2.0);
+        coo.push(0, 0, 1.0);
+        coo.push(1, 1, 3.0);
+        let mut buf = Vec::new();
+        write_coo_as(&mut buf, &coo, MarketHeader::default()).unwrap();
+        let out = std::str::from_utf8(&buf).unwrap();
+        assert!(out.contains("\n2 2 3\n"), "3 entries stored as-is: {out}");
+        let back = read_coo::<f64, _>(&buf[..]).unwrap();
+        assert_eq!(back.entries(), &[(0, 0, 1.0), (1, 1, 5.0)]);
+    }
+
+    #[test]
+    fn pattern_write_rejects_non_unit_values() {
+        // A duplicated pattern position sums to 2.0 on read; writing it
+        // back as `pattern` would silently read as 1.0 — error instead.
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n1 1\n";
+        let (m, header) = read_coo_with::<f64, _>(text.as_bytes()).unwrap();
+        assert_eq!(m.entries(), &[(0, 0, 2.0)]);
+        assert!(write_coo_as(Vec::new(), &m, header).is_err());
+        // A genuinely 0/1 matrix still writes fine.
+        let mut ones = Coo::<f64>::new(2, 2);
+        ones.push(0, 1, 1.0);
+        assert!(write_coo_as(Vec::new(), &ones, header).is_ok());
+    }
+
+    #[test]
+    fn integer_write_rejects_fractional_values() {
+        let mut coo = Coo::<f64>::new(2, 2);
+        coo.push(0, 0, 2.5);
+        let header = MarketHeader {
+            field: MarketField::Integer,
+            symmetry: MarketSymmetry::General,
+        };
+        assert!(write_coo_as(Vec::new(), &coo, header).is_err());
+        let mut whole = Coo::<f64>::new(2, 2);
+        whole.push(0, 0, -7.0);
+        assert!(write_coo_as(Vec::new(), &whole, header).is_ok());
     }
 
     #[test]

@@ -18,9 +18,10 @@
 use crate::partition::{partition_by_weight, partition_rows};
 use crate::pool::ThreadPool;
 use smash_core::{
-    block_dot, for_each_line_block, BitmapHierarchy, Layout, Nza, SmashConfig, SmashMatrix,
+    block_axpy_dense, block_dot, for_each_line_block, BitmapHierarchy, Layout, Nza, SmashConfig,
+    SmashMatrix,
 };
-use smash_matrix::{Bcsr, Coo, Csc, Csr, Scalar};
+use smash_matrix::{Bcsr, Coo, Csc, Csr, Dense, Scalar};
 
 /// Parallel plain CSR SpMV; bit-identical to
 /// [`spmv_csr`](../../smash_kernels/native/fn.spmv_csr.html) at any
@@ -161,6 +162,146 @@ pub fn par_spmv_smash<T: Scalar>(pool: &ThreadPool, a: &SmashMatrix<T>, x: &[T],
                         let n = b0.min(cols - col);
                         // The shared per-block body of every SMASH SpMV.
                         chunk[row - range.start] += block_dot(block, x, col, n);
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// Parallel batched CSR sparse × dense multiply (`C = A * B`, `B` a dense
+/// batch of right-hand sides) over nnz-balanced contiguous row ranges;
+/// bit-identical to
+/// [`spmm_dense_csr`](../../smash_kernels/native/fn.spmm_dense_csr.html)
+/// at any thread count — each worker writes a disjoint row slab of `C`
+/// and every row runs the shared [`Csr::row_spmm_dense`] body.
+///
+/// # Panics
+///
+/// Panics if `b.rows() != a.cols()`, `c.rows() != a.rows()`, or
+/// `c.cols() != b.cols()`.
+pub fn par_spmm_dense_csr<T: Scalar>(
+    pool: &ThreadPool,
+    a: &Csr<T>,
+    b: &Dense<T>,
+    c: &mut Dense<T>,
+) {
+    assert_eq!(b.rows(), a.cols(), "inner dimensions must agree");
+    assert_eq!(c.rows(), a.rows(), "output rows must equal a.rows()");
+    assert_eq!(c.cols(), b.cols(), "output cols must equal b.cols()");
+    let n = b.cols();
+    let ranges = partition_rows(a.row_ptr(), pool.threads());
+    pool.scoped(|s| {
+        let mut rest = c.as_mut_slice();
+        for range in ranges {
+            let (chunk, tail) = rest.split_at_mut(range.len() * n);
+            rest = tail;
+            s.execute(move || {
+                let lo = range.start;
+                for i in range {
+                    // The same per-row tiled body as the serial kernel.
+                    a.row_spmm_dense(i, b, &mut chunk[(i - lo) * n..(i - lo + 1) * n]);
+                }
+            });
+        }
+    });
+}
+
+/// Parallel batched BCSR sparse × dense multiply over block-row ranges;
+/// bit-identical to
+/// [`spmm_dense_bcsr`](../../smash_kernels/native/fn.spmm_dense_bcsr.html)
+/// at any thread count — every block row runs the shared
+/// [`Bcsr::block_row_spmm_dense`] body.
+///
+/// # Panics
+///
+/// Panics if `b.rows() != a.cols()`, `c.rows() != a.rows()`, or
+/// `c.cols() != b.cols()`.
+pub fn par_spmm_dense_bcsr<T: Scalar>(
+    pool: &ThreadPool,
+    a: &Bcsr<T>,
+    b: &Dense<T>,
+    c: &mut Dense<T>,
+) {
+    assert_eq!(b.rows(), a.cols(), "inner dimensions must agree");
+    assert_eq!(c.rows(), a.rows(), "output rows must equal a.rows()");
+    assert_eq!(c.cols(), b.cols(), "output cols must equal b.cols()");
+    let n = b.cols();
+    let (br, _) = a.block_shape();
+    let rows = a.rows();
+    let ranges = partition_rows(a.block_row_ptr(), pool.threads());
+    pool.scoped(|s| {
+        let mut rest = c.as_mut_slice();
+        let mut consumed = 0usize;
+        for range in ranges {
+            let row_hi = (range.end * br).min(rows);
+            let (chunk, tail) = rest.split_at_mut((row_hi - consumed) * n);
+            let row_lo = consumed;
+            consumed = row_hi;
+            rest = tail;
+            s.execute(move || {
+                chunk.fill(T::ZERO);
+                for bi in range {
+                    let lo = (bi * br - row_lo) * n;
+                    let hi = ((bi * br + br).min(rows) - row_lo) * n;
+                    a.block_row_spmm_dense(bi, b, &mut chunk[lo..hi]);
+                }
+            });
+        }
+        // Rows beyond the last block row cannot exist (BCSR pads upward),
+        // but guard against an all-empty matrix with zero block rows.
+        rest.fill(T::ZERO);
+    });
+}
+
+/// Parallel batched SMASH sparse × dense multiply over the compressed
+/// form: workers seek their nnz-balanced row ranges through the matrix's
+/// [`LineDirectory`](smash_core::LineDirectory) and scan each row with a
+/// word-level [`LineCursor`](smash_core::LineCursor) — the logical
+/// Bitmap-0 is never expanded. Bit-identical to
+/// [`spmm_dense_smash`](../../smash_kernels/native/fn.spmm_dense_smash.html)
+/// at any thread count — every block runs the shared [`block_axpy_dense`]
+/// body in the serial block order.
+///
+/// # Panics
+///
+/// Panics if `b.rows() != a.cols()`, `c.rows() != a.rows()`,
+/// `c.cols() != b.cols()`, or the matrix is not row-major.
+pub fn par_spmm_dense_smash<T: Scalar>(
+    pool: &ThreadPool,
+    a: &SmashMatrix<T>,
+    b: &Dense<T>,
+    c: &mut Dense<T>,
+) {
+    assert_eq!(b.rows(), a.cols(), "inner dimensions must agree");
+    assert_eq!(c.rows(), a.rows(), "output rows must equal a.rows()");
+    assert_eq!(c.cols(), b.cols(), "output cols must equal b.cols()");
+    assert_eq!(a.config().layout(), Layout::RowMajor, "row-major SpMM");
+    let n = b.cols();
+    let b0 = a.config().block_size();
+    let bpl = a.blocks_per_line();
+    let cols = a.cols();
+    let nza = a.nza().values();
+    let starts = a.line_block_starts();
+    let ranges = partition_by_weight(a.rows(), pool.threads(), |l| {
+        u64::from(starts[l + 1] - starts[l])
+    });
+    pool.scoped(|s| {
+        let mut rest = c.as_mut_slice();
+        for range in ranges {
+            let (chunk, tail) = rest.split_at_mut(range.len() * n);
+            rest = tail;
+            s.execute(move || {
+                chunk.fill(T::ZERO);
+                for row in range.clone() {
+                    let out = &mut chunk[(row - range.start) * n..(row - range.start + 1) * n];
+                    for (ordinal, logical) in a.line_cursor(row) {
+                        let col = (logical % bpl) * b0;
+                        let block = &nza[ordinal * b0..(ordinal + 1) * b0];
+                        let nb = b0.min(cols - col);
+                        // The shared per-block body of every batched SMASH
+                        // SpMM.
+                        block_axpy_dense(block, b, col, nb, out);
                     }
                 }
             });
@@ -383,6 +524,57 @@ mod tests {
         for pool in pools() {
             let got = par_csr_to_smash(&pool, &a, cfg.clone());
             assert_eq!(got, want, "threads {}", pool.threads());
+        }
+    }
+
+    fn test_batch(rows: usize, cols: usize) -> Dense<f64> {
+        generators::dense_batch(rows, cols, 5)
+    }
+
+    #[test]
+    fn par_spmm_dense_kernels_match_one_thread_exactly() {
+        let a = generators::power_law(96, 80, 700, 1.3, 11);
+        let bcsr = Bcsr::from_csr(&a, 2, 2).unwrap();
+        let sm = SmashMatrix::encode(&a, SmashConfig::row_major(&[2, 4, 16]).unwrap());
+        for n in [1usize, 4, 8, 13] {
+            let b = test_batch(80, n);
+            let mut want = Dense::zeros(96, n);
+            let mut got = Dense::zeros(96, n);
+
+            par_spmm_dense_csr(&ThreadPool::new(1), &a, &b, &mut want);
+            for pool in pools() {
+                got.as_mut_slice().fill(f64::NAN);
+                par_spmm_dense_csr(&pool, &a, &b, &mut got);
+                assert_eq!(got, want, "csr, n = {n}, threads = {}", pool.threads());
+            }
+
+            par_spmm_dense_bcsr(&ThreadPool::new(1), &bcsr, &b, &mut want);
+            for pool in pools() {
+                got.as_mut_slice().fill(f64::NAN);
+                par_spmm_dense_bcsr(&pool, &bcsr, &b, &mut got);
+                assert_eq!(got, want, "bcsr, n = {n}, threads = {}", pool.threads());
+            }
+
+            par_spmm_dense_smash(&ThreadPool::new(1), &sm, &b, &mut want);
+            for pool in pools() {
+                got.as_mut_slice().fill(f64::NAN);
+                par_spmm_dense_smash(&pool, &sm, &b, &mut got);
+                assert_eq!(got, want, "smash, n = {n}, threads = {}", pool.threads());
+            }
+        }
+    }
+
+    #[test]
+    fn par_spmm_dense_columns_match_par_spmv() {
+        let a = generators::clustered(70, 66, 500, 5, 3);
+        let b = test_batch(66, 8);
+        let pool = ThreadPool::new(4);
+        let mut c = Dense::zeros(70, 8);
+        par_spmm_dense_csr(&pool, &a, &b, &mut c);
+        for j in 0..8 {
+            let mut y = vec![0.0; 70];
+            par_spmv_csr(&pool, &a, &b.col(j), &mut y);
+            assert_eq!(c.col(j), y, "column {j}");
         }
     }
 

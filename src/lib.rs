@@ -15,14 +15,18 @@
 //! * [`bmu`] — the Bitmap Management Unit hardware model and the five-
 //!   instruction SMASH ISA (the paper's hardware contribution),
 //! * [`kernels`] — SpMV/SpMM/SpAdd kernels for every mechanism the paper
-//!   evaluates, all generic over [`matrix::Scalar`] (`f64` and `f32`),
-//!   plus the [`Executor`]: one `spmv`/`spmm` entry point over
-//!   *format × precision × serial/parallel*,
+//!   evaluates — including the batched sparse × dense SpMM
+//!   (`spmm_dense_*`, column-tiled so one pass serves many right-hand
+//!   sides) — all generic over [`matrix::Scalar`] (`f64` and `f32`),
+//!   plus the [`Executor`]: one `spmv`/`spmm`/`spmm_dense` entry point
+//!   over *format × precision × serial/parallel*,
 //! * [`parallel`] — a scoped thread pool plus multi-threaded variants of
 //!   the native kernels, bit-identical to the serial ones at every thread
 //!   count (`SMASH_THREADS` overrides the worker count),
-//! * [`graph`] — PageRank and Betweenness Centrality built on the kernels,
-//!   generic over precision through `Graph<T>`.
+//! * [`graph`] — PageRank (including batched personalized PageRank: one
+//!   `Dense` of personalization vectors per pass) and Betweenness
+//!   Centrality built on the kernels, generic over precision through
+//!   `Graph<T>`.
 //!
 //! # Quickstart
 //!

@@ -40,6 +40,32 @@ fn matrix_market_roundtrip_via_disk_format() {
 }
 
 #[test]
+fn matrix_market_header_preserving_roundtrip_is_lossless() {
+    // A symmetric pattern graph: parse, write back with its own header,
+    // re-parse — the matrix is unchanged *and* the file never doubles or
+    // fabricates values (same stored entry count, positions only).
+    let text = "%%MatrixMarket matrix coordinate pattern symmetric\n\
+                5 5 4\n2 1\n3 2\n4 3\n5 5\n";
+    let (m, header) = market::read_coo_with::<f64, _>(text.as_bytes()).expect("parse");
+    assert_eq!(header.field, market::MarketField::Pattern);
+    assert_eq!(header.symmetry, market::MarketSymmetry::Symmetric);
+    assert_eq!(m.nnz(), 7); // 3 mirrored off-diagonals + 1 diagonal
+    let mut buf = Vec::new();
+    market::write_coo_as(&mut buf, &m, header).expect("write");
+    assert_eq!(std::str::from_utf8(&buf).unwrap(), text);
+
+    // Skew-symmetric integer stream: values mirror negated through the
+    // round-trip.
+    let skew = "%%MatrixMarket matrix coordinate integer skew-symmetric\n3 3 2\n2 1 4\n3 2 -9\n";
+    let (m, header) = market::read_coo_with::<f64, _>(skew.as_bytes()).expect("parse");
+    assert_eq!(m.to_dense().get(0, 1), -4.0);
+    let mut buf = Vec::new();
+    market::write_coo_as(&mut buf, &m, header).expect("write");
+    let (back, _) = market::read_coo_with::<f64, _>(&buf[..]).expect("reparse");
+    assert_eq!(back, m);
+}
+
+#[test]
 fn col_major_and_row_major_encode_the_same_matrix() {
     let a = generators::clustered(96, 80, 700, 4, 17);
     let rm = SmashMatrix::encode(
