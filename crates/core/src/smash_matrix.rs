@@ -313,6 +313,64 @@ impl<T: Scalar> SmashMatrix<T> {
         Ok(Self::assemble(rows, cols, config, hierarchy, nza))
     }
 
+    /// Assembles a matrix from per-range lists of occupied logical
+    /// Bitmap-0 bit indices and the matching zero-padded block values, in
+    /// bit order — the shape producers that compress on the fly emit:
+    /// each part holds one contiguous line range's `(bit, block)` stream,
+    /// and concatenating the parts in order yields the whole matrix.
+    ///
+    /// Both the parallel encoder (`smash_parallel::par_csr_to_smash`) and
+    /// the SpGEMM engine's direct-to-SMASH emission
+    /// (`smash_kernels::spgemm`) assemble through this single routine, so
+    /// a matrix built from parts is `==` to one built by
+    /// [`SmashMatrix::encode`] from the equivalent CSR.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SmashError::Inconsistent`] if the concatenated bit
+    /// indices are not strictly increasing (parts out of order would
+    /// silently misalign blocks and values), a bit index is out of range,
+    /// or the assembled parts violate any [`from_parts`] invariant.
+    ///
+    /// [`from_parts`]: Self::from_parts
+    pub fn from_bit_blocks(
+        rows: usize,
+        cols: usize,
+        config: SmashConfig,
+        parts: &[(Vec<usize>, Vec<T>)],
+    ) -> Result<Self, SmashError> {
+        let (lines, line_len) = match config.layout() {
+            Layout::RowMajor => (rows, cols),
+            Layout::ColMajor => (cols, rows),
+        };
+        let total_bits = lines * line_len.div_ceil(config.block_size());
+        let mut bm0 = Bitmap::zeros(total_bits);
+        let mut all_vals = Vec::with_capacity(parts.iter().map(|(_, v)| v.len()).sum());
+        let mut prev: Option<usize> = None;
+        for (bits, vals) in parts {
+            for &bit in bits {
+                if prev.is_some_and(|p| p >= bit) {
+                    return Err(SmashError::Inconsistent(format!(
+                        "bit indices must be strictly increasing across parts \
+                         ({} then {bit})",
+                        prev.unwrap(),
+                    )));
+                }
+                if bit >= total_bits {
+                    return Err(SmashError::Inconsistent(format!(
+                        "bit index {bit} outside the {total_bits}-bit Bitmap-0"
+                    )));
+                }
+                bm0.set(bit, true);
+                prev = Some(bit);
+            }
+            all_vals.extend_from_slice(vals);
+        }
+        let hierarchy = BitmapHierarchy::from_level0(&bm0, config.ratios())?;
+        let nza = Nza::from_values(config.block_size(), all_vals);
+        Self::from_parts(rows, cols, config, hierarchy, nza)
+    }
+
     /// Decompresses back to CSR. Explicit zeros inside NZA blocks are
     /// dropped, so `decode(encode(m)) == m` for any matrix without stored
     /// zeros.

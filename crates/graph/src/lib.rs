@@ -24,6 +24,7 @@ pub mod generators;
 mod graph;
 pub mod pagerank;
 pub mod parallel;
+pub mod triangles;
 
 pub use batched::{
     personalized_pagerank, personalized_pagerank_batched, personalized_pagerank_batched_smash,
@@ -36,3 +37,4 @@ pub use pagerank::{pagerank, pagerank_reference, GraphMechanism, PageRankConfig}
 pub use parallel::{
     betweenness_parallel, betweenness_parallel_smash, pagerank_parallel, pagerank_parallel_smash,
 };
+pub use triangles::{triangle_count, two_hop_counts, undirected_adjacency};

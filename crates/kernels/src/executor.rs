@@ -45,7 +45,7 @@ use crate::native;
 use smash_core::{Layout, SmashConfig, SmashMatrix};
 use smash_matrix::{Bcsr, Coo, Csc, Csr, Dense, Scalar};
 use smash_parallel::{
-    default_threads, par_csr_to_smash, par_spmm_csr, par_spmm_dense_bcsr, par_spmm_dense_csr,
+    default_threads, par_csr_to_smash, par_spmm_dense_bcsr, par_spmm_dense_csr,
     par_spmm_dense_smash, par_spmv_bcsr, par_spmv_csr, par_spmv_smash, ThreadPool,
 };
 
@@ -306,25 +306,86 @@ impl Executor {
         }
     }
 
+    /// Sparse × sparse multiply `C = A · B`, both operands CSR, through
+    /// the row-wise Gustavson engine ([`crate::spgemm`]): symbolic sizing,
+    /// per-row dense/hash accumulators, direct CSR emission with exact
+    /// allocation.
+    ///
+    /// Under [`ExecMode::Auto`] the serial/parallel decision weighs the
+    /// **stored work** `Σ_{(i,k) ∈ A} nnz(B[k,:])` — the flop count
+    /// Gustavson actually performs, which for sparse × sparse can dwarf
+    /// (or undercut) either operand's nnz. Whichever path runs, the
+    /// output is bit-identical — and triplet-exact to the
+    /// `Csr::spmm_inner` inner-product oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.cols() != b.rows()`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use smash_kernels::Executor;
+    /// use smash_matrix::generators;
+    ///
+    /// let a = generators::power_law(96, 96, 1_200, 1.3, 5);
+    /// let c = Executor::auto().spgemm(&a, &a);
+    /// assert_eq!(c, Executor::serial().spgemm(&a, &a)); // bit-identical
+    /// ```
+    pub fn spgemm<T: Scalar>(&self, a: &Csr<T>, b: &Csr<T>) -> Csr<T> {
+        let work = crate::spgemm::stored_work(a, b);
+        if self.parallelize(a.rows(), usize::try_from(work).unwrap_or(usize::MAX)) {
+            crate::spgemm::par_spgemm(self.pool(), a, b)
+        } else {
+            crate::spgemm::spgemm(a, b)
+        }
+    }
+
+    /// Sparse × sparse multiply emitted straight into the SMASH encoding
+    /// (compress-on-the-fly): `==` to compressing
+    /// [`Executor::spgemm`]'s result with `SmashMatrix::encode`, without
+    /// materializing the intermediate CSR. Serial/parallel dispatch as in
+    /// [`Executor::spgemm`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.cols() != b.rows()` or `config` is not row-major.
+    pub fn spgemm_smash<T: Scalar>(
+        &self,
+        a: &Csr<T>,
+        b: &Csr<T>,
+        config: SmashConfig,
+    ) -> SmashMatrix<T> {
+        let work = crate::spgemm::stored_work(a, b);
+        if self.parallelize(a.rows(), usize::try_from(work).unwrap_or(usize::MAX)) {
+            crate::spgemm::par_spgemm_smash(self.pool(), a, b, config)
+        } else {
+            crate::spgemm::spgemm_smash(a, b, config)
+        }
+    }
+
     /// Inner-product sparse matrix-matrix multiply `C = A * B` with `B` in
-    /// CSC form, serial or row-parallel per the executor's mode. The two
-    /// paths produce identical triplet lists.
+    /// CSC form, backed by the Gustavson engine ([`Executor::spgemm`])
+    /// since the two produce identical triplet lists — the engine's
+    /// ascending-`k` `mul_add` fold is exactly the inner-product merge's.
+    /// Serial or parallel per the executor's mode; identical output
+    /// either way.
     ///
     /// # Panics
     ///
     /// Panics if `a.cols() != b.rows()`.
     pub fn spmm<T: Scalar>(&self, a: &Csr<T>, b: &Csc<T>) -> Coo<T> {
         assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
-        if self.parallelize(a.rows(), a.nnz() + b.nnz()) {
-            par_spmm_csr(self.pool(), a, b)
-        } else {
-            native::spmm_csr(a, b)
-        }
+        self.spgemm(a, &b.to_csr()).to_coo()
     }
 
     /// Block-granular SMASH SpMM (`A` row-major × `B` column-major, both
-    /// 1-level). Always serial — the block-index merge has no parallel
-    /// variant yet — so every mode returns the identical result.
+    /// 1-level), serial or row-parallel per the executor's mode. The
+    /// parallel variant runs the serial per-row merge body over disjoint
+    /// row ranges, so every mode returns the identical triplet list.
+    ///
+    /// (Earlier revisions ignored the mode here and always ran serially —
+    /// a silent downgrade for `Parallel`/`Auto` callers.)
     ///
     /// # Panics
     ///
@@ -332,7 +393,11 @@ impl Executor {
     /// matching block sizes, or dimensions disagree.
     pub fn spmm_smash<T: Scalar>(&self, a: &SmashMatrix<T>, b: &SmashMatrix<T>) -> Coo<T> {
         assert_eq!(a.config().layout(), Layout::RowMajor, "A must be row-major");
-        native::spmm_smash(a, b)
+        if self.parallelize(a.rows(), a.nza().len() + b.nza().len()) {
+            crate::spgemm::par_spmm_smash(self.pool(), a, b)
+        } else {
+            native::spmm_smash(a, b)
+        }
     }
 
     /// Compresses a CSR matrix into the SMASH encoding, in parallel when

@@ -16,6 +16,11 @@
 //! paths (via `smash-parallel`) that stay bit-identical to the serial
 //! kernels at every thread count.
 //!
+//! The [`spgemm`] module is the native sparse × sparse engine: row-wise
+//! Gustavson multiplication with symbolic sizing, per-row dense/hash
+//! accumulators and direct CSR or SMASH emission — triplet-exact to the
+//! inner-product oracle and bit-identical at every thread count.
+//!
 //! The [`harness`] module dispatches by [`Mechanism`], building the right
 //! operand encodings (CSR, 2x2 BCSR, SMASH bitmaps + NZA) internally.
 //!
@@ -51,6 +56,7 @@ pub mod harness;
 pub mod native;
 pub mod parallel;
 pub mod spadd;
+pub mod spgemm;
 pub mod spmdm;
 pub mod spmm;
 pub mod spmv;

@@ -16,6 +16,19 @@
 //! arithmetic order is identical at every precision, which is what lets
 //! the parallel variants in `smash-parallel` stay bit-identical for all
 //! of them.
+//!
+//! # Cancellation policy (sparse × sparse)
+//!
+//! Every sparse×sparse kernel in this workspace — [`spmm_csr`],
+//! [`spmm_csr_opt`], [`spmm_bcsr`], [`spmm_smash`] and the Gustavson
+//! engine in [`spgemm`](crate::spgemm) — follows one output policy:
+//! **exact zeros are dropped**. An output position whose accumulated
+//! value cancels to exactly `±0.0` is not stored, even when it had
+//! structural hits, and a position with no structural hit is never
+//! probed. Stored results therefore contain no explicit zeros, and two
+//! kernels that share an accumulation order produce identical triplet
+//! lists (`tests/spgemm.rs` pins this with adversarial cancelling
+//! inputs).
 
 use smash_core::{block_axpy_dense, block_dot, for_each_nz_block, Layout, SmashMatrix};
 use smash_matrix::{Bcsr, Coo, Csc, Csr, Dense, Scalar};
@@ -253,6 +266,14 @@ pub fn spmm_bcsr<T: Scalar>(a: &Bcsr<T>, bt: &Bcsr<T>) -> Coo<T> {
     let bs = s * s;
     let mut c = Coo::new(a.rows(), bt.rows());
     let mut tile = vec![T::ZERO; bs];
+    // Prefilter the non-empty block rows of `bt` once (the blocked twin of
+    // the `cols` prefilter in `spmm_csr_opt`): the inner loop then scans
+    // O(occupied block rows) per `bi` instead of O(all block rows), which
+    // is the difference between quadratic and output-sensitive work on
+    // matrices whose transpose has many empty block rows.
+    let occupied: Vec<usize> = (0..bt.num_block_rows())
+        .filter(|&bj| bt.block_row_ptr()[bj] < bt.block_row_ptr()[bj + 1])
+        .collect();
     for bi in 0..a.num_block_rows() {
         let (alo, ahi) = (
             a.block_row_ptr()[bi] as usize,
@@ -261,7 +282,7 @@ pub fn spmm_bcsr<T: Scalar>(a: &Bcsr<T>, bt: &Bcsr<T>) -> Coo<T> {
         if alo == ahi {
             continue;
         }
-        for bj in 0..bt.num_block_rows() {
+        for &bj in &occupied {
             let (blo, bhi) = (
                 bt.block_row_ptr()[bj] as usize,
                 bt.block_row_ptr()[bj + 1] as usize,
@@ -319,67 +340,113 @@ pub fn spmm_bcsr<T: Scalar>(a: &Bcsr<T>, bt: &Bcsr<T>) -> Coo<T> {
 /// Panics if the operands are not 1-level row-major/col-major with matching
 /// block sizes, or dimensions disagree.
 pub fn spmm_smash<T: Scalar>(a: &SmashMatrix<T>, b: &SmashMatrix<T>) -> Coo<T> {
+    check_smash_spmm_operands(a, b);
+    let a_op = SmashMergeOperand::new(a);
+    let b_op = SmashMergeOperand::new(b);
+    let mut c = Coo::new(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        spmm_smash_row(i, &a_op, &b_op, |j, v| c.push(i, j, v));
+    }
+    c.compress();
+    c
+}
+
+/// Validates the operand pair for a SMASH × SMASH product: `a` row-major,
+/// `b` column-major, one-level hierarchies with equal block sizes and
+/// conforming dimensions.
+pub(crate) fn check_smash_spmm_operands<T: Scalar>(a: &SmashMatrix<T>, b: &SmashMatrix<T>) {
     assert_eq!(a.cols(), b.rows());
     assert_eq!(a.config().layout(), Layout::RowMajor);
     assert_eq!(b.config().layout(), Layout::ColMajor);
-    let b0 = a.config().block_size();
-    assert_eq!(b0, b.config().block_size());
+    assert_eq!(a.config().block_size(), b.config().block_size());
+}
 
-    // Per-line in-line block offsets, flattened and addressed through the
-    // directory's per-line starts — O(nnz blocks + lines) auxiliary
-    // memory, never the O(dense) full Bitmap-0 expansion.
-    let collect = |sm: &SmashMatrix<T>| -> Vec<u32> {
+/// A SMASH operand prepared for block-granular line merges: per-line in-line
+/// block offsets, flattened and addressed through the directory's per-line
+/// starts — O(nnz blocks + lines) auxiliary memory, never the O(dense) full
+/// Bitmap-0 expansion.
+///
+/// Shared between the serial [`spmm_smash`] loop and the row-parallel variant
+/// in the SpGEMM engine so that both run the identical per-row arithmetic.
+pub(crate) struct SmashMergeOperand<'a, T> {
+    offs: Vec<u32>,
+    starts: &'a [u32],
+    nza: &'a [T],
+    b0: usize,
+    lines: usize,
+}
+
+impl<'a, T: Scalar> SmashMergeOperand<'a, T> {
+    pub(crate) fn new(sm: &'a SmashMatrix<T>) -> Self {
         let bpl = sm.blocks_per_line();
         let mut offs = vec![0u32; sm.num_blocks()];
         for (ordinal, logical) in sm.hierarchy().blocks().enumerate() {
             offs[ordinal] = (logical % bpl) as u32;
         }
-        offs
-    };
-    let (a_offs, a_starts) = (collect(a), a.line_block_starts());
-    let (b_offs, b_starts) = (collect(b), b.line_block_starts());
-    let a_nza = a.nza().values();
-    let b_nza = b.nza().values();
-
-    let mut c = Coo::new(a.rows(), b.cols());
-    for i in 0..a.rows() {
-        let a_base = a_starts[i] as usize;
-        let al = &a_offs[a_base..a_starts[i + 1] as usize];
-        if al.is_empty() {
-            continue;
-        }
-        for j in 0..b.cols() {
-            let b_base = b_starts[j] as usize;
-            let bl = &b_offs[b_base..b_starts[j + 1] as usize];
-            if bl.is_empty() {
-                continue;
-            }
-            let (mut p, mut q) = (0usize, 0usize);
-            let mut acc = T::ZERO;
-            let mut hit = false;
-            while p < al.len() && q < bl.len() {
-                match al[p].cmp(&bl[q]) {
-                    std::cmp::Ordering::Equal => {
-                        let oa = (a_base + p) * b0;
-                        let ob = (b_base + q) * b0;
-                        for k in 0..b0 {
-                            acc += a_nza[oa + k] * b_nza[ob + k];
-                        }
-                        hit = true;
-                        p += 1;
-                        q += 1;
-                    }
-                    std::cmp::Ordering::Less => p += 1,
-                    std::cmp::Ordering::Greater => q += 1,
-                }
-            }
-            if hit && !acc.is_zero() {
-                c.push(i, j, acc);
-            }
+        let lines = sm.line_block_starts().len() - 1;
+        Self {
+            offs,
+            starts: sm.line_block_starts(),
+            nza: sm.nza().values(),
+            b0: sm.config().block_size(),
+            lines,
         }
     }
-    c.compress();
-    c
+
+    /// `(base ordinal, in-line offsets)` for line `l`.
+    fn line(&self, l: usize) -> (usize, &[u32]) {
+        let base = self.starts[l] as usize;
+        (base, &self.offs[base..self.starts[l + 1] as usize])
+    }
+}
+
+/// One output row of the SMASH × SMASH product: merges row-line `i` of `a`
+/// against every column-line of `b`, emitting `(col, value)` for each
+/// structural hit whose accumulated dot is non-zero (the cancellation policy
+/// documented in the module docs).
+///
+/// This is the exact per-row body of [`spmm_smash`]; the parallel variant
+/// dispatches disjoint row ranges to it, so outputs are bit-identical to the
+/// serial kernel at any thread count.
+pub(crate) fn spmm_smash_row<T: Scalar>(
+    i: usize,
+    a: &SmashMergeOperand<'_, T>,
+    b: &SmashMergeOperand<'_, T>,
+    mut emit: impl FnMut(usize, T),
+) {
+    let b0 = a.b0;
+    let (a_base, al) = a.line(i);
+    if al.is_empty() {
+        return;
+    }
+    for j in 0..b.lines {
+        let (b_base, bl) = b.line(j);
+        if bl.is_empty() {
+            continue;
+        }
+        let (mut p, mut q) = (0usize, 0usize);
+        let mut acc = T::ZERO;
+        let mut hit = false;
+        while p < al.len() && q < bl.len() {
+            match al[p].cmp(&bl[q]) {
+                std::cmp::Ordering::Equal => {
+                    let oa = (a_base + p) * b0;
+                    let ob = (b_base + q) * b0;
+                    for k in 0..b0 {
+                        acc += a.nza[oa + k] * b.nza[ob + k];
+                    }
+                    hit = true;
+                    p += 1;
+                    q += 1;
+                }
+                std::cmp::Ordering::Less => p += 1,
+                std::cmp::Ordering::Greater => q += 1,
+            }
+        }
+        if hit && !acc.is_zero() {
+            emit(j, acc);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -467,6 +534,46 @@ mod tests {
         let sa = SmashMatrix::encode(&a, SmashConfig::row_major(&[2]).unwrap());
         let sb = SmashMatrix::encode(&b, SmashConfig::col_major(&[2]).unwrap());
         check(&spmm_smash(&sa, &sb).to_dense());
+    }
+
+    #[test]
+    fn spmm_bcsr_block_diagonal_and_mostly_empty_transpose() {
+        // Regression for the occupied-block-row prefilter: a block-diagonal
+        // operand (every block row of the transpose holds exactly one
+        // block) and a B whose transpose has almost all block rows empty
+        // (entries confined to a few columns). Both shapes must match the
+        // CSR reference exactly on the structural level and closely on
+        // values.
+        let n = 64;
+        let mut diag = Coo::<f64>::new(n, n);
+        for i in 0..n {
+            diag.push(i, i, 1.0 + i as f64);
+            diag.push(i, i ^ 1, 0.5); // fills each 2x2 diagonal block
+        }
+        let a = Csr::from_coo(&diag);
+
+        let mut narrow = Coo::<f64>::new(n, n);
+        for i in 0..n {
+            narrow.push(i, i % 3, 2.0 + (i % 5) as f64); // cols 0..3 only
+        }
+        let b = Csr::from_coo(&narrow);
+
+        for (lhs, rhs) in [(&a, &b), (&a, &a), (&b, &a)] {
+            let want = spmm_csr(lhs, &rhs.to_csc()).to_dense();
+            let lb = Bcsr::from_csr(lhs, 2, 2).unwrap();
+            let rtb = Bcsr::from_csr(&rhs.transpose(), 2, 2).unwrap();
+            let got = spmm_bcsr(&lb, &rtb).to_dense();
+            for i in 0..n {
+                for j in 0..n {
+                    assert!(
+                        (got.get(i, j) - want.get(i, j)).abs() < 1e-9,
+                        "({i},{j}): {} vs {}",
+                        got.get(i, j),
+                        want.get(i, j)
+                    );
+                }
+            }
+        }
     }
 
     fn assert_close(y: &[f64], want: &[f64]) {

@@ -1,0 +1,589 @@
+//! Native row-wise **Gustavson SpGEMM** engine: `C = A · B` with both
+//! operands in CSR, emitted straight into CSR (or SMASH) with exact
+//! per-row allocation — no COO detour, no post-hoc sort of the whole
+//! output.
+//!
+//! # Algorithm
+//!
+//! Gustavson's method walks each row `i` of `A` and scatters
+//! `A[i,k] · B[k,:]` into a row accumulator — the classic sparse × sparse
+//! formulation whose irregular, input-dependent accesses are exactly the
+//! indexing bottleneck the SMASH paper attacks. Two passes:
+//!
+//! 1. **Symbolic** ([`symbolic_bounds`]): per output row, the upper bound
+//!    `ub[i] = Σ_{k ∈ A[i,:]} nnz(B[k,:])` — both the accumulator sizing
+//!    hint and (summed) the stored-work estimate the executor's `Auto`
+//!    mode dispatches on.
+//! 2. **Numeric**: per row, scatter into one of two accumulators chosen
+//!    from `ub[i]` alone (see [`use_dense_accumulator`]):
+//!    * a **dense accumulator** — value array over all `b.cols()` columns
+//!      with epoch stamps (O(1) reset) and a touched-column list — when
+//!      the row bound is wide relative to the output width;
+//!    * a **sorted hash scratchpad** — open-addressed map sized to the
+//!      row bound, drained through a sort — when the row is sparse enough
+//!      that touching `b.cols()` slots would dominate.
+//!
+//! # Determinism and the inner-product oracle
+//!
+//! Both accumulators fold contributions in ascending-`k` order with
+//! [`Scalar::mul_add`], which is *exactly* the fold
+//! `Csr::spmm_inner_row` performs per `(i, j)` — so the engine's output
+//! is `==` (triplet-exact, not approximately) to the inner-product
+//! oracle, and dense and hash rows are bit-identical to each other.
+//! The accumulator choice depends only on `(ub[i], b.cols())`, and the
+//! parallel driver hands **disjoint, contiguous** row ranges (balanced by
+//! the symbolic bounds through `partition_by_weight`) to workers that
+//! write pre-sized private chunks spliced back in row order — so output
+//! is bit-identical at every thread count.
+//!
+//! # Cancellation policy
+//!
+//! Exact zeros are dropped, like every sparse × sparse kernel in this
+//! crate (see the policy note in [`crate::native`]): a structurally-hit
+//! position whose accumulated value cancels to ±0.0 is not stored.
+//!
+//! # Example
+//!
+//! ```
+//! use smash_kernels::Executor;
+//! use smash_matrix::generators;
+//!
+//! let a = generators::power_law(128, 128, 2_000, 1.2, 7);
+//! let c = Executor::auto().spgemm(&a, &a); // A², dispatched by stored work
+//! let oracle = a.spmm_inner(&a.to_csc()).unwrap();
+//! assert_eq!(c.to_coo().entries(), oracle.entries()); // exact, not approx
+//! ```
+
+use crate::native::{check_smash_spmm_operands, spmm_smash_row, SmashMergeOperand};
+use smash_core::{for_each_line_block, Layout, SmashConfig, SmashMatrix};
+use smash_matrix::{Coo, Csr, CsrBuilder, Scalar};
+use smash_parallel::{partition_by_weight, ThreadPool};
+use std::ops::Range;
+
+/// Output widths up to this many columns always use the dense
+/// accumulator: the value/stamp arrays fit comfortably in cache, so the
+/// hash scratchpad's probing and drain-sort can't win.
+pub const DENSE_ACCUM_MIN_COLS: usize = 256;
+
+/// Above [`DENSE_ACCUM_MIN_COLS`], the dense accumulator is used when the
+/// row's nnz upper bound is at least `1/DENSE_ACCUM_FRACTION` of the
+/// output width — dense rows amortize the touched-list sort better than
+/// the hash map amortizes probing.
+pub const DENSE_ACCUM_FRACTION: u64 = 4;
+
+/// Whether the numeric pass uses the dense accumulator (vs. the hash
+/// scratchpad) for a row whose symbolic upper bound is `ub`, writing into
+/// `n` output columns.
+///
+/// The choice is a pure function of `(ub, n)` — never of thread count or
+/// scheduling — which is one leg of the engine's determinism guarantee.
+pub fn use_dense_accumulator(ub: u64, n: usize) -> bool {
+    n <= DENSE_ACCUM_MIN_COLS || ub.saturating_mul(DENSE_ACCUM_FRACTION) >= n as u64
+}
+
+/// The symbolic pass: per-row upper bounds on `nnz(C[i,:])` plus their
+/// sum (the total stored work, `Σ_{(i,k) ∈ A} nnz(B[k,:])` — the flop
+/// count Gustavson performs and the quantity `Auto` dispatch weighs).
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn symbolic_bounds<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> (Vec<u64>, u64) {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let mut bounds = vec![0u64; a.rows()];
+    let mut total = 0u64;
+    for (i, ub) in bounds.iter_mut().enumerate() {
+        let (cols, _) = a.row(i);
+        *ub = cols
+            .iter()
+            .map(|&k| b.row_nnz(k as usize) as u64)
+            .sum::<u64>();
+        total += *ub;
+    }
+    (bounds, total)
+}
+
+/// The total stored work of `A · B` without materializing the per-row
+/// bounds — what [`crate::Executor`] feeds its serial/parallel heuristic.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn stored_work<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> u64 {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    a.col_ind()
+        .iter()
+        .map(|&k| b.row_nnz(k as usize) as u64)
+        .sum()
+}
+
+/// Dense row accumulator: one value slot per output column, an epoch
+/// stamp per slot (so reset is O(1), not O(n)), and the list of touched
+/// columns for output-sensitive draining.
+struct DenseAcc<T> {
+    vals: Vec<T>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    touched: Vec<u32>,
+}
+
+impl<T: Scalar> DenseAcc<T> {
+    fn new(n: usize) -> Self {
+        DenseAcc {
+            vals: vec![T::ZERO; n],
+            stamp: vec![0; n],
+            epoch: 0,
+            touched: Vec::new(),
+        }
+    }
+
+    fn begin_row(&mut self) {
+        self.touched.clear();
+        self.epoch = match self.epoch.checked_add(1) {
+            Some(e) => e,
+            None => {
+                // Epoch wraparound (once per 2^32 rows): hard-reset the
+                // stamps so stale marks can't alias the new epoch.
+                self.stamp.fill(0);
+                1
+            }
+        };
+    }
+
+    #[inline]
+    fn scatter(&mut self, j: u32, av: T, bv: T) {
+        let slot = j as usize;
+        if self.stamp[slot] == self.epoch {
+            self.vals[slot] = av.mul_add(bv, self.vals[slot]);
+        } else {
+            self.stamp[slot] = self.epoch;
+            self.vals[slot] = av.mul_add(bv, T::ZERO);
+            self.touched.push(j);
+        }
+    }
+
+    /// Drains the touched columns in ascending order into `(cols, vals)`,
+    /// dropping exact zeros.
+    fn drain_sorted(&mut self, cols: &mut Vec<u32>, vals: &mut Vec<T>) {
+        self.touched.sort_unstable();
+        for &j in &self.touched {
+            let v = self.vals[j as usize];
+            if !v.is_zero() {
+                cols.push(j);
+                vals.push(v);
+            }
+        }
+    }
+}
+
+/// Sentinel key marking an empty hash slot (no valid column index is
+/// `u32::MAX`: CSR column indices are bounded by `cols() <= u32::MAX`).
+const EMPTY: u32 = u32::MAX;
+
+/// Open-addressed (linear probing) row accumulator keyed by output
+/// column, sized per row from the symbolic bound and drained through a
+/// sort. Grow-only across rows so a range of small rows after one wide
+/// row never reallocates.
+struct HashAcc<T> {
+    keys: Vec<u32>,
+    vals: Vec<T>,
+    /// Occupied slot indices, for O(occupied) reset and draining.
+    slots: Vec<u32>,
+    mask: usize,
+}
+
+impl<T: Scalar> HashAcc<T> {
+    fn new() -> Self {
+        HashAcc {
+            keys: Vec::new(),
+            vals: Vec::new(),
+            slots: Vec::new(),
+            mask: 0,
+        }
+    }
+
+    /// Prepares for a row with at most `ub` distinct columns: capacity at
+    /// least `2·ub` (load factor ≤ ½ so probing stays short and always
+    /// terminates), power of two for mask addressing.
+    fn begin_row(&mut self, ub: u64) {
+        let want = (ub.max(4) as usize).saturating_mul(2).next_power_of_two();
+        if want > self.keys.len() {
+            self.keys = vec![EMPTY; want];
+            self.vals = vec![T::ZERO; want];
+            self.mask = want - 1;
+        } else {
+            for &s in &self.slots {
+                self.keys[s as usize] = EMPTY;
+            }
+        }
+        self.slots.clear();
+    }
+
+    #[inline]
+    fn scatter(&mut self, j: u32, av: T, bv: T) {
+        let mut idx = (j as usize).wrapping_mul(0x9E37_79B9) & self.mask;
+        loop {
+            let k = self.keys[idx];
+            if k == j {
+                self.vals[idx] = av.mul_add(bv, self.vals[idx]);
+                return;
+            }
+            if k == EMPTY {
+                self.keys[idx] = j;
+                self.vals[idx] = av.mul_add(bv, T::ZERO);
+                self.slots.push(idx as u32);
+                return;
+            }
+            idx = (idx + 1) & self.mask;
+        }
+    }
+
+    /// Drains the occupied slots in ascending column order into
+    /// `(cols, vals)`, dropping exact zeros.
+    fn drain_sorted(&mut self, cols: &mut Vec<u32>, vals: &mut Vec<T>) {
+        let base = cols.len();
+        for &s in &self.slots {
+            let v = self.vals[s as usize];
+            if !v.is_zero() {
+                cols.push(self.keys[s as usize]);
+                vals.push(v);
+            }
+        }
+        // Sort the freshly appended tail by column, carrying values along.
+        let mut order: Vec<u32> = (0..(cols.len() - base) as u32).collect();
+        order.sort_unstable_by_key(|&p| cols[base + p as usize]);
+        let tail_cols: Vec<u32> = order.iter().map(|&p| cols[base + p as usize]).collect();
+        let tail_vals: Vec<T> = order.iter().map(|&p| vals[base + p as usize]).collect();
+        cols[base..].copy_from_slice(&tail_cols);
+        vals[base..].clone_from_slice(&tail_vals);
+    }
+}
+
+/// One worker's share of the numeric pass: per-row entry counts plus the
+/// concatenated (column, value) stream, in row order. Chunks from
+/// disjoint row ranges splice into the final CSR through
+/// [`CsrBuilder::push_row_chunk`] with no per-entry re-sorting.
+struct RowChunk<T> {
+    counts: Vec<u32>,
+    cols: Vec<u32>,
+    vals: Vec<T>,
+}
+
+impl<T> Default for RowChunk<T> {
+    fn default() -> Self {
+        RowChunk {
+            counts: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+}
+
+/// Runs the numeric pass over `rows`, invoking `emit(i, cols, vals)` per
+/// row in ascending row order — `cols` strictly increasing, exact zeros
+/// already dropped. The scratch accumulators live across the whole range.
+fn gustavson_rows<T: Scalar>(
+    a: &Csr<T>,
+    b: &Csr<T>,
+    rows: Range<usize>,
+    bounds: &[u64],
+    mut emit: impl FnMut(usize, &[u32], &[T]),
+) {
+    let n = b.cols();
+    let mut dense: Option<DenseAcc<T>> = None;
+    let mut hash = HashAcc::new();
+    let mut cols: Vec<u32> = Vec::new();
+    let mut vals: Vec<T> = Vec::new();
+    for i in rows {
+        cols.clear();
+        vals.clear();
+        let (a_cols, a_vals) = a.row(i);
+        let ub = bounds[i];
+        if ub > 0 {
+            if use_dense_accumulator(ub, n) {
+                let acc = dense.get_or_insert_with(|| DenseAcc::new(n));
+                acc.begin_row();
+                for (&k, &av) in a_cols.iter().zip(a_vals) {
+                    let (b_cols, b_vals) = b.row(k as usize);
+                    for (&j, &bv) in b_cols.iter().zip(b_vals) {
+                        acc.scatter(j, av, bv);
+                    }
+                }
+                acc.drain_sorted(&mut cols, &mut vals);
+            } else {
+                hash.begin_row(ub);
+                for (&k, &av) in a_cols.iter().zip(a_vals) {
+                    let (b_cols, b_vals) = b.row(k as usize);
+                    for (&j, &bv) in b_cols.iter().zip(b_vals) {
+                        hash.scatter(j, av, bv);
+                    }
+                }
+                hash.drain_sorted(&mut cols, &mut vals);
+            }
+        }
+        emit(i, &cols, &vals);
+    }
+}
+
+/// Numeric pass over one row range, packaged as a spliceable chunk.
+fn spgemm_chunk<T: Scalar>(
+    a: &Csr<T>,
+    b: &Csr<T>,
+    rows: Range<usize>,
+    bounds: &[u64],
+) -> RowChunk<T> {
+    let mut chunk = RowChunk::default();
+    gustavson_rows(a, b, rows, bounds, |_, cols, vals| {
+        chunk.counts.push(cols.len() as u32);
+        chunk.cols.extend_from_slice(cols);
+        chunk.vals.extend_from_slice(vals);
+    });
+    chunk
+}
+
+/// Splices per-range chunks (in row order) into a CSR with exact
+/// allocation: the builder's arrays are sized to the true output nnz
+/// before the first entry lands.
+fn assemble<T: Scalar>(rows: usize, cols: usize, chunks: Vec<RowChunk<T>>) -> Csr<T> {
+    let nnz: usize = chunks.iter().map(|c| c.cols.len()).sum();
+    let mut builder = CsrBuilder::with_capacity(cols, rows, nnz);
+    for chunk in &chunks {
+        builder.push_row_chunk(&chunk.counts, &chunk.cols, &chunk.vals);
+    }
+    builder.finish()
+}
+
+/// Serial Gustavson SpGEMM: `C = A · B`, both CSR, emitted directly into
+/// CSR. Triplet-exact to the `Csr::spmm_inner` oracle (see the
+/// [module docs](self)).
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn spgemm<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Csr<T> {
+    let (bounds, _) = symbolic_bounds(a, b);
+    assemble(
+        a.rows(),
+        b.cols(),
+        vec![spgemm_chunk(a, b, 0..a.rows(), &bounds)],
+    )
+}
+
+/// Parallel Gustavson SpGEMM over nnz-balanced contiguous row ranges —
+/// bit-identical to [`spgemm`] at every thread count (workers run the
+/// identical per-row body over disjoint ranges; the main thread splices
+/// in row order).
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn par_spgemm<T: Scalar>(pool: &ThreadPool, a: &Csr<T>, b: &Csr<T>) -> Csr<T> {
+    let (bounds, _) = symbolic_bounds(a, b);
+    let ranges = partition_by_weight(a.rows(), pool.threads(), |i| bounds[i]);
+    let mut chunks: Vec<RowChunk<T>> = Vec::new();
+    chunks.resize_with(ranges.len(), RowChunk::default);
+    pool.scoped(|s| {
+        for (range, slot) in ranges.iter().cloned().zip(chunks.iter_mut()) {
+            let bounds = &bounds;
+            s.execute(move || *slot = spgemm_chunk(a, b, range, bounds));
+        }
+    });
+    assemble(a.rows(), b.cols(), chunks)
+}
+
+/// Per-range SMASH emission: runs the numeric pass and folds each output
+/// row straight through the encoder's per-line block routine, producing
+/// the `(bit indices, padded block values)` part the shared assembly
+/// consumes.
+fn spgemm_smash_part<T: Scalar>(
+    a: &Csr<T>,
+    b: &Csr<T>,
+    rows: Range<usize>,
+    bounds: &[u64],
+    b0: usize,
+    bpl: usize,
+) -> (Vec<usize>, Vec<T>) {
+    let mut bits = Vec::new();
+    let mut nza = Vec::new();
+    let mut block = vec![T::ZERO; b0];
+    gustavson_rows(a, b, rows, bounds, |i, cols, vals| {
+        let base = i * bpl;
+        for_each_line_block(cols, vals, &mut block, |blk, block_vals| {
+            bits.push(base + blk);
+            nza.extend_from_slice(block_vals);
+        });
+    });
+    (bits, nza)
+}
+
+/// Gustavson SpGEMM emitting straight into the SMASH encoding
+/// (compress-on-the-fly): each output row is folded through the same
+/// per-line block routine the encoder uses, so the result is `==` to
+/// `SmashMatrix::encode(&spgemm(a, b), config)` without ever
+/// materializing the intermediate CSR.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()` or `config` is not row-major.
+pub fn spgemm_smash<T: Scalar>(a: &Csr<T>, b: &Csr<T>, config: SmashConfig) -> SmashMatrix<T> {
+    assert_eq!(config.layout(), Layout::RowMajor, "emission is row-major");
+    let (bounds, _) = symbolic_bounds(a, b);
+    let b0 = config.block_size();
+    let bpl = b.cols().div_ceil(b0);
+    let part = spgemm_smash_part(a, b, 0..a.rows(), &bounds, b0, bpl);
+    SmashMatrix::from_bit_blocks(a.rows(), b.cols(), config, &[part])
+        .expect("Gustavson emission preserves the encoder's invariants")
+}
+
+/// Parallel [`spgemm_smash`]: workers encode disjoint row ranges, the
+/// shared assembly splices them in line order — `==` to the serial
+/// emission at every thread count.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()` or `config` is not row-major.
+pub fn par_spgemm_smash<T: Scalar>(
+    pool: &ThreadPool,
+    a: &Csr<T>,
+    b: &Csr<T>,
+    config: SmashConfig,
+) -> SmashMatrix<T> {
+    assert_eq!(config.layout(), Layout::RowMajor, "emission is row-major");
+    let (bounds, _) = symbolic_bounds(a, b);
+    let b0 = config.block_size();
+    let bpl = b.cols().div_ceil(b0);
+    let ranges = partition_by_weight(a.rows(), pool.threads(), |i| bounds[i]);
+    let mut parts: Vec<(Vec<usize>, Vec<T>)> = vec![Default::default(); ranges.len()];
+    pool.scoped(|s| {
+        for (range, slot) in ranges.iter().cloned().zip(parts.iter_mut()) {
+            let bounds = &bounds;
+            s.execute(move || *slot = spgemm_smash_part(a, b, range, bounds, b0, bpl));
+        }
+    });
+    SmashMatrix::from_bit_blocks(a.rows(), b.cols(), config, &parts)
+        .expect("Gustavson emission preserves the encoder's invariants")
+}
+
+/// Row-parallel SMASH × SMASH SpMM, bit-identical to
+/// [`crate::native::spmm_smash`] at every thread count: each worker runs
+/// the serial per-row merge body over a disjoint row-line range (balanced
+/// by A's per-line block counts), and the triplets splice in row order.
+///
+/// # Panics
+///
+/// Panics if the operands are not 1-level row-major/col-major with
+/// matching block sizes, or dimensions disagree.
+pub fn par_spmm_smash<T: Scalar>(
+    pool: &ThreadPool,
+    a: &SmashMatrix<T>,
+    b: &SmashMatrix<T>,
+) -> Coo<T> {
+    check_smash_spmm_operands(a, b);
+    let a_op = SmashMergeOperand::new(a);
+    let b_op = SmashMergeOperand::new(b);
+    let starts = a.line_block_starts();
+    let ranges = partition_by_weight(a.rows(), pool.threads(), |i| {
+        (starts[i + 1] - starts[i]) as u64
+    });
+    let mut chunks: Vec<Vec<(u32, u32, T)>> = vec![Vec::new(); ranges.len()];
+    pool.scoped(|s| {
+        for (range, slot) in ranges.iter().cloned().zip(chunks.iter_mut()) {
+            let (a_op, b_op) = (&a_op, &b_op);
+            s.execute(move || {
+                let mut out = Vec::new();
+                for i in range {
+                    spmm_smash_row(i, a_op, b_op, |j, v| out.push((i as u32, j as u32, v)));
+                }
+                *slot = out;
+            });
+        }
+    });
+    let nnz = chunks.iter().map(Vec::len).sum();
+    let mut c = Coo::with_capacity(a.rows(), b.cols(), nnz);
+    for (i, j, v) in chunks.into_iter().flatten() {
+        c.push(i as usize, j as usize, v);
+    }
+    c.compress();
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::native;
+    use smash_matrix::generators;
+
+    fn oracle(a: &Csr<f64>, b: &Csr<f64>) -> Vec<(u32, u32, f64)> {
+        a.spmm_inner(&b.to_csc()).unwrap().entries().to_vec()
+    }
+
+    #[test]
+    fn serial_matches_inner_product_oracle_exactly() {
+        let a = generators::power_law(96, 80, 1_500, 1.3, 3);
+        let b = generators::clustered(80, 72, 1_200, 5, 4);
+        assert_eq!(spgemm(&a, &b).to_coo().entries(), oracle(&a, &b));
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_serial() {
+        let a = generators::power_law(200, 200, 6_000, 1.4, 11);
+        let want = spgemm(&a, &a);
+        for threads in [1, 2, 3, 8] {
+            let pool = ThreadPool::new(threads);
+            assert_eq!(par_spgemm(&pool, &a, &a), want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn accumulator_choice_is_size_driven() {
+        // Small outputs always dense; wide sparse rows go to the hash.
+        assert!(use_dense_accumulator(1, DENSE_ACCUM_MIN_COLS));
+        assert!(!use_dense_accumulator(10, 100_000));
+        assert!(use_dense_accumulator(25_000, 100_000));
+    }
+
+    #[test]
+    fn symbolic_bounds_count_stored_work() {
+        let a = generators::uniform(40, 40, 300, 5);
+        let (bounds, total) = symbolic_bounds(&a, &a);
+        assert_eq!(total, bounds.iter().sum::<u64>());
+        assert_eq!(total, stored_work(&a, &a));
+        let (cols, _) = a.row(7);
+        let want: u64 = cols.iter().map(|&k| a.row_nnz(k as usize) as u64).sum();
+        assert_eq!(bounds[7], want);
+    }
+
+    #[test]
+    fn smash_emission_matches_encode_of_csr_product() {
+        let a = generators::clustered(64, 64, 900, 4, 9);
+        let cfg = SmashConfig::row_major(&[2, 4]).unwrap();
+        let c = spgemm(&a, &a);
+        let want = SmashMatrix::encode(&c, cfg.clone());
+        assert_eq!(spgemm_smash(&a, &a, cfg.clone()), want);
+        for threads in [2, 8] {
+            let pool = ThreadPool::new(threads);
+            assert_eq!(
+                par_spgemm_smash(&pool, &a, &a, cfg.clone()),
+                want,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn par_spmm_smash_matches_serial_kernel() {
+        let a = generators::uniform(56, 64, 700, 3);
+        let b = generators::clustered(64, 48, 500, 4, 4);
+        let sa = SmashMatrix::encode(&a, SmashConfig::row_major(&[2]).unwrap());
+        let sb = SmashMatrix::encode(&b, SmashConfig::col_major(&[2]).unwrap());
+        let want = native::spmm_smash(&sa, &sb);
+        for threads in [1, 2, 8] {
+            let pool = ThreadPool::new(threads);
+            assert_eq!(
+                par_spmm_smash(&pool, &sa, &sb).entries(),
+                want.entries(),
+                "threads={threads}"
+            );
+        }
+    }
+}

@@ -510,6 +510,132 @@ impl<T: Scalar> Csr<T> {
     }
 }
 
+/// Incremental row-by-row CSR constructor for kernels that emit their
+/// output directly in compressed form (no COO detour, no sort, no
+/// duplicate merge).
+///
+/// The SpGEMM engine in `smash-kernels` is the primary caller: its
+/// Gustavson rows come out sorted and duplicate-free, so the builder only
+/// has to append them and maintain `row_ptr`. Rows are validated as they
+/// are pushed (strictly increasing columns, in bounds), which makes
+/// [`CsrBuilder::finish`] O(1) — the finished matrix holds exactly the
+/// invariants [`Csr::from_parts`] would re-check.
+///
+/// # Example
+///
+/// ```
+/// use smash_matrix::CsrBuilder;
+///
+/// let mut b = CsrBuilder::<f64>::with_capacity(4, 2, 3);
+/// b.push_row(&[0, 2], &[1.0, 2.0]);
+/// b.push_row(&[3], &[4.0]);
+/// let m = b.finish();
+/// assert_eq!((m.rows(), m.cols(), m.nnz()), (2, 4, 3));
+/// assert_eq!(m.row_ptr(), &[0, 2, 3]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CsrBuilder<T> {
+    cols: usize,
+    row_ptr: Vec<u32>,
+    col_ind: Vec<u32>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> CsrBuilder<T> {
+    /// An empty builder for a matrix with `cols` columns; rows are added
+    /// one [`push_row`](CsrBuilder::push_row) at a time.
+    pub fn new(cols: usize) -> Self {
+        CsrBuilder::with_capacity(cols, 0, 0)
+    }
+
+    /// An empty builder with storage pre-allocated for `rows` rows and
+    /// `nnz` non-zeros — pass exact counts (e.g. from a symbolic pass) and
+    /// assembly never reallocates.
+    pub fn with_capacity(cols: usize, rows: usize, nnz: usize) -> Self {
+        CsrBuilder {
+            cols,
+            row_ptr: {
+                let mut p = Vec::with_capacity(rows + 1);
+                p.push(0);
+                p
+            },
+            col_ind: Vec::with_capacity(nnz),
+            values: Vec::with_capacity(nnz),
+        }
+    }
+
+    /// Rows pushed so far.
+    pub fn rows(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Non-zeros pushed so far.
+    pub fn nnz(&self) -> usize {
+        self.col_ind.len()
+    }
+
+    /// Appends the next row from its sorted column indices and values
+    /// (empty slices append an empty row).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths, the columns are not
+    /// strictly increasing, or a column is `>= cols`.
+    pub fn push_row(&mut self, cols: &[u32], vals: &[T]) {
+        assert_eq!(cols.len(), vals.len(), "row slices must have equal length");
+        let mut prev: Option<u32> = None;
+        for &c in cols {
+            assert!(
+                prev.is_none_or(|p| p < c),
+                "row {} columns not strictly increasing",
+                self.rows()
+            );
+            assert!(
+                (c as usize) < self.cols,
+                "column {c} out of bounds for {} columns",
+                self.cols
+            );
+            prev = Some(c);
+        }
+        self.col_ind.extend_from_slice(cols);
+        self.values.extend_from_slice(vals);
+        self.row_ptr.push(self.col_ind.len() as u32);
+    }
+
+    /// Splices a pre-computed chunk of consecutive rows: `counts[r]` gives
+    /// the non-zero count of the chunk's `r`-th row inside the flat
+    /// `cols`/`vals` arrays. This is how the parallel SpGEMM engine
+    /// concatenates its workers' disjoint row-range outputs in range
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the counts do not sum to the slice lengths, or any row
+    /// violates the [`push_row`](CsrBuilder::push_row) invariants.
+    pub fn push_row_chunk(&mut self, counts: &[u32], cols: &[u32], vals: &[T]) {
+        let total: usize = counts.iter().map(|&c| c as usize).sum();
+        assert_eq!(total, cols.len(), "counts must sum to the chunk length");
+        let mut at = 0usize;
+        for &c in counts {
+            let hi = at + c as usize;
+            self.push_row(&cols[at..hi], &vals[at..hi]);
+            at = hi;
+        }
+    }
+
+    /// Finishes the matrix. O(1): every invariant was enforced during
+    /// construction.
+    pub fn finish(self) -> Csr<T> {
+        Csr {
+            rows: self.row_ptr.len() - 1,
+            cols: self.cols,
+            row_ptr: self.row_ptr,
+            col_ind: self.col_ind,
+            values: self.values,
+        }
+    }
+}
+
 /// One width-`W` column tile of [`Csr::row_spmm_dense`]: `W` independent
 /// accumulators, each following the serial per-non-zero order of
 /// [`Csr::row_dot`], written out in one shot when the row is exhausted.
@@ -675,6 +801,62 @@ mod tests {
         for (w, b) in a.values().iter().zip(back.values()) {
             assert!((w - b).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn builder_matches_from_coo() {
+        let a = fig1();
+        let mut b = CsrBuilder::with_capacity(a.cols(), a.rows(), a.nnz());
+        for i in 0..a.rows() {
+            let (cols, vals) = a.row(i);
+            b.push_row(cols, vals);
+        }
+        assert_eq!(b.rows(), a.rows());
+        assert_eq!(b.nnz(), a.nnz());
+        assert_eq!(b.finish(), a);
+    }
+
+    #[test]
+    fn builder_chunk_splice_matches_row_pushes() {
+        let a = fig1();
+        // Two chunks: rows [0, 2) and [2, 4), as the parallel engine
+        // splices them.
+        let mut b = CsrBuilder::new(a.cols());
+        for range in [0..2usize, 2..4] {
+            let lo = a.row_ptr()[range.start] as usize;
+            let hi = a.row_ptr()[range.end] as usize;
+            let counts: Vec<u32> = range
+                .clone()
+                .map(|i| a.row_ptr()[i + 1] - a.row_ptr()[i])
+                .collect();
+            b.push_row_chunk(&counts, &a.col_ind()[lo..hi], &a.values()[lo..hi]);
+        }
+        assert_eq!(b.finish(), a);
+    }
+
+    #[test]
+    fn builder_accepts_empty_rows_and_empty_matrix() {
+        let mut b = CsrBuilder::<f64>::new(5);
+        b.push_row(&[], &[]);
+        b.push_row(&[4], &[2.0]);
+        b.push_row(&[], &[]);
+        let m = b.finish();
+        assert_eq!((m.rows(), m.nnz()), (3, 1));
+        assert_eq!(m.row_ptr(), &[0, 0, 1, 1]);
+        let empty = CsrBuilder::<f64>::new(0).finish();
+        assert_eq!((empty.rows(), empty.cols(), empty.nnz()), (0, 0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn builder_rejects_unsorted_row() {
+        CsrBuilder::<f64>::new(4).push_row(&[2, 1], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn builder_rejects_out_of_bounds_column() {
+        CsrBuilder::<f64>::new(2).push_row(&[2], &[1.0]);
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod suite;
 pub use bcsr::Bcsr;
 pub use coo::Coo;
 pub use csc::Csc;
-pub use csr::Csr;
+pub use csr::{Csr, CsrBuilder};
 pub use dense::{axpy_dense_tiles, for_each_rhs_tile, Dense};
 pub use error::MatrixError;
 pub use scalar::Scalar;

@@ -18,8 +18,7 @@
 use crate::partition::{partition_by_weight, partition_rows};
 use crate::pool::ThreadPool;
 use smash_core::{
-    block_axpy_dense, block_dot, for_each_line_block, BitmapHierarchy, Layout, Nza, SmashConfig,
-    SmashMatrix,
+    block_axpy_dense, block_dot, for_each_line_block, Layout, SmashConfig, SmashMatrix,
 };
 use smash_matrix::{Bcsr, Coo, Csc, Csr, Dense, Scalar};
 
@@ -416,18 +415,10 @@ where
             });
         }
     });
-    let mut bm0 = smash_core::Bitmap::zeros(lines * bpl);
-    let mut all_vals = Vec::with_capacity(parts.iter().map(|(_, v)| v.len()).sum());
-    for (bits, vals) in &parts {
-        for &bit in bits {
-            bm0.set(bit, true);
-        }
-        all_vals.extend_from_slice(vals);
-    }
-    let hierarchy = BitmapHierarchy::from_level0(&bm0, config.ratios())
-        .expect("config was validated at construction");
-    let nza = Nza::from_values(b0, all_vals);
-    SmashMatrix::from_parts(rows, cols, config, hierarchy, nza)
+    // Bit order across the parts is line order, so one shared assembly
+    // routine (also used by the SpGEMM engine's direct-to-SMASH emission)
+    // builds the bitmap hierarchy and NZA.
+    SmashMatrix::from_bit_blocks(rows, cols, config, &parts)
         .expect("parallel encoder preserves all invariants")
 }
 

@@ -1,0 +1,270 @@
+//! The Gustavson SpGEMM engine pinned against the inner-product oracle:
+//! triplet-exact equality (not tolerance) at every thread count and both
+//! precisions, the shared drop-exact-zeros cancellation policy across
+//! every sparse × sparse kernel, and the structural edge cases.
+
+use proptest::prelude::*;
+use smash::encoding::{SmashConfig, SmashMatrix};
+use smash::kernels::{native, spgemm};
+use smash::matrix::{Coo, Csr, Scalar};
+use smash::parallel::ThreadPool;
+use smash::Executor;
+
+/// The oracle: `Csr::spmm_inner`'s triplet list — per (i, j), the
+/// ascending-k `mul_add` fold over the structural intersection, exact
+/// zeros dropped.
+fn oracle<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Vec<(u32, u32, T)> {
+    a.spmm_inner(&b.to_csc()).unwrap().entries().to_vec()
+}
+
+fn engine_entries<T: Scalar>(c: &Csr<T>) -> Vec<(u32, u32, T)> {
+    c.to_coo().entries().to_vec()
+}
+
+/// Sparse matrix with integer-valued (hence exactly representable,
+/// order-independent) entries, including negatives so products cancel.
+fn arb_matrix(
+    rows: core::ops::Range<usize>,
+    cols: core::ops::Range<usize>,
+) -> impl Strategy<Value = Csr<f64>> {
+    (rows, cols)
+        .prop_flat_map(|(r, c)| {
+            let entries = proptest::collection::vec((0..r, 0..c, -8i32..9), 0..(r * c).min(220));
+            (Just(r), Just(c), entries)
+        })
+        .prop_map(|(r, c, entries)| {
+            let mut coo = Coo::new(r, c);
+            for (i, j, v) in entries {
+                coo.push(i, j, v as f64);
+            }
+            coo.compress();
+            Csr::from_coo(&coo)
+        })
+}
+
+/// A linked pair `(A: r×k, B: k×c)` with conforming inner dimension.
+fn arb_pair() -> impl Strategy<Value = (Csr<f64>, Csr<f64>)> {
+    (1usize..40).prop_flat_map(|k| (arb_matrix(1..40, k..k + 1), arb_matrix(k..k + 1, 1..40)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The acceptance pin: `Executor::spgemm` output is `==` (exact
+    /// triplets, not approximately) to the inner-product oracle at
+    /// threads {1, 2, 8}, in both precisions.
+    #[test]
+    fn engine_is_triplet_exact_to_the_oracle_at_all_thread_counts(pair in arb_pair()) {
+        let (a, b) = pair;
+        let want = oracle(&a, &b);
+        prop_assert_eq!(&engine_entries(&spgemm::spgemm(&a, &b)), &want);
+        for threads in [1usize, 2, 8] {
+            let pool = ThreadPool::new(threads);
+            let c = spgemm::par_spgemm(&pool, &a, &b);
+            prop_assert_eq!(&engine_entries(&c), &want, "threads={}", threads);
+        }
+
+        // Same pin at f32: integer-valued entries stay exact.
+        let (a32, b32) = (a.cast::<f32>(), b.cast::<f32>());
+        let want32 = oracle(&a32, &b32);
+        prop_assert_eq!(&engine_entries(&spgemm::spgemm(&a32, &b32)), &want32);
+        for threads in [2usize, 8] {
+            let pool = ThreadPool::new(threads);
+            let c = spgemm::par_spgemm(&pool, &a32, &b32);
+            prop_assert_eq!(&engine_entries(&c), &want32, "threads={}", threads);
+        }
+    }
+
+    /// Adversarial cancellation: integer entries with both signs make
+    /// exact cancellation common. Every sparse × sparse kernel must
+    /// apply the same policy — drop positions whose accumulation
+    /// cancels to ±0.0, never store an explicit zero — so their triplet
+    /// lists agree exactly (integer arithmetic is order-independent).
+    #[test]
+    fn cancellation_policy_is_shared_by_every_sparse_kernel(pair in arb_pair()) {
+        let (a, b) = pair;
+        let want = oracle(&a, &b);
+        prop_assert!(want.iter().all(|&(_, _, v)| v != 0.0), "oracle stored a zero");
+
+        let c = spgemm::spgemm(&a, &b);
+        prop_assert!(c.values().iter().all(|&v| v != 0.0), "engine stored a zero");
+        prop_assert_eq!(&engine_entries(&c), &want);
+
+        let bc = b.to_csc();
+        let plain = native::spmm_csr(&a, &bc);
+        prop_assert_eq!(plain.entries(), want.as_slice());
+        let opt = native::spmm_csr_opt(&a, &bc);
+        prop_assert_eq!(opt.entries(), want.as_slice());
+
+        // The SMASH block-merge kernel, same policy at block granularity.
+        let sa = SmashMatrix::encode(&a, SmashConfig::row_major(&[2]).unwrap());
+        let sb = SmashMatrix::encode(&b, SmashConfig::col_major(&[2]).unwrap());
+        let sm = native::spmm_smash(&sa, &sb);
+        prop_assert!(sm.entries().iter().all(|&(_, _, v)| v != 0.0));
+        prop_assert_eq!(sm.entries(), want.as_slice());
+    }
+
+    /// Output structure invariants: per row, columns strictly increasing
+    /// (sorted, duplicate-free) and row_ptr consistent.
+    #[test]
+    fn output_columns_are_sorted_and_duplicate_free(pair in arb_pair()) {
+        let (a, b) = pair;
+        let c = spgemm::spgemm(&a, &b);
+        prop_assert_eq!(c.rows(), a.rows());
+        prop_assert_eq!(c.cols(), b.cols());
+        for i in 0..c.rows() {
+            let (cols, _) = c.row(i);
+            prop_assert!(cols.windows(2).all(|w| w[0] < w[1]), "row {} not strictly sorted", i);
+        }
+    }
+}
+
+#[test]
+fn executor_modes_are_exact_to_the_oracle() {
+    let a = smash::matrix::generators::power_law(160, 140, 4_000, 1.3, 3);
+    let b = smash::matrix::generators::clustered(140, 120, 3_000, 5, 4);
+    let want = oracle(&a, &b);
+    for (name, exec) in [
+        ("serial", Executor::serial()),
+        ("parallel", Executor::parallel()),
+        ("threads2", Executor::with_threads(2)),
+        ("threads8", Executor::with_threads(8)),
+        ("auto", Executor::auto()),
+    ] {
+        assert_eq!(engine_entries(&exec.spgemm(&a, &b)), want, "{name}");
+    }
+}
+
+#[test]
+fn engineered_cancellation_is_dropped_everywhere() {
+    // A = [1, -1] against B whose two rows carry identical values in
+    // column 0 (cancels exactly) and different values in column 1
+    // (survives): C = [0 (dropped), -2.0].
+    let mut a = Coo::new(1, 2);
+    a.push(0, 0, 1.0);
+    a.push(0, 1, -1.0);
+    let a = Csr::from_coo(&a);
+    let mut b = Coo::new(2, 2);
+    b.push(0, 0, 7.0);
+    b.push(0, 1, 3.0);
+    b.push(1, 0, 7.0);
+    b.push(1, 1, 5.0);
+    let b = Csr::from_coo(&b);
+
+    let want = vec![(0u32, 1u32, -2.0f64)];
+    assert_eq!(oracle(&a, &b), want);
+    assert_eq!(engine_entries(&spgemm::spgemm(&a, &b)), want);
+    assert_eq!(native::spmm_csr(&a, &b.to_csc()).entries(), want.as_slice());
+    assert_eq!(
+        native::spmm_csr_opt(&a, &b.to_csc()).entries(),
+        want.as_slice()
+    );
+    let pool = ThreadPool::new(2);
+    assert_eq!(engine_entries(&spgemm::par_spgemm(&pool, &a, &b)), want);
+}
+
+#[test]
+fn empty_operands_produce_empty_products() {
+    let empty_a = Csr::<f64>::from_coo(&Coo::new(0, 8));
+    let b = smash::matrix::generators::uniform(8, 8, 20, 1);
+    let c = spgemm::spgemm(&empty_a, &b);
+    assert_eq!((c.rows(), c.cols(), c.nnz()), (0, 8, 0));
+
+    let no_entries = Csr::<f64>::from_coo(&Coo::new(8, 8));
+    let c = spgemm::spgemm(&b, &no_entries);
+    assert_eq!((c.rows(), c.cols(), c.nnz()), (8, 8, 0));
+    assert_eq!(engine_entries(&c), oracle(&b, &no_entries));
+
+    let zero_cols = Csr::<f64>::from_coo(&Coo::new(8, 0));
+    let c = spgemm::spgemm(&b, &zero_cols);
+    assert_eq!((c.rows(), c.cols(), c.nnz()), (8, 0, 0));
+}
+
+#[test]
+fn fully_dense_row_uses_the_dense_accumulator_and_matches() {
+    // One row of A touching every row of a dense-ish B: the row's upper
+    // bound saturates and the dense accumulator path runs.
+    let n = 300; // > DENSE_ACCUM_MIN_COLS, so the choice is bound-driven
+    let mut a = Coo::new(2, n);
+    for k in 0..n {
+        a.push(0, k, 1.0 + (k % 7) as f64);
+    }
+    a.push(1, 3, 2.0); // and one sparse row through the hash path
+    let a = Csr::from_coo(&a);
+    let b = smash::matrix::generators::uniform(n, n, 6 * n, 5);
+
+    let (bounds, _) = spgemm::symbolic_bounds(&a, &b);
+    assert!(spgemm::use_dense_accumulator(bounds[0], b.cols()));
+    assert!(!spgemm::use_dense_accumulator(bounds[1], b.cols()));
+
+    assert_eq!(engine_entries(&spgemm::spgemm(&a, &b)), oracle(&a, &b));
+}
+
+#[test]
+fn outer_product_of_vectors_is_exact() {
+    // (n×1) · (1×n): every pairing contributes exactly one product — the
+    // symbolic bound is exact and no accumulation happens.
+    let n = 40;
+    let mut col = Coo::new(n, 1);
+    let mut row = Coo::new(1, n);
+    for i in 0..n {
+        if i % 3 != 0 {
+            col.push(i, 0, 1.0 + i as f64);
+        }
+        if i % 4 != 0 {
+            row.push(0, i, 2.0 - i as f64);
+        }
+    }
+    let (col, row) = (Csr::from_coo(&col), Csr::from_coo(&row));
+    let c = spgemm::spgemm(&col, &row);
+    assert_eq!(engine_entries(&c), oracle(&col, &row));
+    // Structure: rows where col is occupied × cols where row is occupied,
+    // minus exact zeros (none here: 2 - i hits zero only at i = 2... which
+    // IS a stored position when 2 % 4 != 0 — value 0.0 is never pushed by
+    // Coo, so the oracle drops it too).
+    for i in 0..n {
+        let expect = if col.row_nnz(i) == 0 {
+            0
+        } else {
+            row.row(0).1.iter().filter(|&&v| v != 0.0).count()
+        };
+        assert_eq!(c.row_nnz(i), expect, "row {i}");
+    }
+}
+
+#[test]
+fn smash_emission_is_equal_to_encoding_the_product() {
+    let a = smash::matrix::generators::power_law(96, 96, 2_500, 1.25, 17);
+    let cfg = SmashConfig::row_major(&[2, 4]).unwrap();
+    let want = SmashMatrix::encode(&spgemm::spgemm(&a, &a), cfg.clone());
+    for (name, exec) in [
+        ("serial", Executor::serial()),
+        ("threads8", Executor::with_threads(8)),
+    ] {
+        assert_eq!(exec.spgemm_smash(&a, &a, cfg.clone()), want, "{name}");
+    }
+}
+
+#[test]
+fn executor_spmm_smash_parallel_mode_runs_and_matches() {
+    // Regression: Parallel/Auto used to silently fall back to the serial
+    // kernel; now they dispatch the row-parallel variant, which must stay
+    // triplet-identical.
+    let a = smash::matrix::generators::uniform(96, 80, 2_500, 3);
+    let b = smash::matrix::generators::clustered(80, 64, 2_000, 4, 4);
+    let sa = SmashMatrix::encode(&a, SmashConfig::row_major(&[2]).unwrap());
+    let sb = SmashMatrix::encode(&b, SmashConfig::col_major(&[2]).unwrap());
+    let want = native::spmm_smash(&sa, &sb);
+    for (name, exec) in [
+        ("parallel", Executor::parallel()),
+        ("threads2", Executor::with_threads(2)),
+        ("threads8", Executor::with_threads(8)),
+        ("auto", Executor::auto()),
+    ] {
+        assert_eq!(
+            exec.spmm_smash(&sa, &sb).entries(),
+            want.entries(),
+            "{name}"
+        );
+    }
+}
