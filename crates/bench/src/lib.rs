@@ -1,1 +1,11 @@
-//! Criterion benchmark harness for the SMASH reproduction (see `benches/`).
+//! Criterion benchmark harness for the SMASH reproduction (see
+//! `benches/`), plus the shared fixtures of the perf-snapshot binaries
+//! under `src/bin/` — most importantly the [`zoo`] the planner is
+//! calibrated and validated on.
+//!
+//! What each snapshot asserts, and how to regenerate it, is documented
+//! in `docs/BENCHMARKS.md` at the repository root.
+
+#![deny(missing_docs)]
+
+pub mod zoo;

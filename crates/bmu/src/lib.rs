@@ -37,7 +37,7 @@
 //! assert_eq!(blocks, sm.num_blocks());
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod area;

@@ -34,7 +34,7 @@
 //! # Ok::<(), smash_core::SmashError>(())
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod bitmap;

@@ -5,7 +5,7 @@
 //! function; the binaries in `src/bin/` are thin wrappers, and
 //! `run_all` regenerates everything for EXPERIMENTS.md.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod config;

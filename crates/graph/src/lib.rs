@@ -15,7 +15,7 @@
 //! assert_eq!(ranks.len(), g.vertices());
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod batched;

@@ -14,9 +14,14 @@
 //! * [`ExecMode::Serial`] — always the single-threaded native kernel.
 //! * [`ExecMode::Parallel`] — always the thread-pool kernel (worker count
 //!   from [`SMASH_THREADS`](smash_parallel::THREADS_ENV) or the available cores).
-//! * [`ExecMode::Auto`] — per-call choice driven by the matrix shape and
-//!   non-zero count: small or skinny operands stay serial (pool dispatch
-//!   costs more than it buys), large ones go wide.
+//! * [`ExecMode::Auto`] — per-call choice delegated to the measured
+//!   cost-model [`Planner`]: the operand is
+//!   profiled ([`MatrixProfile`]) and
+//!   scored against the checked-in calibration table; when no
+//!   calibration row matches, the legacy shape/nnz threshold tier
+//!   ([`AUTO_PARALLEL_NNZ`], [`AUTO_MIN_ROWS_PER_THREAD`]) decides,
+//!   exactly as before the planner existed. `Executor::plan_*` expose
+//!   the decision — with its rationale — without running anything.
 //!
 //! **Determinism guarantee:** because every parallel kernel in
 //! `smash-parallel` is bit-identical to its serial counterpart, the
@@ -42,6 +47,7 @@
 //! ```
 
 use crate::native;
+use crate::planner::{Format, MatrixProfile, Op, Plan, PlanRequest, Planner};
 use smash_core::{Layout, SmashConfig, SmashMatrix};
 use smash_matrix::{Bcsr, Coo, Csc, Csr, Dense, Scalar};
 use smash_parallel::{
@@ -49,12 +55,16 @@ use smash_parallel::{
     par_spmm_dense_smash, par_spmv_bcsr, par_spmv_csr, par_spmv_smash, ThreadPool,
 };
 
-/// Minimum non-zero count before [`ExecMode::Auto`] reaches for the thread
-/// pool: below this, partitioning + wakeup overhead dominates the kernel.
+/// Minimum work items before the **threshold fallback tier** reaches for
+/// the thread pool: below this, partitioning + wakeup overhead dominates
+/// the kernel. Since the planner refactor this constant only decides when
+/// no calibration row matches the operand (see
+/// [`Planner`]).
 pub const AUTO_PARALLEL_NNZ: usize = 16_384;
 
-/// Minimum rows-per-worker before [`ExecMode::Auto`] parallelizes: with
-/// fewer, the contiguous row ranges are too small to amortize dispatch.
+/// Minimum rows-per-worker before the threshold fallback tier
+/// parallelizes: with fewer, the contiguous row ranges are too small to
+/// amortize dispatch.
 pub const AUTO_MIN_ROWS_PER_THREAD: usize = 4;
 
 /// Serial/parallel dispatch policy of an [`Executor`].
@@ -127,6 +137,26 @@ impl<T: Scalar> SpmvOperand<'_, T> {
             SpmvOperand::Smash(a) => a.nza().len(),
         }
     }
+
+    /// The planner [`Format`] of this operand.
+    pub fn format(&self) -> Format {
+        match self {
+            SpmvOperand::Csr(_) => Format::Csr,
+            SpmvOperand::Bcsr(_) => Format::Bcsr,
+            SpmvOperand::Smash(_) => Format::Smash,
+        }
+    }
+
+    /// The structural [`MatrixProfile`] dispatch decisions key on —
+    /// `O(rows)` for CSR/BCSR, `O(lines)` for SMASH (the line directory
+    /// and block fill are already materialized at encode time).
+    pub fn profile(&self) -> MatrixProfile {
+        match self {
+            SpmvOperand::Csr(a) => MatrixProfile::of_csr(a),
+            SpmvOperand::Bcsr(a) => MatrixProfile::of_bcsr(a),
+            SpmvOperand::Smash(a) => MatrixProfile::of_smash(a),
+        }
+    }
 }
 
 /// Format × precision × serial/parallel dispatcher for the native kernels.
@@ -143,6 +173,9 @@ pub struct Executor {
     mode: ExecMode,
     /// Present iff `mode` may parallelize (`Parallel` or `Auto`).
     pool: Option<ThreadPool>,
+    /// Present iff `mode` is `Auto`: the cost model its per-call
+    /// decisions delegate to.
+    planner: Option<Planner>,
 }
 
 impl Executor {
@@ -151,6 +184,7 @@ impl Executor {
         Executor {
             mode: ExecMode::Serial,
             pool: None,
+            planner: None,
         }
     }
 
@@ -169,18 +203,34 @@ impl Executor {
         Executor {
             mode: ExecMode::Parallel,
             pool: Some(ThreadPool::new(threads)),
+            planner: None,
         }
     }
 
-    /// An executor that chooses serial or parallel per call from the
-    /// operand's shape and non-zero count. The pool is sized from
+    /// An executor that chooses serial or parallel per call through the
+    /// built-in calibrated [`Planner`] (threshold fallback when no
+    /// calibration row matches). The pool is sized from
     /// [`SMASH_THREADS`](smash_parallel::THREADS_ENV) (or the available cores), so
     /// `SMASH_THREADS=1` pins `Auto` to serial execution globally.
     pub fn auto() -> Self {
+        Executor::auto_with(Planner::built_in())
+    }
+
+    /// An `Auto` executor driven by a caller-supplied [`Planner`] —
+    /// e.g. [`Planner::empty`] to get the pure threshold dispatch, or a
+    /// planner parsed from a site-specific calibration table.
+    pub fn auto_with(planner: Planner) -> Self {
         Executor {
             mode: ExecMode::Auto,
             pool: Some(ThreadPool::new(default_threads())),
+            planner: Some(planner),
         }
+    }
+
+    /// The planner driving `Auto` decisions (`None` for the fixed
+    /// `Serial`/`Parallel` modes).
+    pub fn planner(&self) -> Option<&Planner> {
+        self.planner.as_ref()
     }
 
     /// The dispatch mode of this executor.
@@ -195,7 +245,10 @@ impl Executor {
     }
 
     /// Whether a call over `rows` output rows and `work` stored values
-    /// runs on the pool under the current mode.
+    /// runs on the pool under the current mode, judged by the legacy
+    /// **threshold tier** alone. This is the planner's fallback rule;
+    /// ops the planner doesn't model (block-granular SMASH×SMASH SpMM)
+    /// still use it directly.
     fn parallelize(&self, rows: usize, work: usize) -> bool {
         match self.mode {
             ExecMode::Serial => false,
@@ -207,6 +260,85 @@ impl Executor {
                     && rows >= AUTO_MIN_ROWS_PER_THREAD * threads
             }
         }
+    }
+
+    /// Whether an `Auto` call dispatches wide, as judged by the planner
+    /// over the operand's profile. `Serial`/`Parallel` modes keep their
+    /// unconditional answer.
+    fn planned_wide(
+        &self,
+        op: Op,
+        format: Format,
+        profile: impl FnOnce() -> MatrixProfile,
+        rhs_cols: usize,
+        work: Option<u64>,
+    ) -> bool {
+        match self.mode {
+            ExecMode::Serial => false,
+            ExecMode::Parallel => self.pool.is_some(),
+            ExecMode::Auto => self
+                .make_plan(op, format, &profile(), rhs_cols, work)
+                .choice
+                .parallel(),
+        }
+    }
+
+    /// Builds the plan an `Auto` dispatch would act on (the fixed modes
+    /// consult the built-in planner, so explainability never requires an
+    /// `Auto` executor).
+    fn make_plan(
+        &self,
+        op: Op,
+        format: Format,
+        profile: &MatrixProfile,
+        rhs_cols: usize,
+        work: Option<u64>,
+    ) -> Plan {
+        let mut req = PlanRequest::pinned(op, format, self.threads()).with_rhs(rhs_cols);
+        if let Some(w) = work {
+            req = req.with_work(w);
+        }
+        match &self.planner {
+            Some(p) => p.plan(profile, &req),
+            None => Planner::built_in().plan(profile, &req),
+        }
+    }
+
+    /// The [`Plan`] — choice, predicted cost, rationale — that
+    /// [`Executor::spmv`] would act on for this operand, without running
+    /// anything.
+    pub fn plan_spmv<'a, T: Scalar>(&self, a: impl Into<SpmvOperand<'a, T>>) -> Plan {
+        let a = a.into();
+        self.make_plan(Op::Spmv, a.format(), &a.profile(), 1, None)
+    }
+
+    /// The [`Plan`] that [`Executor::spmm_dense`] would act on for this
+    /// operand and a `rhs_cols`-wide batch.
+    pub fn plan_spmm_dense<'a, T: Scalar>(
+        &self,
+        a: impl Into<SpmvOperand<'a, T>>,
+        rhs_cols: usize,
+    ) -> Plan {
+        let a = a.into();
+        self.make_plan(Op::SpmmDense, a.format(), &a.profile(), rhs_cols, None)
+    }
+
+    /// The [`Plan`] that [`Executor::spgemm`] would act on, including
+    /// the symbolic flop count it weighs.
+    pub fn plan_spgemm<T: Scalar>(&self, a: &Csr<T>, b: &Csr<T>) -> Plan {
+        let work = crate::spgemm::stored_work(a, b);
+        self.make_plan(
+            Op::Spgemm,
+            Format::Csr,
+            &MatrixProfile::of_csr(a),
+            1,
+            Some(work),
+        )
+    }
+
+    /// The [`Plan`] that [`Executor::encode`] would act on.
+    pub fn plan_encode<T: Scalar>(&self, a: &Csr<T>) -> Plan {
+        self.make_plan(Op::Encode, Format::Csr, &MatrixProfile::of_csr(a), 1, None)
     }
 
     /// Sparse matrix-vector product `y = A * x` over any supported format
@@ -239,7 +371,7 @@ impl Executor {
     /// ```
     pub fn spmv<'a, T: Scalar>(&self, a: impl Into<SpmvOperand<'a, T>>, x: &[T], y: &mut [T]) {
         let a = a.into();
-        let wide = self.parallelize(a.rows(), a.work());
+        let wide = self.planned_wide(Op::Spmv, a.format(), || a.profile(), 1, None);
         match (a, wide) {
             (SpmvOperand::Csr(a), false) => native::spmv_csr(a, x, y),
             (SpmvOperand::Csr(a), true) => par_spmv_csr(self.pool(), a, x, y),
@@ -294,8 +426,7 @@ impl Executor {
         c: &mut Dense<T>,
     ) {
         let a = a.into();
-        let work = a.work().saturating_mul(b.cols().max(1));
-        let wide = self.parallelize(a.rows(), work);
+        let wide = self.planned_wide(Op::SpmmDense, a.format(), || a.profile(), b.cols(), None);
         match (a, wide) {
             (SpmvOperand::Csr(a), false) => native::spmm_dense_csr(a, b, c),
             (SpmvOperand::Csr(a), true) => par_spmm_dense_csr(self.pool(), a, b, c),
@@ -334,7 +465,13 @@ impl Executor {
     /// ```
     pub fn spgemm<T: Scalar>(&self, a: &Csr<T>, b: &Csr<T>) -> Csr<T> {
         let work = crate::spgemm::stored_work(a, b);
-        if self.parallelize(a.rows(), usize::try_from(work).unwrap_or(usize::MAX)) {
+        if self.planned_wide(
+            Op::Spgemm,
+            Format::Csr,
+            || MatrixProfile::of_csr(a),
+            1,
+            Some(work),
+        ) {
             crate::spgemm::par_spgemm(self.pool(), a, b)
         } else {
             crate::spgemm::spgemm(a, b)
@@ -357,7 +494,13 @@ impl Executor {
         config: SmashConfig,
     ) -> SmashMatrix<T> {
         let work = crate::spgemm::stored_work(a, b);
-        if self.parallelize(a.rows(), usize::try_from(work).unwrap_or(usize::MAX)) {
+        if self.planned_wide(
+            Op::Spgemm,
+            Format::Csr,
+            || MatrixProfile::of_csr(a),
+            1,
+            Some(work),
+        ) {
             crate::spgemm::par_spgemm_smash(self.pool(), a, b, config)
         } else {
             crate::spgemm::spgemm_smash(a, b, config)
@@ -404,7 +547,13 @@ impl Executor {
     /// the executor's mode and the matrix size call for it. The produced
     /// matrix is `==` to `SmashMatrix::encode(a, config)` either way.
     pub fn encode<T: Scalar>(&self, a: &Csr<T>, config: SmashConfig) -> SmashMatrix<T> {
-        if self.parallelize(a.rows(), a.nnz()) {
+        if self.planned_wide(
+            Op::Encode,
+            Format::Csr,
+            || MatrixProfile::of_csr(a),
+            1,
+            None,
+        ) {
             par_csr_to_smash(self.pool(), a, config)
         } else {
             SmashMatrix::encode(a, config)

@@ -27,8 +27,15 @@
 //! The [`executor`] module is the native-side counterpart: one
 //! [`Executor`] entry point over *format × precision × serial/parallel*,
 //! so callers stop hand-picking among the per-format kernel functions.
-//! All kernels are generic over [`smash_matrix::Scalar`] (`f64` and `f32`
-//! out of the box).
+//! Its `Auto` mode delegates to the [`planner`] module — a measured
+//! cost model scoring *(format × kernel × threads × tile)* candidates
+//! against a checked-in calibration table, with the old shape/nnz
+//! thresholds as its fallback tier. All kernels are generic over
+//! [`smash_matrix::Scalar`] (`f64` and `f32` out of the box).
+//!
+//! A map of how these modules fit the wider workspace lives in
+//! `docs/ARCHITECTURE.md` at the repository root; the planner's design
+//! and calibration workflow in `docs/DISPATCH.md`.
 //!
 //! # Example
 //!
@@ -46,7 +53,7 @@
 //! # Ok::<(), smash_core::SmashError>(())
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod common;
@@ -55,6 +62,7 @@ pub mod executor;
 pub mod harness;
 pub mod native;
 pub mod parallel;
+pub mod planner;
 pub mod spadd;
 pub mod spgemm;
 pub mod spmdm;
@@ -63,3 +71,4 @@ pub mod spmv;
 
 pub use common::{test_vector, Mechanism, VEC_WIDTH};
 pub use executor::{ExecMode, Executor, SpmvOperand};
+pub use planner::{MatrixProfile, Op, Plan, PlanRequest, Planner};

@@ -1,0 +1,1024 @@
+//! The measured cost-model **planner**: format × kernel × threads × tile
+//! dispatch driven by calibration data instead of hand-tuned thresholds.
+//!
+//! [`Executor`](crate::Executor)'s `Auto` mode used to choose serial vs.
+//! parallel from two ad-hoc constants. This module replaces that guess
+//! with a measurement: a [`Planner`] scores every candidate
+//! *(format, kernel, thread count, RHS tile width)* for an operation
+//! against a **checked-in calibration table** — wall-clock numbers taken
+//! by the offline calibrator (`cargo run -p smash-bench --bin
+//! planner_calibrate`) on a zoo of structurally diverse matrices — and
+//! returns an explainable [`Plan`].
+//!
+//! The pieces:
+//!
+//! * [`MatrixProfile`] — the structural features a decision keys on:
+//!   shape, non-zero count, row-length mean/variance/max, block fill
+//!   (the paper's §7.2.3 *locality of sparsity*, via
+//!   `smash_matrix::locality`), and a [`DensityClass`].
+//! * The calibration table (`planner_calibration.tsv`, compiled in via
+//!   `include_str!`) — per zoo matrix, the measured nanoseconds of every
+//!   candidate, normalized to ns-per-unit-of-work.
+//! * [`Planner::plan`] — nearest-neighbor match of the profile against
+//!   the zoo (L2 distance over log-scaled features), then pick the
+//!   candidate with the lowest predicted cost
+//!   (`ns_per_work × work`). When the table is empty or nothing in the
+//!   zoo resembles the profile, the planner falls back to the legacy
+//!   threshold tier ([`AUTO_PARALLEL_NNZ`] /
+//!   [`AUTO_MIN_ROWS_PER_THREAD`]),
+//!   reproducing the pre-planner behavior exactly.
+//! * [`Plan`] — the chosen [`Choice`] plus its predicted cost and a
+//!   human-readable `rationale` naming the matched zoo matrix, the
+//!   scores, and the runner-up.
+//!
+//! **Determinism guarantee:** the planner only ever picks *which*
+//! bit-identical kernel runs — every candidate it can name produces the
+//! same bits as the serial kernel of the same format, so a plan never
+//! trades accuracy for speed. This is pinned by `tests/planner.rs`.
+//!
+//! Adding a kernel candidate is additive: give it a row in the
+//! calibrator's candidate list and regenerate the table — no new `if`
+//! in the executor. See `docs/DISPATCH.md` in the repository for the
+//! walkthrough.
+//!
+//! # Example
+//!
+//! ```
+//! use smash_kernels::planner::{MatrixProfile, Op, PlanRequest, Planner};
+//! use smash_matrix::generators;
+//!
+//! let a = generators::power_law(2048, 2048, 120_000, 1.3, 7);
+//! let profile = MatrixProfile::of_csr(&a).with_block_fill(&a);
+//! let plan = Planner::built_in().plan(&profile, &PlanRequest::free(Op::Spmv, 4));
+//! // The plan names a concrete (format, threads, tile) choice and can
+//! // explain itself:
+//! assert!(plan.choice.threads >= 1);
+//! println!("{}", plan.rationale);
+//! ```
+
+use crate::executor::{AUTO_MIN_ROWS_PER_THREAD, AUTO_PARALLEL_NNZ};
+use smash_matrix::{locality, Bcsr, Csr, Scalar};
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Block width used for the profile's block-fill feature (locality of
+/// sparsity at 8-wide blocks — the widest RHS tile and a typical SMASH
+/// Bitmap-0 ratio).
+pub const PROFILE_BLOCK: usize = 8;
+
+/// Feature-space distance above which a calibration match is rejected
+/// and the planner falls back to the threshold tier: beyond this the
+/// nearest zoo matrix says nothing about the workload.
+pub const MAX_MATCH_DISTANCE: f64 = 1.25;
+
+/// The operations the planner can dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Sparse matrix × dense vector (`Executor::spmv`).
+    Spmv,
+    /// Sparse matrix × dense multi-column batch (`Executor::spmm_dense`).
+    SpmmDense,
+    /// Sparse × sparse Gustavson multiply (`Executor::spgemm`).
+    Spgemm,
+    /// CSR → SMASH compression (`Executor::encode`).
+    Encode,
+}
+
+impl Op {
+    /// Stable lowercase name used in the calibration table.
+    pub fn name(self) -> &'static str {
+        match self {
+            Op::Spmv => "spmv",
+            Op::SpmmDense => "spmm_dense",
+            Op::Spgemm => "spgemm",
+            Op::Encode => "encode",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "spmv" => Op::Spmv,
+            "spmm_dense" => Op::SpmmDense,
+            "spgemm" => Op::Spgemm,
+            "encode" => Op::Encode,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The storage formats a plan can name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Format {
+    /// Plain compressed sparse row.
+    Csr,
+    /// Blocked CSR (2×2 blocks in the calibrated candidates).
+    Bcsr,
+    /// SMASH hierarchical-bitmap compression.
+    Smash,
+}
+
+impl Format {
+    /// Stable lowercase name used in the calibration table.
+    pub fn name(self) -> &'static str {
+        match self {
+            Format::Csr => "csr",
+            Format::Bcsr => "bcsr",
+            Format::Smash => "smash",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "csr" => Format::Csr,
+            "bcsr" => Format::Bcsr,
+            "smash" => Format::Smash,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Format {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Coarse density band of a matrix, for human-readable rationales.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DensityClass {
+    /// Fewer than 1 non-zero per 10 000 cells.
+    Hypersparse,
+    /// Up to 1% of cells occupied — the usual sparse-kernel regime.
+    Sparse,
+    /// 1–10% occupied: blocked formats start paying off.
+    Moderate,
+    /// More than 10% occupied: dense-adjacent.
+    Dense,
+}
+
+impl fmt::Display for DensityClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DensityClass::Hypersparse => "hypersparse",
+            DensityClass::Sparse => "sparse",
+            DensityClass::Moderate => "moderate",
+            DensityClass::Dense => "dense",
+        })
+    }
+}
+
+/// The structural features of one operand that dispatch decisions key
+/// on. Cheap to compute — `O(rows)` from the row pointers, except
+/// [`MatrixProfile::with_block_fill`], which adds an `O(nnz)` pass and
+/// is only needed for cross-format planning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixProfile {
+    /// Logical rows.
+    pub rows: usize,
+    /// Logical columns.
+    pub cols: usize,
+    /// True (logical) non-zero count.
+    pub nnz: usize,
+    /// Stored values of the operand's own format (CSR: `nnz`; BCSR /
+    /// SMASH: block-padded). This is what the legacy threshold tier
+    /// weighed, so the fallback stays bit-compatible with it.
+    pub stored_work: usize,
+    /// Mean stored values per row.
+    pub row_mean: f64,
+    /// Coefficient of variation (σ/μ) of stored values per row — the
+    /// skew signal that separates power-law from banded structure.
+    pub row_cv: f64,
+    /// Maximum stored values in any row.
+    pub row_max: usize,
+    /// Locality of sparsity at [`PROFILE_BLOCK`]-wide blocks, in
+    /// `(0, 1]`; `None` when the `O(nnz)` pass was skipped.
+    pub block_fill: Option<f64>,
+}
+
+impl MatrixProfile {
+    /// Profiles a CSR operand in one `O(rows)` pass over its row
+    /// pointers (no block-fill; chain [`Self::with_block_fill`] when
+    /// cross-format advice is wanted).
+    pub fn of_csr<T: Scalar>(a: &Csr<T>) -> Self {
+        let per_row = (0..a.rows()).map(|i| a.row_nnz(i));
+        Self::from_row_lengths(a.rows(), a.cols(), a.nnz(), a.nnz(), per_row)
+    }
+
+    /// Profiles a BCSR operand: row statistics are taken over block
+    /// rows (stored values per block row), which is the granularity its
+    /// kernels and partitioner actually schedule.
+    pub fn of_bcsr<T: Scalar>(a: &Bcsr<T>) -> Self {
+        let (br, bc) = a.block_shape();
+        let ptr = a.block_row_ptr();
+        let per_block_row = ptr
+            .windows(2)
+            .map(move |w| (w[1] - w[0]) as usize * br * bc);
+        Self::from_row_lengths(
+            a.num_block_rows().max(1),
+            a.cols(),
+            a.nnz_logical(),
+            a.nnz_stored(),
+            per_block_row,
+        )
+        .with_shape(a.rows(), a.cols())
+    }
+
+    /// Profiles a SMASH operand: row statistics come from the line
+    /// directory (stored NZA values per line) in `O(lines)`, block fill
+    /// from the encoding itself — both already materialized at encode
+    /// time, so this never expands a bitmap.
+    pub fn of_smash<T: Scalar>(a: &smash_core::SmashMatrix<T>) -> Self {
+        let block = a.config().block_size();
+        let starts = a.line_block_starts();
+        let per_line = starts
+            .windows(2)
+            .map(move |w| (w[1] - w[0]) as usize * block);
+        let mut p = Self::from_row_lengths(
+            a.line_count().max(1),
+            a.cols(),
+            a.nnz(),
+            a.nza().len(),
+            per_line,
+        )
+        .with_shape(a.rows(), a.cols());
+        p.block_fill = Some(a.locality_of_sparsity());
+        p
+    }
+
+    /// Adds the `O(nnz)` block-fill feature (locality of sparsity at
+    /// [`PROFILE_BLOCK`]) measured on the CSR form.
+    pub fn with_block_fill<T: Scalar>(mut self, a: &Csr<T>) -> Self {
+        self.block_fill = Some(locality::locality_of_sparsity(a, PROFILE_BLOCK));
+        self
+    }
+
+    /// Builds a profile directly from per-row stored-value counts.
+    /// `rows` is the number of scheduling rows the iterator walks;
+    /// logical shape can be overridden afterwards via the struct fields
+    /// (the blocked constructors do).
+    pub fn from_row_lengths(
+        rows: usize,
+        cols: usize,
+        nnz: usize,
+        stored_work: usize,
+        per_row: impl Iterator<Item = usize>,
+    ) -> Self {
+        let mut n = 0usize;
+        let mut sum = 0.0f64;
+        let mut sum_sq = 0.0f64;
+        let mut max = 0usize;
+        for len in per_row {
+            n += 1;
+            sum += len as f64;
+            sum_sq += (len as f64) * (len as f64);
+            max = max.max(len);
+        }
+        let mean = if n == 0 { 0.0 } else { sum / n as f64 };
+        let var = if n == 0 {
+            0.0
+        } else {
+            (sum_sq / n as f64 - mean * mean).max(0.0)
+        };
+        let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+        MatrixProfile {
+            rows: rows.max(n),
+            cols,
+            nnz,
+            stored_work,
+            row_mean: mean,
+            row_cv: cv,
+            row_max: max,
+            block_fill: None,
+        }
+    }
+
+    fn with_shape(mut self, rows: usize, cols: usize) -> Self {
+        self.rows = rows;
+        self.cols = cols;
+        self
+    }
+
+    /// Fraction of cells occupied (`nnz / (rows·cols)`), 0 for a
+    /// degenerate shape.
+    pub fn density(&self) -> f64 {
+        let cells = self.rows as f64 * self.cols as f64;
+        if cells > 0.0 {
+            self.nnz as f64 / cells
+        } else {
+            0.0
+        }
+    }
+
+    /// The coarse [`DensityClass`] of this profile.
+    pub fn density_class(&self) -> DensityClass {
+        let d = self.density();
+        if d < 1e-4 {
+            DensityClass::Hypersparse
+        } else if d < 1e-2 {
+            DensityClass::Sparse
+        } else if d < 1e-1 {
+            DensityClass::Moderate
+        } else {
+            DensityClass::Dense
+        }
+    }
+
+    /// The log-scaled feature vector nearest-neighbor matching runs on.
+    /// Missing features (block fill) are `None` and skipped pairwise.
+    fn features(&self) -> [Option<f64>; 7] {
+        [
+            Some(((self.nnz + 1) as f64).log10()),
+            Some(((self.rows + 1) as f64).log10()),
+            Some(((self.cols + 1) as f64).log10()),
+            Some((self.density() + 1e-9).log10()),
+            Some(self.row_cv),
+            Some((self.row_max as f64 + 1.0).log10() - (self.row_mean + 1.0).log10()),
+            self.block_fill,
+        ]
+    }
+
+    /// L2 feature distance to `other`, averaged over the features both
+    /// profiles carry.
+    pub fn distance(&self, other: &MatrixProfile) -> f64 {
+        let (a, b) = (self.features(), other.features());
+        let mut acc = 0.0;
+        let mut n = 0usize;
+        for (x, y) in a.iter().zip(&b) {
+            if let (Some(x), Some(y)) = (x, y) {
+                acc += (x - y) * (x - y);
+                n += 1;
+            }
+        }
+        if n == 0 {
+            f64::INFINITY
+        } else {
+            (acc / n as f64).sqrt()
+        }
+    }
+
+    /// One-line summary used in rationales:
+    /// `4096x4096 nnz 400000 (sparse, rows μ 97.7 cv 0.42 max 412, fill@8 0.31)`.
+    pub fn summary(&self) -> String {
+        let fill = match self.block_fill {
+            Some(f) => format!(", fill@{PROFILE_BLOCK} {f:.2}"),
+            None => String::new(),
+        };
+        format!(
+            "{}x{} nnz {} ({}, rows \u{3bc} {:.1} cv {:.2} max {}{})",
+            self.rows,
+            self.cols,
+            self.nnz,
+            self.density_class(),
+            self.row_mean,
+            self.row_cv,
+            self.row_max,
+            fill
+        )
+    }
+}
+
+/// What the caller wants planned: the operation, any pinned format, how
+/// many right-hand sides, the worker budget, and (for SpGEMM) the
+/// symbolic work estimate.
+#[derive(Debug, Clone)]
+pub struct PlanRequest {
+    /// Operation being dispatched.
+    pub op: Op,
+    /// `Some(f)` pins the format (dispatch for an operand the caller
+    /// already holds); `None` lets the planner choose the format too.
+    pub format: Option<Format>,
+    /// Right-hand-side columns (1 for SpMV; the batch width for
+    /// [`Op::SpmmDense`]).
+    pub rhs_cols: usize,
+    /// Worker threads available to a parallel choice (the executor's
+    /// pool size). `1` forces a serial plan.
+    pub threads: usize,
+    /// Op-specific work override: for [`Op::Spgemm`] the symbolic flop
+    /// count `Σ_{(i,k)∈A} nnz(B[k,:])`, which can dwarf either
+    /// operand's nnz.
+    pub work: Option<u64>,
+}
+
+impl PlanRequest {
+    /// A free-format request: the planner may recommend CSR, BCSR or
+    /// SMASH.
+    pub fn free(op: Op, threads: usize) -> Self {
+        PlanRequest {
+            op,
+            format: None,
+            rhs_cols: 1,
+            threads,
+            work: None,
+        }
+    }
+
+    /// A request pinned to the format of an operand the caller already
+    /// holds — the planner only chooses kernel, threads and tile.
+    pub fn pinned(op: Op, format: Format, threads: usize) -> Self {
+        PlanRequest {
+            op,
+            format: Some(format),
+            rhs_cols: 1,
+            threads,
+            work: None,
+        }
+    }
+
+    /// Sets the right-hand-side batch width.
+    pub fn with_rhs(mut self, rhs_cols: usize) -> Self {
+        self.rhs_cols = rhs_cols.max(1);
+        self
+    }
+
+    /// Sets the op-specific work override (SpGEMM symbolic flops).
+    pub fn with_work(mut self, work: u64) -> Self {
+        self.work = Some(work);
+        self
+    }
+
+    /// The work measure predictions scale with: logical nnz for
+    /// SpMV/encode, nnz × RHS width for batched SpMM, the symbolic flop
+    /// count for SpGEMM.
+    fn predict_work(&self, profile: &MatrixProfile) -> f64 {
+        match self.op {
+            Op::Spmv | Op::Encode => profile.nnz as f64,
+            Op::SpmmDense => profile.nnz as f64 * self.rhs_cols.max(1) as f64,
+            Op::Spgemm => self.work.unwrap_or(profile.nnz as u64) as f64,
+        }
+    }
+
+    /// The work measure the **legacy threshold tier** weighed (stored
+    /// values, scaled by RHS width / symbolic flops) — kept exactly so
+    /// an empty calibration table reproduces the pre-planner dispatch.
+    fn fallback_work(&self, profile: &MatrixProfile) -> usize {
+        match self.op {
+            Op::Spmv => profile.stored_work,
+            Op::SpmmDense => profile.stored_work.saturating_mul(self.rhs_cols.max(1)),
+            Op::Spgemm => {
+                usize::try_from(self.work.unwrap_or(profile.nnz as u64)).unwrap_or(usize::MAX)
+            }
+            Op::Encode => profile.nnz,
+        }
+    }
+}
+
+/// One concrete dispatch choice: which format, how many threads
+/// (1 = the serial kernel), and the RHS tile width the column-tiled
+/// kernels will lead with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Choice {
+    /// Storage format of the kernel to run.
+    pub format: Format,
+    /// Worker threads; `1` names the serial kernel.
+    pub threads: usize,
+    /// Leading RHS column-tile width (8/4/1 — the head of the
+    /// single-definition tile schedule for the requested batch width).
+    pub tile: usize,
+}
+
+impl Choice {
+    /// Whether this choice names a thread-pool kernel.
+    pub fn parallel(&self) -> bool {
+        self.threads > 1
+    }
+}
+
+impl fmt::Display for Choice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.threads > 1 {
+            write!(f, "{} parallel x{}", self.format, self.threads)?;
+        } else {
+            write!(f, "{} serial", self.format)?;
+        }
+        if self.tile > 1 {
+            write!(f, " tile {}", self.tile)?;
+        }
+        Ok(())
+    }
+}
+
+/// The planner's answer: the winning [`Choice`], its predicted cost,
+/// scored alternatives, and a human-readable rationale.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// The winning candidate.
+    pub choice: Choice,
+    /// Predicted nanoseconds of the winner (`f64::NAN` when the
+    /// threshold tier decided — it predicts nothing, it compares
+    /// against a constant).
+    pub score: f64,
+    /// Every scored candidate, best first (empty in the fallback tier).
+    pub alternatives: Vec<(Choice, f64)>,
+    /// `true` when a calibration row decided; `false` when the legacy
+    /// threshold tier did.
+    pub calibrated: bool,
+    /// Multi-line explanation: the profile, the matched zoo matrix (or
+    /// why the fallback fired), and the winner vs. runner-up scores.
+    pub rationale: String,
+}
+
+/// One parsed calibration measurement: candidate × zoo matrix →
+/// ns-per-unit-of-work.
+#[derive(Debug, Clone)]
+struct CalRow {
+    matrix: usize,
+    op: Op,
+    format: Format,
+    threads: usize,
+    #[allow(dead_code)]
+    tile: usize,
+    ns_per_work: f64,
+}
+
+/// The measured cost model: zoo profiles + per-candidate measurements,
+/// parsed from the checked-in `planner_calibration.tsv`.
+///
+/// See the [module docs](self) for the scoring rules and
+/// `docs/DISPATCH.md` in the repository for the table format.
+#[derive(Debug, Clone, Default)]
+pub struct Planner {
+    matrices: Vec<(String, MatrixProfile)>,
+    rows: Vec<CalRow>,
+}
+
+impl Planner {
+    /// A planner with no calibration data: every [`Planner::plan`] call
+    /// lands in the legacy threshold tier, reproducing the pre-planner
+    /// `Auto` dispatch exactly (pinned by `tests/planner.rs`).
+    pub fn empty() -> Self {
+        Planner::default()
+    }
+
+    /// The planner over the checked-in calibration table
+    /// (`planner_calibration.tsv`, regenerated by
+    /// `cargo run --release -p smash-bench --bin planner_calibrate`).
+    pub fn built_in() -> Self {
+        static TABLE: OnceLock<Planner> = OnceLock::new();
+        TABLE
+            .get_or_init(|| {
+                Planner::from_table(include_str!("planner_calibration.tsv"))
+                    .expect("checked-in calibration table must parse")
+            })
+            .clone()
+    }
+
+    /// Parses a calibration table. The format is line-oriented
+    /// (`#` comments, `matrix …` profile lines, `row …` measurement
+    /// lines with `key=value` fields); see `docs/DISPATCH.md`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed line.
+    pub fn from_table(text: &str) -> Result<Self, String> {
+        let mut planner = Planner::default();
+        for (ln, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |what: &str| format!("calibration line {}: {what}: {line}", ln + 1);
+            let mut parts = line.split_whitespace();
+            let kind = parts.next().unwrap_or_default();
+            let name = parts.next().ok_or_else(|| err("missing name"))?.to_string();
+            let kv = |key: &str, parts: &mut dyn Iterator<Item = &str>| -> Result<f64, String> {
+                let field = parts.next().ok_or_else(|| err("truncated"))?;
+                let (k, v) = field.split_once('=').ok_or_else(|| err("want key=value"))?;
+                if k != key {
+                    return Err(err(&format!("want {key}=, got {k}=")));
+                }
+                v.parse::<f64>().map_err(|_| err("bad number"))
+            };
+            match kind {
+                "matrix" => {
+                    let rows = kv("rows", &mut parts)? as usize;
+                    let cols = kv("cols", &mut parts)? as usize;
+                    let nnz = kv("nnz", &mut parts)? as usize;
+                    let row_mean = kv("row_mean", &mut parts)?;
+                    let row_cv = kv("row_cv", &mut parts)?;
+                    let row_max = kv("row_max", &mut parts)? as usize;
+                    let fill = kv("fill8", &mut parts)?;
+                    planner.matrices.push((
+                        name,
+                        MatrixProfile {
+                            rows,
+                            cols,
+                            nnz,
+                            stored_work: nnz,
+                            row_mean,
+                            row_cv,
+                            row_max,
+                            block_fill: Some(fill),
+                        },
+                    ));
+                }
+                "row" => {
+                    let matrix = planner
+                        .matrices
+                        .iter()
+                        .position(|(n, _)| *n == name)
+                        .ok_or_else(|| err("row references unknown matrix"))?;
+                    let op_field = parts.next().ok_or_else(|| err("truncated"))?;
+                    let op = op_field
+                        .strip_prefix("op=")
+                        .and_then(Op::parse)
+                        .ok_or_else(|| err("bad op"))?;
+                    let fmt_field = parts.next().ok_or_else(|| err("truncated"))?;
+                    let format = fmt_field
+                        .strip_prefix("format=")
+                        .and_then(Format::parse)
+                        .ok_or_else(|| err("bad format"))?;
+                    let threads = kv("threads", &mut parts)? as usize;
+                    let tile = kv("tile", &mut parts)? as usize;
+                    let work = kv("work", &mut parts)?;
+                    let ns = kv("ns", &mut parts)?;
+                    if work <= 0.0 || ns <= 0.0 || threads == 0 {
+                        return Err(err("non-positive measurement"));
+                    }
+                    planner.rows.push(CalRow {
+                        matrix,
+                        op,
+                        format,
+                        threads,
+                        tile,
+                        ns_per_work: ns / work,
+                    });
+                }
+                _ => return Err(err("unknown record kind")),
+            }
+        }
+        Ok(planner)
+    }
+
+    /// Whether any calibration rows are loaded.
+    pub fn is_calibrated(&self) -> bool {
+        !self.rows.is_empty()
+    }
+
+    /// Names of the zoo matrices this planner was calibrated on.
+    pub fn zoo_names(&self) -> impl Iterator<Item = &str> {
+        self.matrices.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// The calibrated profile checked in for `zoo` matrix, if present.
+    pub fn zoo_profile(&self, name: &str) -> Option<&MatrixProfile> {
+        self.matrices
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, p)| p)
+    }
+
+    /// Scores every candidate for `req` against `profile` and returns
+    /// the winning [`Plan`].
+    ///
+    /// Calibrated tier: nearest zoo matrix by [`MatrixProfile::distance`],
+    /// then `predicted_ns = ns_per_work × work` per candidate, lowest
+    /// wins. Candidates needing more threads than `req.threads` are
+    /// ineligible. Fallback tier (empty table / no match within
+    /// [`MAX_MATCH_DISTANCE`] / no candidate rows for the op): the
+    /// legacy `AUTO_PARALLEL_NNZ` + rows-per-worker thresholds.
+    pub fn plan(&self, profile: &MatrixProfile, req: &PlanRequest) -> Plan {
+        let lead_tile = lead_tile(req);
+        // Nearest calibrated neighbor.
+        let neighbor = self
+            .matrices
+            .iter()
+            .enumerate()
+            .map(|(i, (name, p))| (i, name.as_str(), profile.distance(p)))
+            .min_by(|a, b| a.2.total_cmp(&b.2));
+        let matched = neighbor.filter(|&(_, _, d)| d <= MAX_MATCH_DISTANCE);
+
+        if let Some((mi, mname, dist)) = matched {
+            let work = req.predict_work(profile);
+            let mut scored: Vec<(Choice, f64)> = self
+                .rows
+                .iter()
+                .filter(|r| {
+                    r.matrix == mi
+                        && r.op == req.op
+                        && (r.threads == 1 || (req.threads > 1 && r.threads <= req.threads))
+                        && req.format.is_none_or(|f| f == r.format)
+                })
+                .map(|r| {
+                    (
+                        Choice {
+                            format: r.format,
+                            threads: r.threads,
+                            tile: lead_tile,
+                        },
+                        r.ns_per_work * work,
+                    )
+                })
+                .collect();
+            scored.sort_by(|a, b| a.1.total_cmp(&b.1));
+            if let Some(&(choice, score)) = scored.first() {
+                let runner_up = scored.get(1).map(|&(c, s)| {
+                    format!(
+                        "\n  runner-up {c}: predicted {} ({:.2}x slower)",
+                        fmt_ns(s),
+                        s / score.max(1e-9)
+                    )
+                });
+                let rationale = format!(
+                    "{} over {}:\n  calibrated against '{mname}' (feature distance {dist:.2})\n  \
+                     -> {choice}: predicted {}{}",
+                    req.op,
+                    profile.summary(),
+                    fmt_ns(score),
+                    runner_up.unwrap_or_default()
+                );
+                return Plan {
+                    choice,
+                    score,
+                    alternatives: scored,
+                    calibrated: true,
+                    rationale,
+                };
+            }
+        }
+
+        self.fallback(profile, req, lead_tile, matched)
+    }
+
+    /// The legacy threshold tier: exactly the pre-planner `Auto` rule.
+    fn fallback(
+        &self,
+        profile: &MatrixProfile,
+        req: &PlanRequest,
+        lead_tile: usize,
+        matched: Option<(usize, &str, f64)>,
+    ) -> Plan {
+        let work = req.fallback_work(profile);
+        let threads = req.threads;
+        let wide = threads > 1
+            && work >= AUTO_PARALLEL_NNZ
+            && profile.rows >= AUTO_MIN_ROWS_PER_THREAD * threads;
+        let format = req.format.unwrap_or(Format::Csr);
+        let choice = Choice {
+            format,
+            threads: if wide { threads } else { 1 },
+            tile: lead_tile,
+        };
+        let why = if !self.is_calibrated() {
+            "calibration table is empty".to_string()
+        } else if matched.is_none() {
+            let nearest = self
+                .matrices
+                .iter()
+                .map(|(n, p)| (n.as_str(), profile.distance(p)))
+                .min_by(|a, b| a.1.total_cmp(&b.1));
+            match nearest {
+                Some((n, d)) => {
+                    format!(
+                        "no zoo match (nearest '{n}' at distance {d:.2} > {MAX_MATCH_DISTANCE})"
+                    )
+                }
+                None => "calibration table has no matrices".to_string(),
+            }
+        } else {
+            format!("no calibration rows for op {}", req.op)
+        };
+        let rule = if wide {
+            format!(
+                "work {work} >= {AUTO_PARALLEL_NNZ} and rows {} >= {} -> parallel x{threads}",
+                profile.rows,
+                AUTO_MIN_ROWS_PER_THREAD * threads
+            )
+        } else if threads <= 1 {
+            "single worker -> serial".to_string()
+        } else if work < AUTO_PARALLEL_NNZ {
+            format!("work {work} < {AUTO_PARALLEL_NNZ} -> serial")
+        } else {
+            format!(
+                "rows {} < {} ({} per worker x {threads}) -> serial",
+                profile.rows,
+                AUTO_MIN_ROWS_PER_THREAD * threads,
+                AUTO_MIN_ROWS_PER_THREAD
+            )
+        };
+        Plan {
+            choice,
+            score: f64::NAN,
+            alternatives: Vec::new(),
+            calibrated: false,
+            rationale: format!(
+                "{} over {}:\n  threshold tier ({why})\n  -> {rule}",
+                req.op,
+                profile.summary()
+            ),
+        }
+    }
+}
+
+/// The leading tile width the single-definition RHS tile schedule
+/// (`smash_matrix::for_each_rhs_tile`) will use for this request's
+/// batch width: 8, then 4, then scalar columns.
+fn lead_tile(req: &PlanRequest) -> usize {
+    match req.op {
+        Op::SpmmDense => {
+            let n = req.rhs_cols.max(1);
+            if n >= 8 {
+                8
+            } else if n >= 4 {
+                4
+            } else {
+                1
+            }
+        }
+        _ => 1,
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.1} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smash_core::{SmashConfig, SmashMatrix};
+    use smash_matrix::generators;
+
+    const TABLE: &str = "\
+# test table
+matrix small rows=64 cols=64 nnz=512 row_mean=8.0 row_cv=0.2 row_max=12 fill8=0.4
+matrix big rows=4096 cols=4096 nnz=400000 row_mean=97.6 row_cv=0.5 row_max=300 fill8=0.6
+row small op=spmv format=csr threads=1 tile=1 work=512 ns=600
+row small op=spmv format=csr threads=4 tile=1 work=512 ns=9000
+row big op=spmv format=csr threads=1 tile=1 work=400000 ns=800000
+row big op=spmv format=csr threads=4 tile=1 work=400000 ns=260000
+row big op=spmv format=smash threads=1 tile=1 work=400000 ns=500000
+";
+
+    fn profile(rows: usize, cols: usize, nnz: usize) -> MatrixProfile {
+        let a = generators::uniform(rows, cols, nnz, 3);
+        MatrixProfile::of_csr(&a).with_block_fill(&a)
+    }
+
+    #[test]
+    fn parses_and_scores_the_table() {
+        let p = Planner::from_table(TABLE).unwrap();
+        assert!(p.is_calibrated());
+        assert_eq!(p.zoo_names().collect::<Vec<_>>(), vec!["small", "big"]);
+
+        // A big matrix matches 'big'; parallel csr is its cheapest row.
+        let plan = p.plan(
+            &profile(4096, 4096, 380_000),
+            &PlanRequest::pinned(Op::Spmv, Format::Csr, 4),
+        );
+        assert!(plan.calibrated);
+        assert_eq!(plan.choice.threads, 4);
+        assert!(plan.rationale.contains("'big'"), "{}", plan.rationale);
+
+        // Free-format: the smash serial row (500k ns) loses to parallel
+        // csr (260k ns), wins over serial csr.
+        let plan = p.plan(
+            &profile(4096, 4096, 380_000),
+            &PlanRequest::free(Op::Spmv, 4),
+        );
+        assert_eq!(plan.choice.format, Format::Csr);
+        assert_eq!(plan.alternatives.len(), 3);
+
+        // With one worker the parallel rows are ineligible.
+        let plan = p.plan(
+            &profile(4096, 4096, 380_000),
+            &PlanRequest::free(Op::Spmv, 1),
+        );
+        assert_eq!(plan.choice.threads, 1);
+        assert_eq!(plan.choice.format, Format::Smash);
+    }
+
+    #[test]
+    fn small_matrices_match_the_small_neighbor_and_stay_serial() {
+        let p = Planner::from_table(TABLE).unwrap();
+        let plan = p.plan(
+            &profile(64, 64, 500),
+            &PlanRequest::pinned(Op::Spmv, Format::Csr, 4),
+        );
+        assert!(plan.calibrated);
+        assert_eq!(plan.choice.threads, 1, "{}", plan.rationale);
+        assert!(plan.rationale.contains("'small'"));
+    }
+
+    #[test]
+    fn unknown_ops_fall_back_to_thresholds() {
+        let p = Planner::from_table(TABLE).unwrap();
+        let plan = p.plan(
+            &profile(4096, 4096, 380_000),
+            &PlanRequest::pinned(Op::Spgemm, Format::Csr, 4).with_work(1_000_000),
+        );
+        assert!(!plan.calibrated);
+        // 1M flops >= threshold, 4096 rows >= 16 -> parallel.
+        assert_eq!(plan.choice.threads, 4);
+        assert!(
+            plan.rationale.contains("threshold tier"),
+            "{}",
+            plan.rationale
+        );
+    }
+
+    #[test]
+    fn empty_planner_reproduces_the_threshold_rule() {
+        let p = Planner::empty();
+        for (rows, nnz, threads, want_par) in [
+            (8usize, 64usize, 4usize, false),
+            (2, 1_000_000, 4, false),
+            (4 * 4, AUTO_PARALLEL_NNZ, 4, true),
+            (4096, AUTO_PARALLEL_NNZ - 1, 4, false),
+            (4096, 1 << 20, 1, false),
+        ] {
+            let mut prof = profile(rows.max(2), 64, nnz.min(rows.max(2) * 64));
+            // Override with the exact quantities the threshold weighs.
+            prof.rows = rows;
+            prof.stored_work = nnz;
+            let plan = p.plan(&prof, &PlanRequest::pinned(Op::Spmv, Format::Csr, threads));
+            assert!(!plan.calibrated);
+            assert_eq!(
+                plan.choice.parallel(),
+                want_par,
+                "rows {rows} nnz {nnz} threads {threads}: {}",
+                plan.rationale
+            );
+        }
+    }
+
+    #[test]
+    fn built_in_table_parses_and_covers_every_op() {
+        let p = Planner::built_in();
+        assert!(p.is_calibrated());
+        for op in [Op::Spmv, Op::SpmmDense, Op::Spgemm, Op::Encode] {
+            assert!(
+                p.rows.iter().any(|r| r.op == op),
+                "checked-in table has no rows for {op}"
+            );
+        }
+        // Every zoo matrix has both a serial and a parallel spmv row, so
+        // the planner can always compare the two tiers.
+        for (i, (name, _)) in p.matrices.iter().enumerate() {
+            let serial = p
+                .rows
+                .iter()
+                .any(|r| r.matrix == i && r.op == Op::Spmv && r.threads == 1);
+            let par = p
+                .rows
+                .iter()
+                .any(|r| r.matrix == i && r.op == Op::Spmv && r.threads > 1);
+            assert!(serial && par, "zoo matrix {name} missing spmv tiers");
+        }
+    }
+
+    #[test]
+    fn profiles_of_all_formats_describe_the_same_matrix() {
+        let a = generators::clustered(256, 256, 8_000, 4, 9);
+        let csr = MatrixProfile::of_csr(&a).with_block_fill(&a);
+        let bcsr = MatrixProfile::of_bcsr(&Bcsr::from_csr(&a, 2, 2).unwrap());
+        let sm = MatrixProfile::of_smash(&SmashMatrix::encode(
+            &a,
+            SmashConfig::row_major(&[2, 4]).unwrap(),
+        ));
+        for p in [&csr, &bcsr, &sm] {
+            assert_eq!((p.rows, p.cols, p.nnz), (256, 256, a.nnz()));
+            assert!(p.stored_work >= p.nnz);
+        }
+        assert_eq!(csr.stored_work, a.nnz());
+        // The formats stay close in feature space: same matrix, padded
+        // row statistics notwithstanding.
+        assert!(csr.distance(&bcsr) < 0.5, "{}", csr.distance(&bcsr));
+        assert!(csr.distance(&sm) < 0.5, "{}", csr.distance(&sm));
+    }
+
+    #[test]
+    fn density_classes_band_correctly() {
+        let mut p = profile(1000, 1000, 50);
+        assert_eq!(p.density_class(), DensityClass::Hypersparse);
+        p.nnz = 5_000;
+        assert_eq!(p.density_class(), DensityClass::Sparse);
+        p.nnz = 50_000;
+        assert_eq!(p.density_class(), DensityClass::Moderate);
+        p.nnz = 500_000;
+        assert_eq!(p.density_class(), DensityClass::Dense);
+    }
+
+    #[test]
+    fn malformed_tables_are_rejected_with_line_numbers() {
+        for bad in [
+            "matrix a rows=1",
+            "row ghost op=spmv format=csr threads=1 tile=1 work=1 ns=1",
+            "matrix a rows=1 cols=1 nnz=1 row_mean=1 row_cv=0 row_max=1 fill8=0.5\nrow a op=nope format=csr threads=1 tile=1 work=1 ns=1",
+            "frobnicate a b c",
+        ] {
+            assert!(Planner::from_table(bad).is_err(), "{bad}");
+        }
+    }
+}

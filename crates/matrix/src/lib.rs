@@ -23,7 +23,7 @@
 //! assert_eq!(y[1], 1.2 + 4.2);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod bcsr;

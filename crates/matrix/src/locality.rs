@@ -6,7 +6,7 @@
 //! block". A matrix at 100% locality has no zeros inside any non-zero block;
 //! at `1/block` locality every non-zero block holds exactly one non-zero.
 
-use crate::{Coo, Csr};
+use crate::{Coo, Csr, Scalar};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
@@ -32,7 +32,7 @@ use std::collections::HashSet;
 /// let scattered = locality::locality_of_sparsity(&m2, 8);
 /// assert!(dense_runs > scattered);
 /// ```
-pub fn locality_of_sparsity(m: &Csr<f64>, block: usize) -> f64 {
+pub fn locality_of_sparsity<T: Scalar>(m: &Csr<T>, block: usize) -> f64 {
     assert!(block > 0, "block must be non-zero");
     if m.nnz() == 0 {
         return 0.0;

@@ -34,7 +34,7 @@
 //! assert_eq!(y_par, y_ser); // bit-identical, not just close
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod kernels;

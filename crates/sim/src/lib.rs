@@ -35,7 +35,7 @@
 //! assert_eq!(stats.instructions(), 8);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod addr;

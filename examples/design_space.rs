@@ -1,11 +1,14 @@
 //! Design-space exploration: how the Bitmap-0 compression ratio trades
-//! storage against compute, and how the locality of sparsity moves the
-//! sweet spot (paper §4.1.1, §7.2.2, §7.2.3).
+//! storage against compute, how the locality of sparsity moves the
+//! sweet spot (paper §4.1.1, §7.2.2, §7.2.3) — and what the dispatch
+//! planner (`docs/DISPATCH.md`) recommends for each structure class,
+//! with its rationale.
 //!
 //! Run with: `cargo run --release --example design_space`
 
 use smash::encoding::{storage, SmashConfig};
-use smash::kernels::{harness, Mechanism};
+use smash::kernels::planner::{Op, PlanRequest, Planner};
+use smash::kernels::{harness, MatrixProfile, Mechanism};
 use smash::matrix::locality::with_locality;
 use smash::sim::SystemConfig;
 use smash::Executor;
@@ -22,6 +25,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         let a = with_locality(1024, 1024, 20_000, 8, locality, 42);
         println!("{name}:");
+        // Ask the planner what it would run for a free-format SpMV on
+        // this structure — the block-fill feature is what separates the
+        // two localities in its cost model.
+        let profile = MatrixProfile::of_csr(&a).with_block_fill(&a);
+        let plan = Planner::built_in().plan(
+            &profile,
+            &PlanRequest::free(Op::Spmv, exec.threads().max(1)),
+        );
+        println!("  planner: {}", plan.rationale.replace('\n', "\n  "));
         println!(
             "  {:<6} {:>12} {:>12} {:>14} {:>10}",
             "B0", "NZA zeros", "bytes", "sim cycles", "vs B0=2"

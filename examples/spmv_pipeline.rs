@@ -98,9 +98,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Cross-check: the native (wall-clock) side of every mechanism runs
-    // through the executor — one entry point, serial/parallel dispatch
-    // decided per call — and agrees with the dense reference.
+    // through the executor — one entry point, dispatch decided per call
+    // by the measured cost-model planner (docs/DISPATCH.md) — and agrees
+    // with the dense reference.
     let exec = Executor::auto();
+    println!("\nexecutor dispatch plan for this matrix:");
+    let plan = exec.plan_spmv(&a);
+    println!("  {}", plan.rationale.replace('\n', "\n  "));
     let x = test_vector::<f64>(a.cols());
     let want = a.spmv(&x);
     let mut y = vec![0.0f64; a.rows()];

@@ -28,6 +28,13 @@
 //!   Centrality built on the kernels, generic over precision through
 //!   `Graph<T>`.
 //!
+//! The repository's `docs/` directory holds the long-form guides:
+//! `docs/ARCHITECTURE.md` (crate map and the data flow of one SpMV),
+//! `docs/DISPATCH.md` (the measured cost-model planner behind
+//! [`Executor::auto`]), and `docs/BENCHMARKS.md` (what every perf
+//! snapshot asserts). Their code snippets compile as doctests of this
+//! crate.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -56,6 +63,8 @@
 //! assert_eq!(y_auto, y_serial);
 //! ```
 
+#![deny(missing_docs)]
+
 pub use smash_bmu as bmu;
 pub use smash_core as encoding;
 pub use smash_graph as graph;
@@ -65,3 +74,21 @@ pub use smash_parallel as parallel;
 pub use smash_sim as sim;
 
 pub use smash_kernels::{ExecMode, Executor, SpmvOperand};
+
+// Compile-check every Rust snippet in the README and the `docs/` guides
+// as doctests: `cargo test --doc` fails if a guide drifts from the API.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+pub struct ReadmeDoctests;
+
+#[cfg(doctest)]
+#[doc = include_str!("../docs/ARCHITECTURE.md")]
+pub struct ArchitectureDoctests;
+
+#[cfg(doctest)]
+#[doc = include_str!("../docs/DISPATCH.md")]
+pub struct DispatchDoctests;
+
+#[cfg(doctest)]
+#[doc = include_str!("../docs/BENCHMARKS.md")]
+pub struct BenchmarksDoctests;
