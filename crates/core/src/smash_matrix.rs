@@ -2,6 +2,7 @@ use crate::{
     Bitmap, BitmapHierarchy, Layout, LineCursor, LineDirectory, Nza, SmashConfig, SmashError,
 };
 use smash_matrix::{Coo, Csr, Dense, Scalar};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Invokes `f(local_block_index, block_values)` for each occupied block of
 /// one line, in block order. `offsets`/`values` are the line's sorted
@@ -153,7 +154,7 @@ pub fn block_axpy_dense<T: Scalar>(block: &[T], b: &Dense<T>, col: usize, n: usi
 /// assert_eq!(sm.nza().len() % 2, 0);       // whole 2-element blocks
 /// # Ok::<(), smash_core::SmashError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug)]
 pub struct SmashMatrix<T> {
     rows: usize,
     cols: usize,
@@ -164,6 +165,39 @@ pub struct SmashMatrix<T> {
     /// construction (deterministic from the hierarchy, so it never
     /// affects equality semantics in practice).
     directory: LineDirectory,
+    /// Cached outcome of [`validate`](Self::validate): once the structural
+    /// invariants have been checked, repeated validation is O(1). Purely an
+    /// acceleration — never consulted for correctness decisions, excluded
+    /// from `PartialEq`, and copied by `Clone`.
+    verified: AtomicBool,
+}
+
+// Manual impls because `verified` is an `AtomicBool` (not `Clone`/
+// `PartialEq`) and must not participate in equality: two matrices with the
+// same structure are equal whether or not either has been validated yet.
+impl<T: Clone> Clone for SmashMatrix<T> {
+    fn clone(&self) -> Self {
+        SmashMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            config: self.config.clone(),
+            hierarchy: self.hierarchy.clone(),
+            nza: self.nza.clone(),
+            directory: self.directory.clone(),
+            verified: AtomicBool::new(self.verified.load(Ordering::Acquire)),
+        }
+    }
+}
+
+impl<T: PartialEq> PartialEq for SmashMatrix<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.config == other.config
+            && self.hierarchy == other.hierarchy
+            && self.nza == other.nza
+            && self.directory == other.directory
+    }
 }
 
 impl<T: Scalar> SmashMatrix<T> {
@@ -249,6 +283,10 @@ impl<T: Scalar> SmashMatrix<T> {
             hierarchy,
             nza,
             directory,
+            // Every construction path either builds the invariants itself
+            // (the encoders) or checks them first (`from_parts`), so an
+            // assembled matrix starts out verified.
+            verified: AtomicBool::new(true),
         }
     }
 
@@ -657,17 +695,33 @@ impl<T: Scalar> SmashMatrix<T> {
 
     /// Checks all structural invariants.
     ///
+    /// The outcome is cached: the first successful call stores a verified
+    /// marker and later calls return in O(1), so hot paths (the executor's
+    /// `try_*` tier validates operands on every call) never re-pay the
+    /// full scan.
+    ///
     /// # Errors
     ///
     /// Returns [`SmashError::Inconsistent`] on the first violation.
     pub fn validate(&self) -> Result<(), SmashError> {
+        if self.verified.load(Ordering::Acquire) {
+            return Ok(());
+        }
         Self::validate_parts(
             self.rows,
             self.cols,
             &self.config,
             &self.hierarchy,
             &self.nza,
-        )
+        )?;
+        self.verified.store(true, Ordering::Release);
+        Ok(())
+    }
+
+    /// Whether this matrix has already passed [`validate`](Self::validate)
+    /// (all construction paths validate, so this is normally `true`).
+    pub fn is_verified(&self) -> bool {
+        self.verified.load(Ordering::Acquire)
     }
 }
 

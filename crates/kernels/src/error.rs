@@ -1,0 +1,200 @@
+//! The unified error taxonomy of the fallible executor tier.
+//!
+//! The panicking kernels assert their preconditions (the right contract
+//! for trusted, performance-critical callers); the [`Executor`]'s `try_*`
+//! methods instead validate untrusted operands up front and report every
+//! failure mode through this one enum — absorbing the format layer's
+//! [`MatrixError`] and the encoding layer's
+//! [`smash_core::SmashError`] as sources, and adding the
+//! executor-level conditions (budget exhaustion, pool loss, caught
+//! panics) neither lower layer can know about.
+//!
+//! [`Executor`]: crate::Executor
+
+use smash_matrix::MatrixError;
+use std::fmt;
+
+/// Everything the fallible executor tier can report. Marked
+/// `#[non_exhaustive]`: robustness work keeps adding failure modes, and
+/// callers must be ready for variants they don't know.
+#[non_exhaustive]
+#[derive(Debug)]
+pub enum SmashError {
+    /// Operand shapes don't agree for the requested operation. Vectors
+    /// are reported as `(len, 1)`.
+    DimensionMismatch {
+        /// The operation that was requested.
+        op: &'static str,
+        /// The shape the left-hand operand implies.
+        expected: (usize, usize),
+        /// The shape actually supplied.
+        got: (usize, usize),
+    },
+    /// An operand failed its format's structural validation
+    /// (`Csr::validate`, `Bcsr::validate`).
+    InvalidStructure {
+        /// The format that failed ("csr", "bcsr").
+        format: &'static str,
+        /// The underlying structural violation.
+        source: MatrixError,
+    },
+    /// An operand holds a NaN or ±infinity and the executor's
+    /// [`NonFinitePolicy`](crate::NonFinitePolicy) is `Reject`.
+    NonFinite {
+        /// The operation that was requested.
+        op: &'static str,
+        /// Which operand held the non-finite value ("A", "x", "B").
+        operand: &'static str,
+    },
+    /// The operation's estimated transient memory exceeds the executor's
+    /// [`MemoryBudget`](crate::MemoryBudget) and the budget does not
+    /// permit degradation.
+    ResourceExhausted {
+        /// Estimated bytes the operation needs.
+        needed: u64,
+        /// The configured cap in bytes.
+        budget: u64,
+    },
+    /// A thread pool could not be built (OS spawn refusal, or a rejected
+    /// `SMASH_THREADS` override).
+    PoolUnavailable {
+        /// Human-readable cause.
+        detail: String,
+    },
+    /// A kernel panicked and the panic could not be absorbed by
+    /// degradation (the serial retry panicked too, or there was no
+    /// fallback left).
+    Panicked {
+        /// The operation that was running.
+        op: &'static str,
+        /// The stringified panic payload.
+        detail: String,
+    },
+    /// The operand/operation combination is outside the executor's
+    /// contract (e.g. a column-major SMASH operand for a row-major
+    /// kernel).
+    Unsupported {
+        /// The operation that was requested.
+        op: &'static str,
+        /// What exactly is unsupported.
+        detail: String,
+    },
+    /// A format-layer error outside the structural-validation path
+    /// (parsing, I/O, construction).
+    Matrix(MatrixError),
+    /// An encoding-layer error from the SMASH compression machinery.
+    Encoding(smash_core::SmashError),
+}
+
+impl fmt::Display for SmashError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SmashError::DimensionMismatch { op, expected, got } => write!(
+                f,
+                "{op}: dimension mismatch (expected {}x{}, got {}x{})",
+                expected.0, expected.1, got.0, got.1
+            ),
+            SmashError::InvalidStructure { format, source } => {
+                write!(f, "invalid {format} structure: {source}")
+            }
+            SmashError::NonFinite { op, operand } => {
+                write!(f, "{op}: operand {operand} holds a NaN or infinity")
+            }
+            SmashError::ResourceExhausted { needed, budget } => write!(
+                f,
+                "resource exhausted: needs ~{needed} bytes of scratch, budget is {budget}"
+            ),
+            SmashError::PoolUnavailable { detail } => {
+                write!(f, "thread pool unavailable: {detail}")
+            }
+            SmashError::Panicked { op, detail } => {
+                write!(f, "{op}: kernel panicked: {detail}")
+            }
+            SmashError::Unsupported { op, detail } => write!(f, "{op}: unsupported: {detail}"),
+            SmashError::Matrix(e) => write!(f, "matrix error: {e}"),
+            SmashError::Encoding(e) => write!(f, "encoding error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SmashError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SmashError::InvalidStructure { source, .. } => Some(source),
+            SmashError::Matrix(e) => Some(e),
+            SmashError::Encoding(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MatrixError> for SmashError {
+    fn from(e: MatrixError) -> Self {
+        SmashError::Matrix(e)
+    }
+}
+
+impl From<smash_core::SmashError> for SmashError {
+    fn from(e: smash_core::SmashError) -> Self {
+        SmashError::Encoding(e)
+    }
+}
+
+/// Renders a caught panic payload for [`SmashError::Panicked`] /
+/// degradation reports: `&str` and `String` payloads verbatim, anything
+/// else a placeholder.
+pub(crate) fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = SmashError::DimensionMismatch {
+            op: "spmv",
+            expected: (4, 1),
+            got: (3, 1),
+        };
+        assert!(e.to_string().contains("spmv"));
+        assert!(e.to_string().contains("4x1"));
+
+        let e = SmashError::ResourceExhausted {
+            needed: 1024,
+            budget: 512,
+        };
+        assert!(e.to_string().contains("1024"));
+        assert!(e.to_string().contains("512"));
+    }
+
+    #[test]
+    fn sources_chain_to_the_lower_layers() {
+        use std::error::Error;
+        let e = SmashError::InvalidStructure {
+            format: "csr",
+            source: MatrixError::InvalidStructure("row_ptr must start at 0".into()),
+        };
+        assert!(e.source().is_some());
+
+        let e: SmashError = smash_core::SmashError::NoLevels.into();
+        assert!(matches!(e, SmashError::Encoding(_)));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn panic_detail_prefers_string_payloads() {
+        let caught =
+            std::panic::catch_unwind(|| panic!("typed message {}", 7)).expect_err("panics");
+        assert_eq!(panic_detail(caught.as_ref()), "typed message 7");
+        let caught = std::panic::catch_unwind(|| panic!("static message")).expect_err("panics");
+        assert_eq!(panic_detail(caught.as_ref()), "static message");
+    }
+}

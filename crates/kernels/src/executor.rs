@@ -46,14 +46,17 @@
 //! assert_eq!(y, serial);                // bit-identical across modes
 //! ```
 
+use crate::error::{panic_detail, SmashError};
 use crate::native;
 use crate::planner::{Format, MatrixProfile, Op, Plan, PlanRequest, Planner};
 use smash_core::{Layout, SmashConfig, SmashMatrix};
 use smash_matrix::{Bcsr, Coo, Csc, Csr, Dense, Scalar};
 use smash_parallel::{
     default_threads, par_csr_to_smash, par_spmm_dense_bcsr, par_spmm_dense_csr,
-    par_spmm_dense_smash, par_spmv_bcsr, par_spmv_csr, par_spmv_smash, ThreadPool,
+    par_spmm_dense_smash, par_spmv_bcsr, par_spmv_csr, par_spmv_smash, threads_from_env,
+    ThreadPool,
 };
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Minimum work items before the **threshold fallback tier** reaches for
 /// the thread pool: below this, partitioning + wakeup overhead dominates
@@ -76,6 +79,152 @@ pub enum ExecMode {
     Parallel,
     /// Decide per call from the operand's shape and density.
     Auto,
+}
+
+/// A cap on the **transient engine memory** (accumulators plus per-chunk
+/// staging) an [`Executor::try_spgemm`] run may allocate. The exact-sized
+/// output itself is exempt — the budget bounds what the engine uses *on
+/// top of* the result the caller asked for.
+///
+/// Two flavours: [`reject_over`](Self::reject_over) fails an over-budget
+/// product with [`SmashError::ResourceExhausted`];
+/// [`degrade_over`](Self::degrade_over) instead re-plans it as a serial
+/// row-chunked streaming run ([`crate::spgemm::spgemm_chunked`]) whose
+/// peak scratch stays within the cap — bit-identical output, reported in
+/// the [`ExecReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryBudget {
+    bytes: u64,
+    degrade: bool,
+}
+
+impl MemoryBudget {
+    /// A budget that fails over-budget operations with
+    /// [`SmashError::ResourceExhausted`].
+    pub fn reject_over(bytes: u64) -> Self {
+        MemoryBudget {
+            bytes,
+            degrade: false,
+        }
+    }
+
+    /// A budget that degrades over-budget operations to a row-chunked
+    /// streaming execution capped at `bytes` of scratch.
+    pub fn degrade_over(bytes: u64) -> Self {
+        MemoryBudget {
+            bytes,
+            degrade: true,
+        }
+    }
+
+    /// The cap in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Whether over-budget operations degrade to chunked execution
+    /// instead of failing.
+    pub fn degrades(&self) -> bool {
+        self.degrade
+    }
+}
+
+/// How the fallible tier treats NaN/±infinity in operand values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NonFinitePolicy {
+    /// IEEE semantics: non-finite inputs flow through the arithmetic
+    /// (the panicking tier's only behaviour).
+    #[default]
+    Propagate,
+    /// `try_*` calls scan operand values up front and fail with
+    /// [`SmashError::NonFinite`] before running any kernel.
+    Reject,
+}
+
+/// One rung of the graceful-degradation ladder a `try_*` call descended,
+/// reported in its [`ExecReport`] (and appended to the plan's rationale).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Degradation {
+    /// The parallel kernel panicked; the call was retried serially.
+    WorkerPanic {
+        /// The stringified panic payload.
+        detail: String,
+    },
+    /// The executor wanted a pool but has none (spawn failed at
+    /// construction); the call ran serially.
+    PoolUnavailable {
+        /// Why the pool is missing.
+        detail: String,
+    },
+    /// The product exceeded the [`MemoryBudget`] and ran as a serial
+    /// row-chunked streaming execution instead.
+    ChunkedSpgemm {
+        /// Number of row chunks the run was split into.
+        chunks: usize,
+        /// Peak transient scratch of the chunked run (≤ the budget).
+        peak_scratch_bytes: u64,
+        /// The budget the run was held to.
+        budget_bytes: u64,
+    },
+}
+
+impl std::fmt::Display for Degradation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Degradation::WorkerPanic { detail } => {
+                write!(
+                    f,
+                    "degraded: parallel kernel panicked ({detail}), retried serially"
+                )
+            }
+            Degradation::PoolUnavailable { detail } => {
+                write!(f, "degraded: pool unavailable ({detail}), ran serially")
+            }
+            Degradation::ChunkedSpgemm {
+                chunks,
+                peak_scratch_bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "degraded: over budget, ran as {chunks} serial chunks \
+                 (peak scratch {peak_scratch_bytes} of {budget_bytes} bytes)"
+            ),
+        }
+    }
+}
+
+/// What a `try_*` call actually did: the [`Plan`] it acted on, plus any
+/// degradations taken on the way to the (always correct) result. Each
+/// degradation is also appended to `plan.rationale`, so the one-line
+/// explanation stays self-contained.
+#[derive(Debug)]
+pub struct ExecReport {
+    /// The dispatch plan the call acted on, rationale extended with any
+    /// degradations.
+    pub plan: Plan,
+    /// The degradation ladder rungs descended, in order. Empty on a clean
+    /// run.
+    pub degradations: Vec<Degradation>,
+}
+
+impl ExecReport {
+    fn new(plan: Plan) -> Self {
+        ExecReport {
+            plan,
+            degradations: Vec::new(),
+        }
+    }
+
+    fn note(&mut self, d: Degradation) {
+        self.plan.rationale.push_str("; ");
+        self.plan.rationale.push_str(&d.to_string());
+        self.degradations.push(d);
+    }
+
+    /// Whether the call had to degrade from its planned execution.
+    pub fn degraded(&self) -> bool {
+        !self.degradations.is_empty()
+    }
 }
 
 /// Any matrix format the executor can run an SpMV over, borrowed from the
@@ -157,6 +306,42 @@ impl<T: Scalar> SpmvOperand<'_, T> {
             SpmvOperand::Smash(a) => MatrixProfile::of_smash(a),
         }
     }
+
+    /// The operand's stored values, whatever the format — what the
+    /// [`NonFinitePolicy::Reject`] scan inspects.
+    pub fn stored_values(&self) -> &'_ [T] {
+        match self {
+            SpmvOperand::Csr(a) => a.values(),
+            SpmvOperand::Bcsr(a) => a.values(),
+            SpmvOperand::Smash(a) => a.nza().values(),
+        }
+    }
+
+    /// Structural validation of the operand, routed to its format's
+    /// `validate()` (cached after the first success) and mapped into the
+    /// unified taxonomy. Row-major is required of SMASH operands: the
+    /// executor's kernels walk row lines.
+    fn check(&self, op: &'static str) -> Result<(), SmashError> {
+        match self {
+            SpmvOperand::Csr(a) => a.validate().map_err(|source| SmashError::InvalidStructure {
+                format: "csr",
+                source,
+            }),
+            SpmvOperand::Bcsr(a) => a.validate().map_err(|source| SmashError::InvalidStructure {
+                format: "bcsr",
+                source,
+            }),
+            SpmvOperand::Smash(a) => {
+                if a.config().layout() != Layout::RowMajor {
+                    return Err(SmashError::Unsupported {
+                        op,
+                        detail: "SMASH operand must be row-major".into(),
+                    });
+                }
+                a.validate().map_err(SmashError::Encoding)
+            }
+        }
+    }
 }
 
 /// Format × precision × serial/parallel dispatcher for the native kernels.
@@ -176,16 +361,31 @@ pub struct Executor {
     /// Present iff `mode` is `Auto`: the cost model its per-call
     /// decisions delegate to.
     planner: Option<Planner>,
+    /// Why `pool` is `None` although the mode wanted one (resilient
+    /// construction after a spawn failure) — reported as a
+    /// [`Degradation::PoolUnavailable`] by every `try_*` call.
+    pool_error: Option<String>,
+    /// Transient-memory cap for `try_spgemm` (`None`: unbounded).
+    budget: Option<MemoryBudget>,
+    /// NaN/infinity policy of the `try_*` tier.
+    nonfinite: NonFinitePolicy,
 }
 
 impl Executor {
+    fn assemble(mode: ExecMode, pool: Option<ThreadPool>, planner: Option<Planner>) -> Self {
+        Executor {
+            mode,
+            pool,
+            planner,
+            pool_error: None,
+            budget: None,
+            nonfinite: NonFinitePolicy::default(),
+        }
+    }
+
     /// An executor that always runs the serial native kernels.
     pub fn serial() -> Self {
-        Executor {
-            mode: ExecMode::Serial,
-            pool: None,
-            planner: None,
-        }
+        Executor::assemble(ExecMode::Serial, None, None)
     }
 
     /// An executor that always uses the thread pool, sized from
@@ -198,13 +398,48 @@ impl Executor {
     ///
     /// # Panics
     ///
-    /// Panics if `threads == 0`.
+    /// Panics if `threads == 0` or the OS refuses to spawn a worker.
+    /// [`Executor::try_with_threads`] is the fallible front door.
     pub fn with_threads(threads: usize) -> Self {
-        Executor {
-            mode: ExecMode::Parallel,
-            pool: Some(ThreadPool::new(threads)),
-            planner: None,
+        assert!(threads > 0, "an executor needs at least one thread");
+        Executor::assemble(ExecMode::Parallel, Some(ThreadPool::new(threads)), None)
+    }
+
+    /// Fallible [`Executor::with_threads`]: a rejected thread count or an
+    /// OS spawn refusal comes back as [`SmashError::PoolUnavailable`]
+    /// instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`SmashError::PoolUnavailable`] when `threads == 0` or the pool
+    /// cannot be spawned.
+    pub fn try_with_threads(threads: usize) -> Result<Self, SmashError> {
+        if threads == 0 {
+            return Err(SmashError::PoolUnavailable {
+                detail: "0 worker threads requested".into(),
+            });
         }
+        let pool = ThreadPool::try_new(threads).map_err(|e| SmashError::PoolUnavailable {
+            detail: e.to_string(),
+        })?;
+        Ok(Executor::assemble(ExecMode::Parallel, Some(pool), None))
+    }
+
+    /// Fallible [`Executor::parallel`]: unlike the panicking constructor,
+    /// a malformed `SMASH_THREADS` override is rejected with a typed
+    /// error instead of being silently replaced by the hardware count.
+    ///
+    /// # Errors
+    ///
+    /// [`SmashError::PoolUnavailable`] for a malformed override or a
+    /// failed spawn.
+    pub fn try_parallel() -> Result<Self, SmashError> {
+        let threads = threads_from_env()
+            .map_err(|e| SmashError::PoolUnavailable {
+                detail: e.to_string(),
+            })?
+            .unwrap_or_else(default_threads);
+        Executor::try_with_threads(threads)
     }
 
     /// An executor that chooses serial or parallel per call through the
@@ -220,11 +455,53 @@ impl Executor {
     /// e.g. [`Planner::empty`] to get the pure threshold dispatch, or a
     /// planner parsed from a site-specific calibration table.
     pub fn auto_with(planner: Planner) -> Self {
-        Executor {
-            mode: ExecMode::Auto,
-            pool: Some(ThreadPool::new(default_threads())),
-            planner: Some(planner),
+        Executor::assemble(
+            ExecMode::Auto,
+            Some(ThreadPool::new(default_threads())),
+            Some(planner),
+        )
+    }
+
+    /// An `Auto` executor that **degrades instead of panicking** when the
+    /// pool cannot be built: on a spawn failure the executor comes up
+    /// serial, and every `try_*` call reports the missing pool as a
+    /// [`Degradation::PoolUnavailable`] in its [`ExecReport`] — the
+    /// construction rung of the degradation ladder.
+    pub fn auto_resilient() -> Self {
+        let planner = Some(Planner::built_in());
+        match ThreadPool::try_new(default_threads()) {
+            Ok(pool) => Executor::assemble(ExecMode::Auto, Some(pool), planner),
+            Err(e) => {
+                let mut exec = Executor::assemble(ExecMode::Auto, None, planner);
+                exec.pool_error = Some(e.to_string());
+                exec
+            }
         }
+    }
+
+    /// Sets the transient-memory budget consulted by
+    /// [`Executor::try_spgemm`].
+    #[must_use]
+    pub fn with_budget(mut self, budget: MemoryBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Sets the NaN/infinity policy of the `try_*` tier.
+    #[must_use]
+    pub fn with_non_finite_policy(mut self, policy: NonFinitePolicy) -> Self {
+        self.nonfinite = policy;
+        self
+    }
+
+    /// The transient-memory budget, if one is set.
+    pub fn budget(&self) -> Option<MemoryBudget> {
+        self.budget
+    }
+
+    /// The NaN/infinity policy of the `try_*` tier.
+    pub fn non_finite_policy(&self) -> NonFinitePolicy {
+        self.nonfinite
     }
 
     /// The planner driving `Auto` decisions (`None` for the fixed
@@ -560,6 +837,315 @@ impl Executor {
         }
     }
 
+    // ------------------------------------------------------------------
+    // The fallible tier: validated operands, typed errors, graceful
+    // degradation. The documented front door for untrusted input — the
+    // panicking methods above stay the zero-overhead contract for
+    // trusted callers.
+    // ------------------------------------------------------------------
+
+    /// Whether this plan dispatches onto the pool under the current mode.
+    fn wide_for(&self, plan: &Plan) -> bool {
+        match self.mode {
+            ExecMode::Serial => false,
+            ExecMode::Parallel => self.pool.is_some(),
+            ExecMode::Auto => self.pool.is_some() && plan.choice.parallel(),
+        }
+    }
+
+    /// Starts a report on `plan`, recording up front the construction
+    /// rung of the ladder (a pool that failed to spawn) if it applies.
+    fn start_report(&self, plan: Plan) -> ExecReport {
+        let mut report = ExecReport::new(plan);
+        if let Some(detail) = &self.pool_error {
+            report.note(Degradation::PoolUnavailable {
+                detail: detail.clone(),
+            });
+        }
+        report
+    }
+
+    /// The [`NonFinitePolicy::Reject`] scan over one operand's values.
+    fn check_finite<T: Scalar>(
+        &self,
+        op: &'static str,
+        operand: &'static str,
+        values: &[T],
+    ) -> Result<(), SmashError> {
+        if self.nonfinite == NonFinitePolicy::Reject && values.iter().any(|v| !v.is_finite()) {
+            return Err(SmashError::NonFinite { op, operand });
+        }
+        Ok(())
+    }
+
+    /// Whether the fault-injection harness forces this budget check to
+    /// report exhaustion (always `false` outside the `fault-injection`
+    /// feature).
+    fn budget_fault_injected() -> bool {
+        #[cfg(feature = "fault-injection")]
+        {
+            smash_parallel::faultinject::should_fail(smash_parallel::faultinject::Site::BudgetCheck)
+        }
+        #[cfg(not(feature = "fault-injection"))]
+        {
+            false
+        }
+    }
+
+    /// Fallible [`Executor::spmv`]: validates the operands up front
+    /// (dimensions, cached structural [`validate`](Csr::validate), the
+    /// [`NonFinitePolicy`]) and descends the degradation ladder instead
+    /// of panicking — a parallel kernel panic is caught, reported, and
+    /// retried serially (the output is zeroed first, so the retry is
+    /// bit-identical to a clean serial run).
+    ///
+    /// # Errors
+    ///
+    /// [`SmashError::DimensionMismatch`], [`SmashError::InvalidStructure`]
+    /// / [`SmashError::Encoding`] / [`SmashError::Unsupported`] from
+    /// operand validation, [`SmashError::NonFinite`] under the `Reject`
+    /// policy, [`SmashError::Panicked`] if the serial retry panics too.
+    pub fn try_spmv<'a, T: Scalar>(
+        &self,
+        a: impl Into<SpmvOperand<'a, T>>,
+        x: &[T],
+        y: &mut [T],
+    ) -> Result<ExecReport, SmashError> {
+        const OP: &str = "spmv";
+        let a = a.into();
+        if x.len() != a.cols() {
+            return Err(SmashError::DimensionMismatch {
+                op: OP,
+                expected: (a.cols(), 1),
+                got: (x.len(), 1),
+            });
+        }
+        if y.len() != a.rows() {
+            return Err(SmashError::DimensionMismatch {
+                op: OP,
+                expected: (a.rows(), 1),
+                got: (y.len(), 1),
+            });
+        }
+        a.check(OP)?;
+        self.check_finite(OP, "A", a.stored_values())?;
+        self.check_finite(OP, "x", x)?;
+        let plan = self.make_plan(Op::Spmv, a.format(), &a.profile(), 1, None);
+        let mut report = self.start_report(plan);
+        if self.wide_for(&report.plan) {
+            let wide = catch_unwind(AssertUnwindSafe(|| match a {
+                SpmvOperand::Csr(m) => par_spmv_csr(self.pool(), m, x, y),
+                SpmvOperand::Bcsr(m) => par_spmv_bcsr(self.pool(), m, x, y),
+                SpmvOperand::Smash(m) => par_spmv_smash(self.pool(), m, x, y),
+            }));
+            match wide {
+                Ok(()) => return Ok(report),
+                Err(payload) => {
+                    report.note(Degradation::WorkerPanic {
+                        detail: panic_detail(payload.as_ref()),
+                    });
+                    // A panicked parallel run may have written part of the
+                    // output; reset so the serial retry starts clean.
+                    y.fill(T::ZERO);
+                }
+            }
+        }
+        let serial = catch_unwind(AssertUnwindSafe(|| match a {
+            SpmvOperand::Csr(m) => native::spmv_csr(m, x, y),
+            SpmvOperand::Bcsr(m) => native::spmv_bcsr(m, x, y),
+            SpmvOperand::Smash(m) => native::spmv_smash(m, x, y),
+        }));
+        match serial {
+            Ok(()) => Ok(report),
+            Err(payload) => Err(SmashError::Panicked {
+                op: OP,
+                detail: panic_detail(payload.as_ref()),
+            }),
+        }
+    }
+
+    /// Fallible [`Executor::spmm_dense`]: the batched sparse × dense
+    /// product with validated operands and the same degradation ladder as
+    /// [`Executor::try_spmv`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Executor::try_spmv`], with `B` covered by the non-finite scan
+    /// as well.
+    pub fn try_spmm_dense<'a, T: Scalar>(
+        &self,
+        a: impl Into<SpmvOperand<'a, T>>,
+        b: &Dense<T>,
+        c: &mut Dense<T>,
+    ) -> Result<ExecReport, SmashError> {
+        const OP: &str = "spmm_dense";
+        let a = a.into();
+        if b.rows() != a.cols() {
+            return Err(SmashError::DimensionMismatch {
+                op: OP,
+                expected: (a.cols(), b.cols()),
+                got: (b.rows(), b.cols()),
+            });
+        }
+        if c.rows() != a.rows() || c.cols() != b.cols() {
+            return Err(SmashError::DimensionMismatch {
+                op: OP,
+                expected: (a.rows(), b.cols()),
+                got: (c.rows(), c.cols()),
+            });
+        }
+        a.check(OP)?;
+        self.check_finite(OP, "A", a.stored_values())?;
+        self.check_finite(OP, "B", b.as_slice())?;
+        let plan = self.make_plan(Op::SpmmDense, a.format(), &a.profile(), b.cols(), None);
+        let mut report = self.start_report(plan);
+        if self.wide_for(&report.plan) {
+            let wide = catch_unwind(AssertUnwindSafe(|| match a {
+                SpmvOperand::Csr(m) => par_spmm_dense_csr(self.pool(), m, b, c),
+                SpmvOperand::Bcsr(m) => par_spmm_dense_bcsr(self.pool(), m, b, c),
+                SpmvOperand::Smash(m) => par_spmm_dense_smash(self.pool(), m, b, c),
+            }));
+            match wide {
+                Ok(()) => return Ok(report),
+                Err(payload) => {
+                    report.note(Degradation::WorkerPanic {
+                        detail: panic_detail(payload.as_ref()),
+                    });
+                    c.as_mut_slice().fill(T::ZERO);
+                }
+            }
+        }
+        let serial = catch_unwind(AssertUnwindSafe(|| match a {
+            SpmvOperand::Csr(m) => native::spmm_dense_csr(m, b, c),
+            SpmvOperand::Bcsr(m) => native::spmm_dense_bcsr(m, b, c),
+            SpmvOperand::Smash(m) => native::spmm_dense_smash(m, b, c),
+        }));
+        match serial {
+            Ok(()) => Ok(report),
+            Err(payload) => Err(SmashError::Panicked {
+                op: OP,
+                detail: panic_detail(payload.as_ref()),
+            }),
+        }
+    }
+
+    /// Fallible [`Executor::spgemm`], the resource-governed one: operands
+    /// are validated up front, and when a [`MemoryBudget`] is set the
+    /// product's transient engine memory is estimated from the symbolic
+    /// bounds **before any allocation** — an over-budget product either
+    /// fails with [`SmashError::ResourceExhausted`] or (for a
+    /// [`MemoryBudget::degrade_over`] budget) runs as a serial
+    /// row-chunked streaming execution with bounded peak scratch,
+    /// bit-identical to the unchunked engine. Parallel kernel panics
+    /// degrade to a serial retry as in [`Executor::try_spmv`].
+    ///
+    /// # Errors
+    ///
+    /// The validation errors of [`Executor::try_spmv`], plus
+    /// [`SmashError::ResourceExhausted`] for an over-budget product
+    /// without degradation (or one whose single widest row cannot fit
+    /// even chunked).
+    pub fn try_spgemm<T: Scalar>(
+        &self,
+        a: &Csr<T>,
+        b: &Csr<T>,
+    ) -> Result<(Csr<T>, ExecReport), SmashError> {
+        const OP: &str = "spgemm";
+        if a.cols() != b.rows() {
+            return Err(SmashError::DimensionMismatch {
+                op: OP,
+                expected: (a.cols(), b.cols()),
+                got: (b.rows(), b.cols()),
+            });
+        }
+        SpmvOperand::Csr(a).check(OP)?;
+        SpmvOperand::Csr(b).check(OP)?;
+        self.check_finite(OP, "A", a.values())?;
+        self.check_finite(OP, "B", b.values())?;
+        let (bounds, work) = crate::spgemm::symbolic_bounds(a, b);
+        let plan = self.make_plan(
+            Op::Spgemm,
+            Format::Csr,
+            &MatrixProfile::of_csr(a),
+            1,
+            Some(work),
+        );
+        let mut report = self.start_report(plan);
+        if let Some(budget) = self.budget {
+            let needed = crate::spgemm::estimate_engine_bytes::<T>(&bounds, b.cols());
+            if needed > budget.bytes() || Self::budget_fault_injected() {
+                if !budget.degrades() {
+                    return Err(SmashError::ResourceExhausted {
+                        needed,
+                        budget: budget.bytes(),
+                    });
+                }
+                let (c, run) = crate::spgemm::spgemm_chunked(a, b, &bounds, budget.bytes())?;
+                report.note(Degradation::ChunkedSpgemm {
+                    chunks: run.chunks,
+                    peak_scratch_bytes: run.peak_scratch_bytes,
+                    budget_bytes: run.budget_bytes,
+                });
+                return Ok((c, report));
+            }
+        }
+        if self.wide_for(&report.plan) {
+            match catch_unwind(AssertUnwindSafe(|| {
+                crate::spgemm::par_spgemm(self.pool(), a, b)
+            })) {
+                Ok(c) => return Ok((c, report)),
+                Err(payload) => report.note(Degradation::WorkerPanic {
+                    detail: panic_detail(payload.as_ref()),
+                }),
+            }
+        }
+        match catch_unwind(AssertUnwindSafe(|| crate::spgemm::spgemm(a, b))) {
+            Ok(c) => Ok((c, report)),
+            Err(payload) => Err(SmashError::Panicked {
+                op: OP,
+                detail: panic_detail(payload.as_ref()),
+            }),
+        }
+    }
+
+    /// Fallible [`Executor::encode`]: validates the CSR operand (cached
+    /// structural check plus the [`NonFinitePolicy`] scan) and descends
+    /// the degradation ladder — a panicking parallel encoder is caught,
+    /// reported, and retried serially; the result is `==` either way.
+    ///
+    /// # Errors
+    ///
+    /// [`SmashError::InvalidStructure`] / [`SmashError::NonFinite`] from
+    /// validation, [`SmashError::Panicked`] if the serial retry panics.
+    pub fn try_encode<T: Scalar>(
+        &self,
+        a: &Csr<T>,
+        config: SmashConfig,
+    ) -> Result<(SmashMatrix<T>, ExecReport), SmashError> {
+        const OP: &str = "encode";
+        SpmvOperand::Csr(a).check(OP)?;
+        self.check_finite(OP, "A", a.values())?;
+        let plan = self.make_plan(Op::Encode, Format::Csr, &MatrixProfile::of_csr(a), 1, None);
+        let mut report = self.start_report(plan);
+        if self.wide_for(&report.plan) {
+            match catch_unwind(AssertUnwindSafe(|| {
+                par_csr_to_smash(self.pool(), a, config.clone())
+            })) {
+                Ok(sm) => return Ok((sm, report)),
+                Err(payload) => report.note(Degradation::WorkerPanic {
+                    detail: panic_detail(payload.as_ref()),
+                }),
+            }
+        }
+        match catch_unwind(AssertUnwindSafe(|| SmashMatrix::encode(a, config))) {
+            Ok(sm) => Ok((sm, report)),
+            Err(payload) => Err(SmashError::Panicked {
+                op: OP,
+                detail: panic_detail(payload.as_ref()),
+            }),
+        }
+    }
+
     fn pool(&self) -> &ThreadPool {
         self.pool
             .as_ref()
@@ -744,6 +1330,211 @@ mod tests {
         // ...crosses it once 8 right-hand sides are batched (the executor
         // multiplies stored work by the batch width).
         assert!(exec.parallelize(rows, (AUTO_PARALLEL_NNZ / 8) * 8));
+    }
+
+    #[test]
+    fn try_spmv_matches_panicking_tier_on_clean_input() {
+        let a = generators::clustered(256, 256, 20_000, 5, 3);
+        let sm = SmashMatrix::encode(&a, SmashConfig::row_major(&[2, 4]).unwrap());
+        let x = test_vector::<f64>(256);
+        let mut want = vec![0.0; 256];
+        Executor::serial().spmv(&a, &x, &mut want);
+        for (mode, exec) in modes() {
+            let mut y = vec![f64::NAN; 256];
+            let report = exec.try_spmv(&a, &x, &mut y).unwrap();
+            assert_eq!(y, want, "csr via {mode}");
+            assert!(!report.degraded(), "clean run must not degrade");
+            let mut y = vec![f64::NAN; 256];
+            exec.try_spmv(&sm, &x, &mut y).unwrap();
+            let mut want_sm = vec![0.0; 256];
+            Executor::serial().spmv(&sm, &x, &mut want_sm);
+            assert_eq!(y, want_sm, "smash via {mode}");
+        }
+    }
+
+    #[test]
+    fn try_spmv_rejects_bad_dimensions_with_typed_errors() {
+        let a = generators::uniform(8, 6, 20, 1);
+        let exec = Executor::serial();
+        let mut y = vec![0.0; 8];
+        let err = exec.try_spmv(&a, &[0.0; 5], &mut y).unwrap_err();
+        assert!(
+            matches!(err, SmashError::DimensionMismatch { op: "spmv", .. }),
+            "short x: {err}"
+        );
+        let err = exec.try_spmv(&a, &[0.0; 6], &mut [0.0; 7]).unwrap_err();
+        assert!(
+            matches!(err, SmashError::DimensionMismatch { .. }),
+            "short y: {err}"
+        );
+    }
+
+    #[test]
+    fn try_spmv_surfaces_corrupt_structure_as_error_not_panic() {
+        // Adversarial CSR: row_ptr points past the value arrays.
+        let bad = Csr::<f64>::from_parts_unchecked(2, 2, vec![0, 5, 5], vec![0], vec![1.0]);
+        let exec = Executor::serial();
+        let mut y = vec![0.0; 2];
+        let err = exec.try_spmv(&bad, &[1.0, 1.0], &mut y).unwrap_err();
+        assert!(
+            matches!(err, SmashError::InvalidStructure { format: "csr", .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn non_finite_policy_rejects_nan_and_infinity() {
+        let mut coo = Coo::<f64>::new(2, 2);
+        coo.push(0, 0, f64::NAN);
+        let a = Csr::from_coo(&coo);
+        let exec = Executor::serial().with_non_finite_policy(NonFinitePolicy::Reject);
+        let mut y = vec![0.0; 2];
+        let err = exec.try_spmv(&a, &[1.0, 1.0], &mut y).unwrap_err();
+        assert!(
+            matches!(err, SmashError::NonFinite { operand: "A", .. }),
+            "{err}"
+        );
+        // A finite matrix with an infinite x is also rejected…
+        let good = generators::uniform(2, 2, 2, 3);
+        let err = exec
+            .try_spmv(&good, &[1.0, f64::INFINITY], &mut y)
+            .unwrap_err();
+        assert!(matches!(err, SmashError::NonFinite { operand: "x", .. }));
+        // …while the default policy lets IEEE semantics flow through.
+        let report = Executor::serial().try_spmv(&a, &[1.0, 1.0], &mut y);
+        assert!(report.is_ok());
+        assert!(y[0].is_nan());
+    }
+
+    #[test]
+    fn try_spmm_dense_validates_and_matches() {
+        let a = generators::uniform(48, 40, 900, 5);
+        let b = test_batch(40, 6);
+        let mut want = Dense::zeros(48, 6);
+        native::spmm_dense_csr(&a, &b, &mut want);
+        for (mode, exec) in modes() {
+            let mut c = Dense::zeros(48, 6);
+            exec.try_spmm_dense(&a, &b, &mut c).unwrap();
+            assert_eq!(c, want, "{mode}");
+        }
+        let err = Executor::serial()
+            .try_spmm_dense(&a, &b, &mut Dense::zeros(48, 5))
+            .unwrap_err();
+        assert!(matches!(err, SmashError::DimensionMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn try_spgemm_budget_rejects_or_degrades() {
+        let a = generators::power_law(128, 128, 3_000, 1.3, 5);
+        let want = Executor::serial().spgemm(&a, &a);
+        // Unbudgeted: plain engine.
+        let (c, report) = Executor::serial().try_spgemm(&a, &a).unwrap();
+        assert_eq!(c, want);
+        assert!(!report.degraded());
+        // A 64 KiB cap is far below this product's engine estimate.
+        let cap = 64 * 1024;
+        let err = Executor::serial()
+            .with_budget(MemoryBudget::reject_over(cap))
+            .try_spgemm(&a, &a)
+            .unwrap_err();
+        match err {
+            SmashError::ResourceExhausted { needed, budget } => {
+                assert_eq!(budget, cap);
+                assert!(needed > cap);
+            }
+            other => panic!("expected ResourceExhausted, got {other:?}"),
+        }
+        // Same cap with degradation: chunked run, bit-identical output,
+        // peak scratch within the budget.
+        let (c, report) = Executor::serial()
+            .with_budget(MemoryBudget::degrade_over(cap))
+            .try_spgemm(&a, &a)
+            .unwrap();
+        assert_eq!(c, want, "chunked degradation must be bit-identical");
+        assert!(report.degraded());
+        match &report.degradations[0] {
+            Degradation::ChunkedSpgemm {
+                chunks,
+                peak_scratch_bytes,
+                budget_bytes,
+            } => {
+                assert!(*chunks > 1);
+                assert!(peak_scratch_bytes <= budget_bytes);
+                assert_eq!(*budget_bytes, cap);
+            }
+            other => panic!("expected ChunkedSpgemm, got {other:?}"),
+        }
+        assert!(
+            report.plan.rationale.contains("degraded"),
+            "rationale records the ladder: {}",
+            report.plan.rationale
+        );
+        // A roomy budget stays on the plain engine.
+        let (c, report) = Executor::serial()
+            .with_budget(MemoryBudget::reject_over(u64::MAX))
+            .try_spgemm(&a, &a)
+            .unwrap();
+        assert_eq!(c, want);
+        assert!(!report.degraded());
+    }
+
+    #[test]
+    fn try_spgemm_matches_across_modes() {
+        let a = generators::power_law(150, 150, 5_000, 1.4, 9);
+        let want = Executor::serial().spgemm(&a, &a);
+        for (mode, exec) in modes() {
+            let (c, _) = exec.try_spgemm(&a, &a).unwrap();
+            assert_eq!(c, want, "{mode}");
+        }
+        let b = generators::uniform(7, 7, 10, 2);
+        let err = Executor::serial().try_spgemm(&a, &b).unwrap_err();
+        assert!(matches!(err, SmashError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn try_encode_matches_across_modes() {
+        let a = generators::power_law(128, 128, 20_000, 1.3, 5);
+        let cfg = SmashConfig::row_major(&[2, 4]).unwrap();
+        let want = SmashMatrix::encode(&a, cfg.clone());
+        for (mode, exec) in modes() {
+            let (sm, report) = exec.try_encode(&a, cfg.clone()).unwrap();
+            assert_eq!(sm, want, "{mode}");
+            assert!(!report.degraded(), "{mode}");
+        }
+    }
+
+    #[test]
+    fn try_with_threads_reports_typed_pool_errors() {
+        let err = Executor::try_with_threads(0).unwrap_err();
+        assert!(matches!(err, SmashError::PoolUnavailable { .. }), "{err}");
+        let exec = Executor::try_with_threads(2).unwrap();
+        assert_eq!(exec.threads(), 2);
+    }
+
+    #[test]
+    fn auto_resilient_matches_auto_on_a_healthy_host() {
+        let exec = Executor::auto_resilient();
+        let a = generators::uniform(64, 64, 1_500, 4);
+        let x = test_vector::<f64>(64);
+        let (mut y, mut want) = (vec![0.0; 64], vec![0.0; 64]);
+        Executor::serial().spmv(&a, &x, &mut want);
+        let report = exec.try_spmv(&a, &x, &mut y).unwrap();
+        assert_eq!(y, want);
+        // Spawn succeeded here, so no degradation is recorded.
+        assert!(!report.degraded());
+    }
+
+    #[test]
+    fn budget_accessors_roundtrip() {
+        let exec = Executor::serial()
+            .with_budget(MemoryBudget::degrade_over(1 << 20))
+            .with_non_finite_policy(NonFinitePolicy::Reject);
+        assert_eq!(exec.budget(), Some(MemoryBudget::degrade_over(1 << 20)));
+        assert_eq!(exec.non_finite_policy(), NonFinitePolicy::Reject);
+        assert!(exec.budget().unwrap().degrades());
+        assert!(!MemoryBudget::reject_over(8).degrades());
+        assert_eq!(MemoryBudget::reject_over(8).bytes(), 8);
+        assert_eq!(Executor::serial().budget(), None);
     }
 
     #[test]

@@ -58,6 +58,7 @@
 
 pub mod common;
 pub mod convert;
+pub mod error;
 pub mod executor;
 pub mod harness;
 pub mod native;
@@ -70,5 +71,8 @@ pub mod spmm;
 pub mod spmv;
 
 pub use common::{test_vector, Mechanism, VEC_WIDTH};
-pub use executor::{ExecMode, Executor, SpmvOperand};
+pub use error::SmashError;
+pub use executor::{
+    Degradation, ExecMode, ExecReport, Executor, MemoryBudget, NonFinitePolicy, SpmvOperand,
+};
 pub use planner::{MatrixProfile, Op, Plan, PlanRequest, Planner};

@@ -54,6 +54,7 @@
 //! assert_eq!(c.to_coo().entries(), oracle.entries()); // exact, not approx
 //! ```
 
+use crate::error::SmashError;
 use crate::native::{check_smash_spmm_operands, spmm_smash_row, SmashMergeOperand};
 use smash_core::{for_each_line_block, Layout, SmashConfig, SmashMatrix};
 use smash_matrix::{Coo, Csr, CsrBuilder, Scalar};
@@ -507,6 +508,141 @@ pub fn par_spmm_smash<T: Scalar>(
     c
 }
 
+/// Bytes of one emitted `(column, value)` entry in the engine's staging
+/// and splice arrays: a `u32` column index plus one scalar.
+fn entry_bytes<T>() -> u64 {
+    (4 + std::mem::size_of::<T>()) as u64
+}
+
+/// Upper bound on the accumulator scratch one row needs, mirroring the
+/// engine's own [`use_dense_accumulator`] choice for a row with symbolic
+/// bound `ub` writing into `n` output columns — a pure function of
+/// `(ub, n)`, exactly like the choice itself.
+pub fn row_scratch_bytes<T: Scalar>(ub: u64, n: usize) -> u64 {
+    let scalar = std::mem::size_of::<T>() as u64;
+    if use_dense_accumulator(ub, n) {
+        // DenseAcc: value + stamp per output column, plus the touched list
+        // (at most min(ub, n) columns).
+        (n as u64).saturating_mul(scalar + 4) + ub.min(n as u64).saturating_mul(4)
+    } else {
+        // HashAcc: keys + values over the power-of-two capacity (load
+        // factor ≤ ½), plus the occupied-slot list.
+        let cap = (ub.max(4)).saturating_mul(2).next_power_of_two();
+        cap.saturating_mul(4 + scalar) + ub.saturating_mul(4)
+    }
+}
+
+/// Upper bound on the **transient engine memory** of an unchunked
+/// [`spgemm`] run over these symbolic `bounds` into `n` output columns:
+/// the staged `(column, value)` stream plus the splice into the builder
+/// (each at most `Σ ub` entries), plus the widest row's accumulator
+/// scratch. This is the estimate the executor's
+/// [`MemoryBudget`](crate::MemoryBudget) is checked against.
+pub fn estimate_engine_bytes<T: Scalar>(bounds: &[u64], n: usize) -> u64 {
+    let total: u64 = bounds.iter().sum();
+    let max_row = bounds
+        .iter()
+        .map(|&ub| row_scratch_bytes::<T>(ub, n))
+        .max()
+        .unwrap_or(0);
+    total
+        .saturating_mul(entry_bytes::<T>())
+        .saturating_mul(2)
+        .saturating_add(max_row)
+}
+
+/// Accounting report of a [`spgemm_chunked`] run: how the row-streamed
+/// execution stayed inside its scratch budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkedRun {
+    /// Number of row chunks the numeric pass was split into.
+    pub chunks: usize,
+    /// Peak transient scratch across all chunks (upper-bound accounting:
+    /// staged entries at their symbolic bound plus the chunk's widest
+    /// accumulator). Guaranteed `<= budget_bytes` on success.
+    pub peak_scratch_bytes: u64,
+    /// The scratch budget the run was held to.
+    pub budget_bytes: u64,
+}
+
+/// Row-chunked Gustavson SpGEMM: identical output to [`spgemm`], with the
+/// transient engine memory (per-chunk staging plus accumulator scratch)
+/// capped at `scratch_budget` bytes. Rows are processed in ascending
+/// order through the same per-row body as the unchunked engine
+/// (`gustavson_rows` via the chunk packager), and each chunk is spliced
+/// into the output builder before the next chunk's staging is allocated —
+/// so the result is **bit-identical** to [`spgemm`], only the peak
+/// scratch differs.
+///
+/// The exact-sized output CSR itself is exempt from the budget (it is the
+/// caller's requested result, not engine scratch); the budget caps what
+/// the engine allocates *on top of* the output.
+///
+/// # Errors
+///
+/// Returns [`SmashError::ResourceExhausted`] if even a single row's
+/// staging plus accumulator cannot fit the budget — there is no smaller
+/// execution unit to degrade to. `needed` reports that minimum.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()` or `bounds.len() != a.rows()`
+/// (callers obtain `bounds` from [`symbolic_bounds`]).
+pub fn spgemm_chunked<T: Scalar>(
+    a: &Csr<T>,
+    b: &Csr<T>,
+    bounds: &[u64],
+    scratch_budget: u64,
+) -> Result<(Csr<T>, ChunkedRun), SmashError> {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    assert_eq!(bounds.len(), a.rows(), "one symbolic bound per output row");
+    let n = b.cols();
+    let mut builder = CsrBuilder::new(n);
+    let mut run = ChunkedRun {
+        chunks: 0,
+        peak_scratch_bytes: 0,
+        budget_bytes: scratch_budget,
+    };
+    // Greedy chunking: extend the current chunk while its staging (counts
+    // plus staged entries at their symbolic bound) plus the widest
+    // accumulator seen still fits the budget.
+    let mut start = 0usize;
+    let mut stage = 0u64;
+    let mut acc = 0u64;
+    let mut flush = |start: usize, end: usize, footprint: u64, run: &mut ChunkedRun| {
+        let chunk = spgemm_chunk(a, b, start..end, bounds);
+        builder.push_row_chunk(&chunk.counts, &chunk.cols, &chunk.vals);
+        run.chunks += 1;
+        run.peak_scratch_bytes = run.peak_scratch_bytes.max(footprint);
+    };
+    for (i, &ub) in bounds.iter().enumerate() {
+        let row_stage = ub.saturating_mul(entry_bytes::<T>()) + 4;
+        let row_acc = row_scratch_bytes::<T>(ub, n);
+        let row_min = row_stage.saturating_add(row_acc);
+        if row_min > scratch_budget {
+            return Err(SmashError::ResourceExhausted {
+                needed: row_min,
+                budget: scratch_budget,
+            });
+        }
+        let grown = stage
+            .saturating_add(row_stage)
+            .saturating_add(acc.max(row_acc));
+        if i > start && grown > scratch_budget {
+            flush(start, i, stage.saturating_add(acc), &mut run);
+            start = i;
+            stage = 0;
+            acc = 0;
+        }
+        stage = stage.saturating_add(row_stage);
+        acc = acc.max(row_acc);
+    }
+    if start < bounds.len() || bounds.is_empty() {
+        flush(start, bounds.len(), stage.saturating_add(acc), &mut run);
+    }
+    Ok((builder.finish(), run))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -568,6 +704,63 @@ mod tests {
                 "threads={threads}"
             );
         }
+    }
+
+    #[test]
+    fn chunked_run_is_bit_identical_and_respects_budget() {
+        let a = generators::power_law(150, 150, 4_000, 1.3, 7);
+        let want = spgemm(&a, &a);
+        let (bounds, _) = symbolic_bounds(&a, &a);
+
+        // A budget covering the whole unchunked estimate: one chunk.
+        let full = estimate_engine_bytes::<f64>(&bounds, a.cols());
+        let (c, run) = spgemm_chunked(&a, &a, &bounds, full).unwrap();
+        assert_eq!(c, want, "roomy budget");
+        assert_eq!(run.chunks, 1);
+        assert!(run.peak_scratch_bytes <= run.budget_bytes);
+
+        // The tightest budget every row fits alone in: many chunks, the
+        // same bits, and the peak-accumulator accounting stays inside.
+        let tight = bounds
+            .iter()
+            .map(|&ub| ub * entry_bytes::<f64>() + 4 + row_scratch_bytes::<f64>(ub, a.cols()))
+            .max()
+            .unwrap();
+        let (c, run) = spgemm_chunked(&a, &a, &bounds, tight).unwrap();
+        assert_eq!(c, want, "tight budget");
+        assert!(run.chunks > 1, "tight budget must force chunking");
+        assert!(
+            run.peak_scratch_bytes <= run.budget_bytes,
+            "peak {} must stay within budget {}",
+            run.peak_scratch_bytes,
+            run.budget_bytes
+        );
+    }
+
+    #[test]
+    fn chunked_run_reports_exhaustion_when_one_row_cannot_fit() {
+        let a = generators::uniform(32, 32, 300, 5);
+        let (bounds, _) = symbolic_bounds(&a, &a);
+        let err = spgemm_chunked(&a, &a, &bounds, 1).expect_err("1 byte fits nothing");
+        match err {
+            SmashError::ResourceExhausted { needed, budget } => {
+                assert_eq!(budget, 1);
+                assert!(needed > 1);
+            }
+            other => panic!("expected ResourceExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn engine_estimate_scales_with_work() {
+        let small = estimate_engine_bytes::<f64>(&[1, 2, 3], 64);
+        let big = estimate_engine_bytes::<f64>(&[100, 200, 300], 64);
+        assert!(big > small);
+        // f32 entries are smaller than f64 entries.
+        assert!(
+            estimate_engine_bytes::<f32>(&[100], 64) < estimate_engine_bytes::<f64>(&[100], 64)
+        );
+        assert_eq!(estimate_engine_bytes::<f64>(&[], 64), 0);
     }
 
     #[test]

@@ -1,4 +1,5 @@
 use crate::{Csr, Dense, MatrixError, Result, Scalar};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Block Compressed Sparse Row matrix (paper’s TACO-BCSR baseline, reference 38).
 ///
@@ -21,7 +22,7 @@ use crate::{Csr, Dense, MatrixError, Result, Scalar};
 /// assert_eq!(bcsr.num_blocks(), 2);
 /// assert_eq!(bcsr.nnz_stored(), 8); // two 2x2 tiles
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug)]
 pub struct Bcsr<T> {
     rows: usize,
     cols: usize,
@@ -35,6 +36,39 @@ pub struct Bcsr<T> {
     values: Vec<T>,
     /// Number of logical (non-padding) non-zeros.
     nnz_logical: usize,
+    /// Cached result of a successful structural check (see
+    /// [`Csr`](crate::Csr): same acceleration, same exclusion from
+    /// `Clone` origin / `PartialEq`).
+    verified: AtomicBool,
+}
+
+impl<T: Clone> Clone for Bcsr<T> {
+    fn clone(&self) -> Self {
+        Bcsr {
+            rows: self.rows,
+            cols: self.cols,
+            block_rows: self.block_rows,
+            block_cols: self.block_cols,
+            block_row_ptr: self.block_row_ptr.clone(),
+            block_col_ind: self.block_col_ind.clone(),
+            values: self.values.clone(),
+            nnz_logical: self.nnz_logical,
+            verified: AtomicBool::new(self.verified.load(Ordering::Acquire)),
+        }
+    }
+}
+
+impl<T: PartialEq> PartialEq for Bcsr<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.block_rows == other.block_rows
+            && self.block_cols == other.block_cols
+            && self.block_row_ptr == other.block_row_ptr
+            && self.block_col_ind == other.block_col_ind
+            && self.values == other.values
+            && self.nnz_logical == other.nnz_logical
+    }
 }
 
 impl<T: Scalar> Bcsr<T> {
@@ -109,7 +143,176 @@ impl<T: Scalar> Bcsr<T> {
             block_col_ind,
             values,
             nnz_logical: csr.nnz(),
+            // The merge walks block columns in sorted, deduplicated order
+            // per block row — the conversion establishes every invariant.
+            verified: AtomicBool::new(true),
         })
+    }
+
+    /// Builds a BCSR matrix from raw parts, validating the structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::InvalidStructure`] if the arrays are
+    /// inconsistent (zero block dimensions, wrong pointer/tile lengths,
+    /// non-monotone `block_row_ptr`, unsorted or duplicate block columns,
+    /// an impossible `nnz_logical`) and [`MatrixError::IndexOutOfBounds`]
+    /// if a block column lies outside the matrix.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        block_rows: usize,
+        block_cols: usize,
+        block_row_ptr: Vec<u32>,
+        block_col_ind: Vec<u32>,
+        values: Vec<T>,
+        nnz_logical: usize,
+    ) -> Result<Self> {
+        let m = Bcsr::from_parts_unchecked(
+            rows,
+            cols,
+            block_rows,
+            block_cols,
+            block_row_ptr,
+            block_col_ind,
+            values,
+            nnz_logical,
+        );
+        m.validate()?;
+        Ok(m)
+    }
+
+    /// Builds a BCSR matrix from raw parts **without checking the
+    /// invariants**.
+    ///
+    /// # Trust contract
+    ///
+    /// Same shape as [`Csr::from_parts_unchecked`](crate::Csr::from_parts_unchecked):
+    /// the arrays are expected to satisfy everything
+    /// [`Bcsr::from_parts`] checks. Violations can never cause undefined
+    /// behaviour (all access is bounds-checked) but kernels may panic or
+    /// compute garbage. The matrix is marked unverified, so
+    /// [`Bcsr::validate`] — and the executor's `try_*` tier — reports
+    /// `Err(InvalidStructure)` instead.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts_unchecked(
+        rows: usize,
+        cols: usize,
+        block_rows: usize,
+        block_cols: usize,
+        block_row_ptr: Vec<u32>,
+        block_col_ind: Vec<u32>,
+        values: Vec<T>,
+        nnz_logical: usize,
+    ) -> Self {
+        Bcsr {
+            rows,
+            cols,
+            block_rows,
+            block_cols,
+            block_row_ptr,
+            block_col_ind,
+            values,
+            nnz_logical,
+            verified: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether this matrix has already passed a structural check.
+    pub fn is_verified(&self) -> bool {
+        self.verified.load(Ordering::Acquire)
+    }
+
+    /// Checks every BCSR invariant in O(blocks), caching success so
+    /// repeated calls are O(1).
+    ///
+    /// # Errors
+    ///
+    /// Returns the same typed errors as [`Bcsr::from_parts`].
+    pub fn validate(&self) -> Result<()> {
+        if self.verified.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        self.check_structure()?;
+        self.verified.store(true, Ordering::Release);
+        Ok(())
+    }
+
+    /// The uncached structural walk behind [`Bcsr::validate`].
+    fn check_structure(&self) -> Result<()> {
+        if self.block_rows == 0 || self.block_cols == 0 {
+            return Err(MatrixError::InvalidStructure(
+                "block dimensions must be non-zero".into(),
+            ));
+        }
+        let n_block_rows = self.rows.div_ceil(self.block_rows);
+        let n_block_cols = self.cols.div_ceil(self.block_cols);
+        if self.block_row_ptr.len() != n_block_rows + 1 {
+            return Err(MatrixError::InvalidStructure(format!(
+                "block_row_ptr length {} != block rows + 1 = {}",
+                self.block_row_ptr.len(),
+                n_block_rows + 1
+            )));
+        }
+        if self.block_row_ptr.first() != Some(&0) {
+            return Err(MatrixError::InvalidStructure(
+                "block_row_ptr must start at 0".into(),
+            ));
+        }
+        if *self.block_row_ptr.last().unwrap() as usize != self.block_col_ind.len() {
+            return Err(MatrixError::InvalidStructure(format!(
+                "block_row_ptr end {} != stored blocks {}",
+                self.block_row_ptr.last().unwrap(),
+                self.block_col_ind.len()
+            )));
+        }
+        for w in self.block_row_ptr.windows(2) {
+            if w[0] > w[1] {
+                return Err(MatrixError::InvalidStructure(
+                    "block_row_ptr must be non-decreasing".into(),
+                ));
+            }
+        }
+        let block_size = self.block_rows * self.block_cols;
+        if self.values.len() != self.block_col_ind.len() * block_size {
+            return Err(MatrixError::InvalidStructure(format!(
+                "tile storage {} != blocks {} x block size {}",
+                self.values.len(),
+                self.block_col_ind.len(),
+                block_size
+            )));
+        }
+        for bi in 0..n_block_rows {
+            let lo = self.block_row_ptr[bi] as usize;
+            let hi = self.block_row_ptr[bi + 1] as usize;
+            let row_blocks = &self.block_col_ind[lo..hi];
+            for w in row_blocks.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(MatrixError::InvalidStructure(format!(
+                        "block row {bi} columns not strictly increasing"
+                    )));
+                }
+            }
+            if let Some(&bc) = row_blocks.last() {
+                if bc as usize >= n_block_cols {
+                    return Err(MatrixError::IndexOutOfBounds {
+                        row: bi * self.block_rows,
+                        col: bc as usize * self.block_cols,
+                        rows: self.rows,
+                        cols: self.cols,
+                    });
+                }
+            }
+        }
+        if self.nnz_logical > self.values.len() {
+            return Err(MatrixError::InvalidStructure(format!(
+                "nnz_logical {} exceeds stored values {}",
+                self.nnz_logical,
+                self.values.len()
+            )));
+        }
+        Ok(())
     }
 
     /// Converts back to CSR (padding zeros inside tiles are dropped).
@@ -361,6 +564,55 @@ mod tests {
     fn rejects_zero_block() {
         assert!(Bcsr::from_csr(&sample(), 0, 2).is_err());
         assert!(Bcsr::from_csr(&sample(), 2, 0).is_err());
+    }
+
+    #[test]
+    fn from_parts_roundtrips_and_validates() {
+        let a = sample();
+        let b = Bcsr::from_csr(&a, 2, 2).unwrap();
+        assert!(b.is_verified());
+        let rebuilt = Bcsr::from_parts(
+            b.rows(),
+            b.cols(),
+            2,
+            2,
+            b.block_row_ptr().to_vec(),
+            b.block_col_ind().to_vec(),
+            b.values().to_vec(),
+            b.nnz_logical(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, b);
+        assert!(rebuilt.is_verified());
+    }
+
+    #[test]
+    fn unchecked_parts_validate_lazily_with_typed_errors() {
+        let cases: Vec<Bcsr<f64>> = vec![
+            // Zero block dimension.
+            Bcsr::from_parts_unchecked(4, 4, 0, 2, vec![0, 0, 0], vec![], vec![], 0),
+            // Non-monotone block_row_ptr.
+            Bcsr::from_parts_unchecked(4, 4, 2, 2, vec![0, 2, 1], vec![0, 1], vec![0.0; 8], 2),
+            // Unsorted block columns within a block row.
+            Bcsr::from_parts_unchecked(2, 4, 2, 2, vec![0, 2], vec![1, 0], vec![0.0; 8], 2),
+            // Block column out of bounds.
+            Bcsr::from_parts_unchecked(2, 4, 2, 2, vec![0, 1], vec![9], vec![0.0; 4], 1),
+            // Tile storage disagrees with block count.
+            Bcsr::from_parts_unchecked(2, 4, 2, 2, vec![0, 1], vec![0], vec![0.0; 3], 1),
+            // nnz_logical larger than anything stored.
+            Bcsr::from_parts_unchecked(2, 4, 2, 2, vec![0, 1], vec![0], vec![0.0; 4], 99),
+        ];
+        for (i, m) in cases.iter().enumerate() {
+            assert!(!m.is_verified(), "case {i} must start unverified");
+            let err = m.validate().expect_err("case must fail validation");
+            assert!(
+                matches!(
+                    err,
+                    MatrixError::InvalidStructure(_) | MatrixError::IndexOutOfBounds { .. }
+                ),
+                "case {i}: unexpected error {err:?}"
+            );
+        }
     }
 
     #[test]

@@ -67,8 +67,18 @@ impl<T: Scalar> Csc<T> {
         row_ind: Vec<u32>,
         values: Vec<T>,
     ) -> Self {
+        // Trust contract (crate-internal): only conversion routines that
+        // construct the arrays themselves may call this — currently
+        // `Csr::to_csc`, whose counting sort establishes monotone col_ptr
+        // and ascending in-bounds rows per column. Violations cannot cause
+        // UB (all access is bounds-checked) but would panic in kernels;
+        // debug builds cross-check the cheap shape invariants here.
         debug_assert_eq!(col_ptr.len(), cols + 1);
         debug_assert_eq!(row_ind.len(), values.len());
+        debug_assert_eq!(col_ptr.first(), Some(&0));
+        debug_assert_eq!(col_ptr.last().copied().unwrap_or(0) as usize, row_ind.len());
+        debug_assert!(col_ptr.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert!(row_ind.iter().all(|&r| (r as usize) < rows));
         Csc {
             rows,
             cols,

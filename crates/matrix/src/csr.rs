@@ -1,4 +1,5 @@
 use crate::{Coo, Csc, Dense, MatrixError, Result, Scalar};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Compressed Sparse Row matrix (paper §2.1, Fig. 1).
 ///
@@ -22,13 +23,42 @@ use crate::{Coo, Csc, Dense, MatrixError, Result, Scalar};
 /// assert_eq!(a.row_ptr(), &[0, 1, 3, 4, 6]);
 /// assert_eq!(a.col_ind(), &[0, 0, 2, 3, 0, 1]);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug)]
 pub struct Csr<T> {
     rows: usize,
     cols: usize,
     row_ptr: Vec<u32>,
     col_ind: Vec<u32>,
     values: Vec<T>,
+    /// Cached result of a successful structural check: set by every
+    /// validating constructor and by [`Csr::validate`] on success, so hot
+    /// loops (the executor's `try_*` tier validates per call) never re-pay
+    /// the O(nnz) walk. Purely an acceleration — never consulted for
+    /// correctness decisions, excluded from `Clone` origin / `PartialEq`.
+    verified: AtomicBool,
+}
+
+impl<T: Clone> Clone for Csr<T> {
+    fn clone(&self) -> Self {
+        Csr {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr: self.row_ptr.clone(),
+            col_ind: self.col_ind.clone(),
+            values: self.values.clone(),
+            verified: AtomicBool::new(self.verified.load(Ordering::Acquire)),
+        }
+    }
+}
+
+impl<T: PartialEq> PartialEq for Csr<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.row_ptr == other.row_ptr
+            && self.col_ind == other.col_ind
+            && self.values == other.values
+    }
 }
 
 impl<T: Scalar> Csr<T> {
@@ -47,6 +77,73 @@ impl<T: Scalar> Csr<T> {
         col_ind: Vec<u32>,
         values: Vec<T>,
     ) -> Result<Self> {
+        let m = Csr::from_parts_unchecked(rows, cols, row_ptr, col_ind, values);
+        m.validate()?;
+        Ok(m)
+    }
+
+    /// Builds a CSR matrix from raw parts **without checking the
+    /// invariants** — the trusted fast path for callers that hold arrays
+    /// already known to be valid (e.g. sliced out of another CSR).
+    ///
+    /// # Trust contract
+    ///
+    /// The arrays are expected to satisfy everything
+    /// [`Csr::from_parts`] checks: `row_ptr` of length `rows + 1`,
+    /// starting at 0, non-decreasing, ending at `col_ind.len()`;
+    /// `col_ind.len() == values.len()`; per row, strictly increasing
+    /// in-bounds column indices. **No undefined behaviour** can result
+    /// from violating the contract — every access is bounds-checked — but
+    /// kernels may panic or silently compute garbage. The matrix is
+    /// marked unverified: [`Csr::validate`] (and therefore the executor's
+    /// `try_*` tier) runs the full O(nnz) check and returns
+    /// `Err(InvalidStructure)` instead of panicking, which is the
+    /// documented front door for operands of untrusted provenance.
+    pub fn from_parts_unchecked(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<u32>,
+        col_ind: Vec<u32>,
+        values: Vec<T>,
+    ) -> Self {
+        Csr {
+            rows,
+            cols,
+            row_ptr,
+            col_ind,
+            values,
+            verified: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether this matrix has already passed a structural check (at
+    /// construction or through [`Csr::validate`]).
+    pub fn is_verified(&self) -> bool {
+        self.verified.load(Ordering::Acquire)
+    }
+
+    /// Checks every CSR invariant — `row_ptr` shape/monotonicity, array
+    /// length agreement, strictly increasing in-bounds columns per row —
+    /// in O(nnz + rows), caching success so repeated calls are O(1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::InvalidStructure`] /
+    /// [`MatrixError::IndexOutOfBounds`] exactly as [`Csr::from_parts`]
+    /// would for the same arrays.
+    pub fn validate(&self) -> Result<()> {
+        if self.verified.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        self.check_structure()?;
+        self.verified.store(true, Ordering::Release);
+        Ok(())
+    }
+
+    /// The uncached O(nnz) structural walk behind [`Csr::validate`].
+    fn check_structure(&self) -> Result<()> {
+        let (rows, cols) = (self.rows, self.cols);
+        let (row_ptr, col_ind, values) = (&self.row_ptr, &self.col_ind, &self.values);
         if row_ptr.len() != rows + 1 {
             return Err(MatrixError::InvalidStructure(format!(
                 "row_ptr length {} != rows + 1 = {}",
@@ -101,13 +198,7 @@ impl<T: Scalar> Csr<T> {
                 }
             }
         }
-        Ok(Csr {
-            rows,
-            cols,
-            row_ptr,
-            col_ind,
-            values,
-        })
+        Ok(())
     }
 
     /// Builds a CSR matrix from a COO matrix (compressing a clone first if
@@ -142,6 +233,9 @@ impl<T: Scalar> Csr<T> {
             row_ptr,
             col_ind,
             values,
+            // A compressed COO is sorted, deduplicated and in bounds — the
+            // prefix sum above preserves exactly the CSR invariants.
+            verified: AtomicBool::new(true),
         }
     }
 
@@ -207,6 +301,9 @@ impl<T: Scalar> Csr<T> {
             row_ptr: csc.col_ptr().to_vec(),
             col_ind: csc.row_ind().to_vec(),
             values: csc.values().to_vec(),
+            // The CSC counting sort emits each column's rows in ascending
+            // order, which is exactly the transposed CSR's row invariant.
+            verified: AtomicBool::new(true),
         }
     }
 
@@ -302,6 +399,8 @@ impl<T: Scalar> Csr<T> {
                 .iter()
                 .map(|v| U::from_f64(v.to_f64()))
                 .collect(),
+            // Structure is shared verbatim, so verification carries over.
+            verified: AtomicBool::new(self.verified.load(Ordering::Acquire)),
         }
     }
 
@@ -623,16 +722,27 @@ impl<T: Scalar> CsrBuilder<T> {
         }
     }
 
-    /// Finishes the matrix. O(1): every invariant was enforced during
-    /// construction.
+    /// Finishes the matrix. O(1) in release builds: every invariant was
+    /// enforced by [`push_row`](CsrBuilder::push_row) as the rows landed.
+    /// Debug builds route the result through the full structural check
+    /// once more, so a builder bug (or a future push path that forgets a
+    /// check) is caught at the construction site rather than inside a
+    /// kernel.
     pub fn finish(self) -> Csr<T> {
-        Csr {
+        let m = Csr {
             rows: self.row_ptr.len() - 1,
             cols: self.cols,
             row_ptr: self.row_ptr,
             col_ind: self.col_ind,
             values: self.values,
-        }
+            verified: AtomicBool::new(true),
+        };
+        debug_assert!(
+            m.check_structure().is_ok(),
+            "CsrBuilder emitted an invalid matrix: {:?}",
+            m.check_structure().err()
+        );
+        m
     }
 }
 
@@ -760,6 +870,67 @@ mod tests {
         assert!(Csr::<f64>::from_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).is_err());
         // A valid one.
         assert!(Csr::<f64>::from_parts(1, 3, vec![0, 2], vec![0, 2], vec![1.0, 2.0]).is_ok());
+    }
+
+    #[test]
+    fn unchecked_parts_validate_lazily_with_typed_errors() {
+        // The same adversarial inputs from_parts rejects, but routed
+        // through the unchecked constructor: construction succeeds (the
+        // trust contract), validate() reports the typed error, and the
+        // verified marker stays clear.
+        let cases: Vec<Csr<f64>> = vec![
+            // Non-monotone row_ptr.
+            Csr::from_parts_unchecked(2, 2, vec![0, 2, 1], vec![0], vec![1.0]),
+            // Unsorted columns within a row.
+            Csr::from_parts_unchecked(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]),
+            // Duplicate column within a row.
+            Csr::from_parts_unchecked(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]),
+            // Column out of bounds.
+            Csr::from_parts_unchecked(1, 2, vec![0, 1], vec![5], vec![1.0]),
+            // row_ptr shorter than rows + 1.
+            Csr::from_parts_unchecked(3, 3, vec![0, 1], vec![0], vec![1.0]),
+            // row_ptr end disagrees with nnz.
+            Csr::from_parts_unchecked(1, 3, vec![0, 7], vec![0], vec![1.0]),
+        ];
+        for (i, m) in cases.iter().enumerate() {
+            assert!(!m.is_verified(), "case {i} must start unverified");
+            let err = m.validate().expect_err("case must fail validation");
+            assert!(
+                matches!(
+                    err,
+                    MatrixError::InvalidStructure(_) | MatrixError::IndexOutOfBounds { .. }
+                ),
+                "case {i}: unexpected error {err:?}"
+            );
+            assert!(!m.is_verified(), "case {i} must stay unverified");
+        }
+    }
+
+    #[test]
+    fn validate_caches_the_verified_marker() {
+        let a = fig1();
+        assert!(a.is_verified(), "from_coo constructs verified");
+        let parts = Csr::<f64>::from_parts_unchecked(
+            a.rows(),
+            a.cols(),
+            a.row_ptr().to_vec(),
+            a.col_ind().to_vec(),
+            a.values().to_vec(),
+        );
+        assert!(!parts.is_verified());
+        parts.validate().unwrap();
+        assert!(parts.is_verified(), "success sets the cached marker");
+        // Clone carries the marker; equality ignores it.
+        assert!(parts.clone().is_verified());
+        assert_eq!(parts, a);
+        let fresh = Csr::<f64>::from_parts_unchecked(
+            a.rows(),
+            a.cols(),
+            a.row_ptr().to_vec(),
+            a.col_ind().to_vec(),
+            a.values().to_vec(),
+        );
+        assert_eq!(fresh, parts, "equality must not consult the marker");
     }
 
     #[test]

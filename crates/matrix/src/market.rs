@@ -25,6 +25,14 @@
 use crate::{Coo, MatrixError, Result, Scalar};
 use std::io::{BufRead, BufReader, Read, Write};
 
+/// Largest declared entry count the parser pre-allocates for before any
+/// entry line has been seen (2^20 triplets ≈ 20 MiB of `f64` COO). The
+/// declared `nnz` in an untrusted stream is a *claim*, not a measurement:
+/// capping the speculative reservation bounds the damage a tiny malicious
+/// stream with a huge header can do, while streams that really carry more
+/// entries grow the vector amortized as the entries arrive.
+const MAX_TRUSTED_PREALLOC: usize = 1 << 20;
+
 /// Value field declared in a Matrix Market header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum MarketField {
@@ -206,8 +214,19 @@ pub fn read_coo_with<T: Scalar, R: Read>(reader: R) -> Result<(Coo<T>, MarketHea
     let rows = parse_usize(dims[0], line_no)?;
     let cols = parse_usize(dims[1], line_no)?;
     let nnz = parse_usize(dims[2], line_no)?;
+    // An impossible count is rejected before anything is allocated, and a
+    // merely huge one is only *trusted* for pre-allocation up to a cap: a
+    // 30-byte stream must not be able to reserve gigabytes by declaring
+    // `usize::MAX` entries. Past the cap the entry vector grows amortized
+    // as real entries actually arrive, so honest large files still load.
+    if nnz > rows.saturating_mul(cols) {
+        return Err(MatrixError::Parse {
+            line: line_no,
+            message: format!("declared {nnz} entries exceed a {rows}x{cols} matrix"),
+        });
+    }
 
-    let mut coo = Coo::with_capacity(rows, cols, nnz);
+    let mut coo = Coo::with_capacity(rows, cols, nnz.min(MAX_TRUSTED_PREALLOC));
     let mut seen = 0usize;
     for l in lines {
         line_no += 1;

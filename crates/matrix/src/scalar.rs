@@ -57,6 +57,10 @@ pub trait Scalar:
     fn abs(self) -> Self;
     /// Fused (or at least combined) multiply-add: `self * a + b`.
     fn mul_add(self, a: Self, b: Self) -> Self;
+    /// Returns `true` when the value is neither NaN nor ±infinity — the
+    /// predicate behind the executor's non-finite rejection policy for
+    /// untrusted operands.
+    fn is_finite(self) -> bool;
 
     /// Returns `true` for the exact additive identity.
     ///
@@ -103,6 +107,9 @@ macro_rules! impl_scalar_float {
             fn mul_add(self, a: Self, b: Self) -> Self {
                 <$t>::mul_add(self, a, b)
             }
+            fn is_finite(self) -> bool {
+                <$t>::is_finite(self)
+            }
         }
     };
 }
@@ -125,6 +132,15 @@ mod tests {
     fn conversion_roundtrip() {
         assert_eq!(f64::from_f64(2.5).to_f64(), 2.5);
         assert_eq!(f32::from_f64(2.5).to_f64(), 2.5);
+    }
+
+    #[test]
+    fn is_finite_flags_nan_and_infinities() {
+        assert!(1.0f64.is_finite());
+        assert!(Scalar::is_finite(f32::ZERO));
+        assert!(!Scalar::is_finite(f64::NAN));
+        assert!(!Scalar::is_finite(f64::INFINITY));
+        assert!(!Scalar::is_finite(f32::NEG_INFINITY));
     }
 
     #[test]

@@ -1,0 +1,277 @@
+//! Deterministic fault injection for robustness testing (compiled only
+//! under the `fault-injection` cargo feature).
+//!
+//! The harness arms a [`FaultPlan`] — a set of (site, nth-occurrence)
+//! triggers — and the instrumented sites in the pool and the executor
+//! consult it on every pass. A trigger fires exactly once, at the chosen
+//! occurrence, and fires *deterministically*: the same plan against the
+//! same workload injects the same fault, so a failing seed reproduces.
+//!
+//! Sites:
+//!
+//! * [`Site::WorkerJob`] — a pool job panics (from *inside* the worker's
+//!   `catch_unwind`, the only place a real job panic can originate);
+//! * [`Site::PoolSpawn`] — [`ThreadPool::try_new`] fails as if the OS
+//!   refused to spawn a thread;
+//! * [`Site::BudgetCheck`] — the executor's SpGEMM budget check reports
+//!   exhaustion regardless of the real estimate.
+//!
+//! Arming returns a RAII [`Session`] that holds a global test-serialization
+//! lock (plans are process-global state, so two concurrently armed tests
+//! would race) and disarms on drop — a panicking test cannot leave a plan
+//! armed for its neighbours.
+//!
+//! ```
+//! use smash_parallel::faultinject::{self, FaultPlan, Site};
+//! use smash_parallel::ThreadPool;
+//!
+//! let session = faultinject::arm(FaultPlan::new().fail_at(Site::PoolSpawn, 1));
+//! assert!(ThreadPool::try_new(4).is_err(), "first spawn is injected to fail");
+//! assert_eq!(session.fired(), vec![(Site::PoolSpawn, 1)]);
+//! drop(session);
+//! assert!(ThreadPool::try_new(4).is_ok(), "disarmed: spawns succeed again");
+//! ```
+//!
+//! [`ThreadPool::try_new`]: crate::ThreadPool::try_new
+
+use std::sync::{Mutex, MutexGuard};
+
+/// An instrumented program point where a fault can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Site {
+    /// A job running on the thread pool panics.
+    WorkerJob,
+    /// Thread-pool construction fails as if the OS refused the spawn.
+    PoolSpawn,
+    /// The executor's SpGEMM memory-budget check reports exhaustion.
+    BudgetCheck,
+}
+
+/// Every injectable site, for harnesses that sweep all of them.
+pub const ALL_SITES: [Site; 3] = [Site::WorkerJob, Site::PoolSpawn, Site::BudgetCheck];
+
+impl Site {
+    fn index(self) -> usize {
+        match self {
+            Site::WorkerJob => 0,
+            Site::PoolSpawn => 1,
+            Site::BudgetCheck => 2,
+        }
+    }
+}
+
+/// Marker prefix on every injected panic payload, so tests (and the
+/// executor's degradation report) can tell an injected fault from a real
+/// kernel bug.
+pub const INJECTED_PANIC: &str = "injected fault:";
+
+/// A deterministic set of faults to inject: for each entry `(site, n)`,
+/// the `n`-th time execution passes that site (1-based, counted while the
+/// plan is armed) the fault fires.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    triggers: Vec<(Site, u64)>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults fire).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a trigger: fire at the `occurrence`-th pass (1-based) of
+    /// `site`. `occurrence == 0` never fires.
+    #[must_use]
+    pub fn fail_at(mut self, site: Site, occurrence: u64) -> Self {
+        self.triggers.push((site, occurrence));
+        self
+    }
+
+    /// Derives a plan deterministically from a seed: for each
+    /// `(site, max_occurrence)` pair, picks an occurrence in
+    /// `1..=max_occurrence` by xorshift. The same seed always yields the
+    /// same plan, so property tests can sweep seeds and still reproduce
+    /// failures exactly.
+    #[must_use]
+    pub fn seeded(seed: u64, sites: &[(Site, u64)]) -> Self {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut plan = FaultPlan::new();
+        for &(site, max_occurrence) in sites {
+            if max_occurrence == 0 {
+                continue;
+            }
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            plan = plan.fail_at(site, state % max_occurrence + 1);
+        }
+        plan
+    }
+
+    /// Whether the plan has no triggers at all.
+    pub fn is_empty(&self) -> bool {
+        self.triggers.is_empty()
+    }
+}
+
+/// The armed plan plus per-site pass counters and the log of fired
+/// triggers.
+#[derive(Debug)]
+struct Armed {
+    plan: FaultPlan,
+    counts: [u64; ALL_SITES.len()],
+    fired: Vec<(Site, u64)>,
+}
+
+/// The process-global armed plan. `None` (the default) means every site is
+/// pass-through, so release paths that happen to be compiled with the
+/// feature behave normally until a test arms a plan.
+static ARMED: Mutex<Option<Armed>> = Mutex::new(None);
+
+/// Serializes armed sessions across test threads: the plan is global, so
+/// two concurrently armed tests would observe each other's faults.
+static SESSION: Mutex<()> = Mutex::new(());
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// An armed fault-injection session. Holds the global test-serialization
+/// lock; dropping it disarms the plan (even when the test panics, which is
+/// the common case for a fault-injection test).
+#[derive(Debug)]
+pub struct Session {
+    _serial: MutexGuard<'static, ()>,
+}
+
+impl Session {
+    /// The triggers that have fired so far, in firing order.
+    pub fn fired(&self) -> Vec<(Site, u64)> {
+        lock(&ARMED)
+            .as_ref()
+            .map(|a| a.fired.clone())
+            .unwrap_or_default()
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        *lock(&ARMED) = None;
+    }
+}
+
+/// Arms `plan` and returns the RAII [`Session`] guarding it. Blocks until
+/// any previously armed session has dropped.
+pub fn arm(plan: FaultPlan) -> Session {
+    let serial = lock(&SESSION);
+    *lock(&ARMED) = Some(Armed {
+        plan,
+        counts: [0; ALL_SITES.len()],
+        fired: Vec::new(),
+    });
+    Session { _serial: serial }
+}
+
+/// Records one pass over `site` and reports whether an armed trigger
+/// fires at this occurrence. Pass-through (`false`, and no counting) when
+/// nothing is armed.
+pub fn should_fail(site: Site) -> bool {
+    let mut guard = lock(&ARMED);
+    let Some(armed) = guard.as_mut() else {
+        return false;
+    };
+    armed.counts[site.index()] += 1;
+    let occurrence = armed.counts[site.index()];
+    if armed
+        .plan
+        .triggers
+        .iter()
+        .any(|&(s, n)| s == site && n == occurrence)
+    {
+        armed.fired.push((site, occurrence));
+        true
+    } else {
+        false
+    }
+}
+
+/// Panics with an [`INJECTED_PANIC`]-tagged payload if a trigger fires at
+/// this pass of `site`.
+pub fn maybe_panic(site: Site) {
+    if should_fail(site) {
+        panic!("{INJECTED_PANIC} {site:?} panic");
+    }
+}
+
+/// Returns an [`INJECTED_PANIC`]-tagged `io::Error` if a trigger fires at
+/// this pass of `site`.
+///
+/// # Errors
+///
+/// Fails exactly when an armed trigger matches this occurrence.
+pub fn maybe_fail_io(site: Site) -> std::io::Result<()> {
+    if should_fail(site) {
+        return Err(std::io::Error::other(format!(
+            "{INJECTED_PANIC} {site:?} failure"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_sites_pass_through() {
+        assert!(!should_fail(Site::WorkerJob));
+        assert!(maybe_fail_io(Site::PoolSpawn).is_ok());
+        maybe_panic(Site::BudgetCheck); // must not panic
+    }
+
+    #[test]
+    fn trigger_fires_at_exact_occurrence_once() {
+        let session = arm(FaultPlan::new().fail_at(Site::BudgetCheck, 3));
+        assert!(!should_fail(Site::BudgetCheck));
+        assert!(!should_fail(Site::BudgetCheck));
+        assert!(should_fail(Site::BudgetCheck), "third pass fires");
+        assert!(!should_fail(Site::BudgetCheck), "fires exactly once");
+        assert!(!should_fail(Site::WorkerJob), "other sites are independent");
+        assert_eq!(session.fired(), vec![(Site::BudgetCheck, 3)]);
+    }
+
+    #[test]
+    fn session_drop_disarms() {
+        {
+            let _session = arm(FaultPlan::new().fail_at(Site::WorkerJob, 1));
+        }
+        assert!(!should_fail(Site::WorkerJob), "dropped session disarms");
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_in_range() {
+        let sites = [(Site::WorkerJob, 5), (Site::BudgetCheck, 2)];
+        for seed in 0..64 {
+            let a = FaultPlan::seeded(seed, &sites);
+            let b = FaultPlan::seeded(seed, &sites);
+            assert_eq!(a, b, "same seed, same plan");
+            for (&(_, max), &(_, picked)) in sites.iter().zip(&a.triggers) {
+                assert!((1..=max).contains(&picked), "occurrence within range");
+            }
+        }
+        assert_ne!(
+            FaultPlan::seeded(1, &sites),
+            FaultPlan::seeded(2, &sites),
+            "different seeds diverge (for these two, at least)"
+        );
+    }
+
+    #[test]
+    fn injected_panic_payload_is_tagged() {
+        let _session = arm(FaultPlan::new().fail_at(Site::WorkerJob, 1));
+        let caught = std::panic::catch_unwind(|| maybe_panic(Site::WorkerJob));
+        let payload = caught.expect_err("must panic");
+        let msg = payload.downcast_ref::<String>().expect("string payload");
+        assert!(msg.starts_with(INJECTED_PANIC));
+    }
+}

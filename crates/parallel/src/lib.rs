@@ -37,6 +37,8 @@
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+#[cfg(feature = "fault-injection")]
+pub mod faultinject;
 mod kernels;
 mod partition;
 mod pool;
@@ -46,4 +48,6 @@ pub use kernels::{
     par_spmv_bcsr, par_spmv_csr, par_spmv_smash,
 };
 pub use partition::{partition_by_weight, partition_rows};
-pub use pool::{default_threads, Scope, ThreadPool, THREADS_ENV};
+pub use pool::{
+    default_threads, threads_from_env, Scope, ThreadPool, ThreadsEnvError, THREADS_ENV,
+};

@@ -20,13 +20,59 @@ pub const THREADS_ENV: &str = "SMASH_THREADS";
 /// Worker count used when none is given explicitly: the `SMASH_THREADS`
 /// environment variable if set to a positive integer, otherwise the
 /// machine's available parallelism.
+///
+/// A malformed override silently falls back to the hardware count — the
+/// forgiving behaviour the panicking tier has always had. Callers that
+/// must *report* a bad override (the executor's `try_*` tier) use
+/// [`threads_from_env`] instead, which returns a typed error.
 pub fn default_threads() -> usize {
+    threads_from_env()
+        .ok()
+        .flatten()
+        .unwrap_or_else(hardware_threads)
+}
+
+/// A malformed `SMASH_THREADS` override, reported by [`threads_from_env`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadsEnvError {
+    /// The raw value of the environment variable (lossily decoded if it
+    /// was not valid Unicode).
+    pub raw: String,
+}
+
+impl std::fmt::Display for ThreadsEnvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{THREADS_ENV} must be a positive integer, got {:?}",
+            self.raw
+        )
+    }
+}
+
+impl std::error::Error for ThreadsEnvError {}
+
+/// Reads the `SMASH_THREADS` override, distinguishing "unset" from
+/// "invalid".
+///
+/// Returns `Ok(None)` when the variable is unset, `Ok(Some(n))` for a
+/// positive integer, and a typed [`ThreadsEnvError`] for anything else
+/// (zero, garbage, non-Unicode) — instead of the silent hardware-count
+/// fallback of [`default_threads`].
+///
+/// # Errors
+///
+/// Returns [`ThreadsEnvError`] carrying the rejected raw value.
+pub fn threads_from_env() -> Result<Option<usize>, ThreadsEnvError> {
     match std::env::var(THREADS_ENV) {
         Ok(s) => match s.trim().parse::<usize>() {
-            Ok(n) if n >= 1 => n,
-            _ => hardware_threads(),
+            Ok(n) if n >= 1 => Ok(Some(n)),
+            _ => Err(ThreadsEnvError { raw: s }),
         },
-        Err(_) => hardware_threads(),
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(raw)) => Err(ThreadsEnvError {
+            raw: raw.to_string_lossy().into_owned(),
+        }),
     }
 }
 
@@ -68,46 +114,78 @@ pub struct ThreadPool {
 impl ThreadPool {
     /// Creates a pool with `threads` workers. `0` means "use
     /// [`default_threads`]" (which honours `SMASH_THREADS`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operating system refuses to spawn a worker thread.
+    /// Fallible callers (the executor's `try_*` tier) use [`try_new`]
+    /// instead.
+    ///
+    /// [`try_new`]: Self::try_new
     pub fn new(threads: usize) -> Self {
+        Self::try_new(threads).expect("spawning a worker thread")
+    }
+
+    /// Fallible variant of [`new`](Self::new): surfaces an OS refusal to
+    /// spawn a worker as an error instead of panicking. Workers already
+    /// spawned before the failure are shut down and joined, so an `Err`
+    /// leaks no threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns the spawn error from the operating system.
+    pub fn try_new(threads: usize) -> std::io::Result<Self> {
         let threads = if threads == 0 {
             default_threads()
         } else {
             threads
         };
+        #[cfg(feature = "fault-injection")]
+        crate::faultinject::maybe_fail_io(crate::faultinject::Site::PoolSpawn)?;
         if threads == 1 {
-            return ThreadPool {
+            return Ok(ThreadPool {
                 sender: None,
                 workers: Vec::new(),
                 threads: 1,
-            };
+            });
         }
         let (sender, receiver) = channel::<Job>();
         let receiver = Arc::new(Mutex::new(receiver));
-        let workers = (0..threads)
-            .map(|i| {
-                let receiver = Arc::clone(&receiver);
-                std::thread::Builder::new()
-                    .name(format!("smash-worker-{i}"))
-                    .spawn(move || loop {
-                        // Hold the receiver lock only while dequeuing, not
-                        // while running the job.
-                        let job = {
-                            let guard = lock(&receiver);
-                            guard.recv()
-                        };
-                        match job {
-                            Ok(job) => job(),
-                            Err(_) => break, // pool dropped: shut down
-                        }
-                    })
-                    .expect("spawning a worker thread")
-            })
-            .collect();
-        ThreadPool {
+        let mut workers = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let receiver = Arc::clone(&receiver);
+            let spawned = std::thread::Builder::new()
+                .name(format!("smash-worker-{i}"))
+                .spawn(move || loop {
+                    // Hold the receiver lock only while dequeuing, not
+                    // while running the job.
+                    let job = {
+                        let guard = lock(&receiver);
+                        guard.recv()
+                    };
+                    match job {
+                        Ok(job) => job(),
+                        Err(_) => break, // pool dropped: shut down
+                    }
+                });
+            match spawned {
+                Ok(handle) => workers.push(handle),
+                Err(e) => {
+                    // Close the channel so the workers spawned so far see
+                    // a failed `recv` and exit, then join them.
+                    drop(sender);
+                    for worker in workers {
+                        let _ = worker.join();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(ThreadPool {
             sender: Some(sender),
             workers,
             threads,
-        }
+        })
     }
 
     /// Creates a pool sized by [`default_threads`] (`SMASH_THREADS` if set,
@@ -244,6 +322,16 @@ impl<'scope> Scope<'_, 'scope> {
     {
         *lock(&self.state.pending) += 1;
         let state = Arc::clone(&self.state);
+        // Fault-injection hook: the injected panic must originate *inside*
+        // the `catch_unwind` below — a panic outside it would kill the
+        // worker's run loop without decrementing `pending` and deadlock
+        // `wait_all`, which is exactly the failure mode the harness exists
+        // to rule out.
+        #[cfg(feature = "fault-injection")]
+        let f = move || {
+            crate::faultinject::maybe_panic(crate::faultinject::Site::WorkerJob);
+            f()
+        };
         let task = move || {
             let result = catch_unwind(AssertUnwindSafe(f));
             state.complete(result.err());
@@ -412,6 +500,92 @@ mod tests {
         let _guard = lock(&ENV_LOCK);
         let pool = ThreadPool::new(0);
         assert!(pool.threads() >= 1);
+    }
+
+    #[test]
+    fn simultaneous_worker_panics_surface_exactly_one_payload() {
+        // Four workers all panic at the same instant (released by a
+        // barrier). Exactly one payload must surface — the first recorded
+        // — with no deadlock, and the pool must stay usable.
+        let pool = ThreadPool::new(4);
+        let barrier = std::sync::Barrier::new(4);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scoped(|s| {
+                for i in 0..4 {
+                    let barrier = &barrier;
+                    s.execute(move || {
+                        barrier.wait();
+                        panic!("simultaneous boom {i}");
+                    });
+                }
+            });
+        }));
+        let payload = caught.expect_err("one panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("payload preserved")
+            .clone();
+        assert!(
+            msg.starts_with("simultaneous boom "),
+            "unexpected payload: {msg}"
+        );
+        // The pool survived four concurrent panics.
+        let mut x = 0u32;
+        pool.scoped(|s| s.execute(|| x = 7));
+        assert_eq!(x, 7);
+    }
+
+    #[test]
+    fn pool_drop_after_panicked_scope_is_clean() {
+        // Dropping the pool right after a scope whose jobs panicked must
+        // join all workers without hanging or double-panicking.
+        let pool = ThreadPool::new(3);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scoped(|s| {
+                for _ in 0..6 {
+                    s.execute(|| panic!("boom before drop"));
+                }
+            });
+        }));
+        assert!(caught.is_err());
+        drop(pool); // must not hang or panic
+    }
+
+    #[test]
+    fn threads_from_env_rejects_garbage_with_typed_error() {
+        let _guard = lock(&ENV_LOCK);
+        std::env::set_var(THREADS_ENV, "not-a-number");
+        let err = threads_from_env().expect_err("garbage must be rejected");
+        assert_eq!(err.raw, "not-a-number");
+        assert!(err.to_string().contains(THREADS_ENV));
+
+        std::env::set_var(THREADS_ENV, "0");
+        assert_eq!(
+            threads_from_env(),
+            Err(ThreadsEnvError { raw: "0".into() }),
+            "zero threads is invalid, not a silent default"
+        );
+
+        std::env::set_var(THREADS_ENV, " 5 ");
+        assert_eq!(threads_from_env(), Ok(Some(5)), "whitespace is trimmed");
+
+        std::env::remove_var(THREADS_ENV);
+        assert_eq!(threads_from_env(), Ok(None), "unset is not an error");
+    }
+
+    #[test]
+    fn try_new_builds_a_working_pool() {
+        let pool = ThreadPool::try_new(2).expect("spawn succeeds");
+        assert_eq!(pool.threads(), 2);
+        let counter = AtomicUsize::new(0);
+        pool.scoped(|s| {
+            for _ in 0..8 {
+                s.execute(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
     }
 
     #[test]

@@ -28,12 +28,20 @@
 //!   Centrality built on the kernels, generic over precision through
 //!   `Graph<T>`.
 //!
+//! For untrusted input, the executor's `try_*` tier ([`Executor::try_spmv`]
+//! and friends) validates operands up front, reports every failure mode
+//! through the unified [`SmashError`], and degrades gracefully — worker
+//! panics retry serially, over-budget SpGEMM can stream in row chunks
+//! under a [`MemoryBudget`] — always returning either a typed error or a
+//! bit-identical result.
+//!
 //! The repository's `docs/` directory holds the long-form guides:
 //! `docs/ARCHITECTURE.md` (crate map and the data flow of one SpMV),
 //! `docs/DISPATCH.md` (the measured cost-model planner behind
-//! [`Executor::auto`]), and `docs/BENCHMARKS.md` (what every perf
-//! snapshot asserts). Their code snippets compile as doctests of this
-//! crate.
+//! [`Executor::auto`]), `docs/BENCHMARKS.md` (what every perf snapshot
+//! asserts), and `docs/ROBUSTNESS.md` (the error taxonomy, the
+//! degradation ladder, and the fault-injection suite). Their code
+//! snippets compile as doctests of this crate.
 //!
 //! # Quickstart
 //!
@@ -73,7 +81,10 @@ pub use smash_matrix as matrix;
 pub use smash_parallel as parallel;
 pub use smash_sim as sim;
 
-pub use smash_kernels::{ExecMode, Executor, SpmvOperand};
+pub use smash_kernels::{
+    Degradation, ExecMode, ExecReport, Executor, MemoryBudget, NonFinitePolicy, SmashError,
+    SpmvOperand,
+};
 
 // Compile-check every Rust snippet in the README and the `docs/` guides
 // as doctests: `cargo test --doc` fails if a guide drifts from the API.
@@ -92,3 +103,7 @@ pub struct DispatchDoctests;
 #[cfg(doctest)]
 #[doc = include_str!("../docs/BENCHMARKS.md")]
 pub struct BenchmarksDoctests;
+
+#[cfg(doctest)]
+#[doc = include_str!("../docs/ROBUSTNESS.md")]
+pub struct RobustnessDoctests;

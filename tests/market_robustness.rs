@@ -1,0 +1,178 @@
+//! Adversarial Matrix Market corpus: every malformed stream must come
+//! back as a typed [`MatrixError::Parse`] / [`MatrixError::Io`] — never a
+//! panic, never an allocation trusted from a hostile header. The corpus
+//! is deterministic (no generated cases) so a regression names the exact
+//! input that broke.
+
+use smash::matrix::market::read_coo;
+use smash::matrix::MatrixError;
+
+/// Every entry: (label, bytes, expected substring of the error display).
+/// Bytes, not &str — some cases are deliberately invalid UTF-8.
+fn corpus() -> Vec<(&'static str, Vec<u8>, &'static str)> {
+    vec![
+        ("empty stream", b"".to_vec(), "empty stream"),
+        (
+            "whitespace only",
+            b"   \n  \n".to_vec(),
+            "MatrixMarket header",
+        ),
+        (
+            "truncated banner",
+            b"%%MatrixM".to_vec(),
+            "MatrixMarket header",
+        ),
+        (
+            "wrong object word",
+            b"%%MatrixMarket tensor coordinate real general\n1 1 0\n".to_vec(),
+            "unsupported object/format",
+        ),
+        (
+            "array format unsupported",
+            b"%%MatrixMarket matrix array real general\n2 2\n1.0\n".to_vec(),
+            "unsupported object/format",
+        ),
+        (
+            "bogus field type",
+            b"%%MatrixMarket matrix coordinate quaternion general\n1 1 0\n".to_vec(),
+            "unsupported field type",
+        ),
+        (
+            "bogus symmetry",
+            b"%%MatrixMarket matrix coordinate real diagonal\n1 1 0\n".to_vec(),
+            "unsupported symmetry",
+        ),
+        (
+            "header only, no size line",
+            b"%%MatrixMarket matrix coordinate real general\n% a comment\n".to_vec(),
+            "missing size line",
+        ),
+        (
+            "size line with two tokens",
+            b"%%MatrixMarket matrix coordinate real general\n3 3\n".to_vec(),
+            "rows cols nnz",
+        ),
+        (
+            "size line with garbage integer",
+            b"%%MatrixMarket matrix coordinate real general\n3 x 1\n1 1 1.0\n".to_vec(),
+            "invalid integer",
+        ),
+        (
+            "negative dimension",
+            b"%%MatrixMarket matrix coordinate real general\n-3 3 1\n1 1 1.0\n".to_vec(),
+            "invalid integer",
+        ),
+        (
+            // The over-allocation guard: a 60-byte stream declaring
+            // usize::MAX entries must fail fast on the impossible count,
+            // not reserve memory for it.
+            "declared nnz exceeds rows*cols",
+            b"%%MatrixMarket matrix coordinate real general\n3 3 18446744073709551615\n".to_vec(),
+            "exceed",
+        ),
+        (
+            // Huge-but-plausible count with a tiny body: pre-allocation is
+            // capped, and the truncation is still a typed error.
+            "huge declared nnz, tiny body",
+            b"%%MatrixMarket matrix coordinate real general\n1000000 1000000 999999999\n1 1 1.0\n"
+                .to_vec(),
+            "found 1",
+        ),
+        (
+            "entry row out of bounds",
+            b"%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n".to_vec(),
+            "outside",
+        ),
+        (
+            "one-based index zero",
+            b"%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n".to_vec(),
+            "outside",
+        ),
+        (
+            "entry with too few fields",
+            b"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n".to_vec(),
+            "expected 3 fields",
+        ),
+        (
+            "entry with unparsable value",
+            b"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 cheese\n".to_vec(),
+            "invalid value",
+        ),
+        (
+            "fewer entries than declared",
+            b"%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n".to_vec(),
+            "declared 3 entries, found 1",
+        ),
+        (
+            "more entries than declared",
+            b"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1.0\n2 2 1.0\n".to_vec(),
+            "declared 1 entries, found 2",
+        ),
+        (
+            "skew-symmetric explicit diagonal",
+            b"%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n1 1 1.0\n".to_vec(),
+            "diagonal",
+        ),
+        (
+            "non-utf8 bytes in header",
+            [
+                b"%%MatrixMarket matrix ".as_ref(),
+                &[0xff, 0xfe, 0x80],
+                b" real general\n",
+            ]
+            .concat(),
+            "", // Io error from the line reader; display text is platform-worded
+        ),
+        (
+            "non-utf8 bytes in an entry",
+            [
+                b"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 ".as_ref(),
+                &[0xc3, 0x28],
+                b"\n",
+            ]
+            .concat(),
+            "",
+        ),
+    ]
+}
+
+#[test]
+fn malformed_streams_fail_with_typed_errors_never_panic() {
+    for (label, bytes, expect) in corpus() {
+        let result = read_coo::<f64, _>(bytes.as_slice());
+        let err = match result {
+            Err(e) => e,
+            Ok(m) => panic!(
+                "{label}: parsed a malformed stream into {}x{}",
+                m.rows(),
+                m.cols()
+            ),
+        };
+        assert!(
+            matches!(err, MatrixError::Parse { .. } | MatrixError::Io(_)),
+            "{label}: wrong error category: {err:?}"
+        );
+        let shown = err.to_string();
+        assert!(
+            shown.contains(expect),
+            "{label}: error `{shown}` does not mention `{expect}`"
+        );
+    }
+}
+
+#[test]
+fn parse_errors_carry_the_offending_line_number() {
+    let text = b"%%MatrixMarket matrix coordinate real general\n% comment\n2 2 1\n1 1 oops\n";
+    match read_coo::<f64, _>(text.as_slice()) {
+        Err(MatrixError::Parse { line, .. }) => assert_eq!(line, 4),
+        other => panic!("expected a Parse error with a line number, got {other:?}"),
+    }
+}
+
+#[test]
+fn a_valid_stream_still_parses_after_the_hardening() {
+    let text = b"%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n1 1 1.5\n3 2 -2.0\n";
+    let m = read_coo::<f64, _>(text.as_slice()).expect("valid stream");
+    assert_eq!((m.rows(), m.cols()), (3, 3));
+    assert_eq!(m.nnz(), 3); // the (3,2) entry mirrors to (2,3)
+}
