@@ -11,10 +11,14 @@
 //!
 //! It also re-verifies, on real data, that the batched output is
 //! bit-identical to the per-column loop — the determinism guarantee the
-//! speedup must never trade away.
+//! speedup must never trade away. Each width is additionally timed with
+//! the SIMD dispatch layer forced to its scalar emulation
+//! (`smash_matrix::simd`), so the snapshot separates what column tiling
+//! buys from what vectorizing the tile bodies buys on top.
 
 use smash_core::{SmashConfig, SmashMatrix};
 use smash_kernels::native;
+use smash_matrix::simd::{self, Isa};
 use smash_matrix::{generators, Dense};
 use smash_parallel::{par_spmm_dense_csr, ThreadPool};
 use std::time::Instant;
@@ -73,6 +77,14 @@ fn main() {
             native::spmm_dense_csr(&a, &b, &mut c);
             c.cols()
         });
+        // The same tiled kernel with the dispatch layer pinned to the
+        // scalar lane-order emulation: isolates the vector-body win.
+        simd::set_override(Some(Isa::Scalar));
+        let blocked_scalar_isa_ns = time_ns(3, || {
+            native::spmm_dense_csr(&a, &b, &mut c);
+            c.cols()
+        });
+        simd::set_override(None);
         let smash_ns = time_ns(3, || {
             native::spmm_dense_smash(&sm, &b, &mut c);
             c.cols()
@@ -91,22 +103,33 @@ fn main() {
         }
 
         let speedup = per_column_ns / blocked_ns;
+        let simd_speedup = blocked_scalar_isa_ns / blocked_ns;
         if n == 8 {
             speedup_at_8 = speedup;
         }
         rows_json.push(format!(
             "    {{\"rhs\": {n}, \"per_column_spmv_ns\": {per_column_ns:.0}, \
              \"spmm_dense_csr_ns\": {blocked_ns:.0}, \
+             \"spmm_dense_csr_scalar_isa_ns\": {blocked_scalar_isa_ns:.0}, \
              \"spmm_dense_smash_ns\": {smash_ns:.0}, \
              \"par_spmm_dense_csr_ns\": {parallel_ns:.0}, \
-             \"blocked_speedup\": {speedup:.2}}}"
+             \"blocked_speedup\": {speedup:.2}, \
+             \"simd_speedup\": {simd_speedup:.2}}}"
         ));
+        // Sanity only: the vector tiles must not regress badly against
+        // their own scalar emulation (exact threshold is simd_json's job).
+        assert!(
+            simd_speedup > 0.5,
+            "vectorized tiles {simd_speedup:.2}x vs forced-scalar at width {n}"
+        );
     }
 
     let json = format!(
         "{{\n  \"matrix\": \"clustered 4096x4096, nnz {}\",\n  \
+         \"simd_isa\": \"{}\",\n  \
          \"blocked_speedup_at_8_rhs\": {speedup_at_8:.2},\n  \"sweep\": [\n{}\n  ]\n}}\n",
         a.nnz(),
+        simd::active().name(),
         rows_json.join(",\n")
     );
     std::fs::write(&out_path, &json).expect("write snapshot");

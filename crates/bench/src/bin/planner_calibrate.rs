@@ -233,6 +233,24 @@ fn check(path: &str) -> Result<(), String> {
         }
     }
 
+    // ISA provenance: informational, never fatal. Predicted *ratios*
+    // between candidates transfer across SIMD tiers far better than
+    // absolute nanoseconds, and CI runners legitimately differ from the
+    // machine that measured the table — so a mismatch is reported (and
+    // surfaced in every plan rationale) rather than failed.
+    let active = smash_matrix::simd::active().name();
+    match parsed.table_isa() {
+        None => println!(
+            "note: table records no `meta isa=` provenance (measured before the SIMD \
+             dispatch layer); active tier here is {active}"
+        ),
+        Some(t) if t != active => println!(
+            "note: table was measured under simd tier '{t}' but this host runs '{active}'; \
+             plan rationales will flag the mismatch"
+        ),
+        Some(_) => {}
+    }
+
     // Candidate coverage: exactly one measured row per grid entry.
     let (_, want_rows) = structure();
     let mut have_rows = BTreeSet::new();
@@ -282,6 +300,12 @@ fn calibrate(path: &str) {
          # Format: docs/DISPATCH.md. work = logical work units (nnz / nnz*rhs /\n\
          # symbolic flops); ns = median wall-clock per call; the planner uses ns/work.\n",
     );
+    // Record which SIMD tier the measurements ran under so `--check` and
+    // plan rationales can flag tables calibrated on a different host class.
+    out.push_str(&format!(
+        "meta isa={}\n",
+        smash_matrix::simd::active().name()
+    ));
     for z in planner_zoo_cached() {
         let profile = z.profile();
         out.push('\n');

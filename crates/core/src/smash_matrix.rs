@@ -35,14 +35,16 @@ pub fn for_each_line_block<T: Scalar>(
 }
 
 /// Dot product of one NZA block against `n` contiguous elements of `x`
-/// starting at `col`, accumulated in serial element order.
+/// starting at `col`, accumulated in the lane-striped order of
+/// `smash_matrix::simd` by whichever ISA body is active (AVX2, SSE4.2, or
+/// the scalar emulation of the same order).
 ///
 /// This is the per-block body of every SMASH SpMV path — the serial
 /// single-level word scan and multi-level cursor walk
 /// (`smash_kernels::native::spmv_smash`) and the parallel row-range kernel
 /// (`smash_parallel::par_spmv_smash`) all call it, so their arithmetic
 /// order can never diverge and parallel output stays bit-identical to
-/// serial at every precision.
+/// serial at every precision and under every ISA tier.
 ///
 /// # Example
 ///
@@ -55,11 +57,7 @@ pub fn for_each_line_block<T: Scalar>(
 /// ```
 #[inline]
 pub fn block_dot<T: Scalar>(block: &[T], x: &[T], col: usize, n: usize) -> T {
-    let mut acc = T::ZERO;
-    for k in 0..n {
-        acc += block[k] * x[col + k];
-    }
-    acc
+    T::simd_dot_contiguous(&block[..n], &x[col..col + n])
 }
 
 /// Visits every non-zero block of a row-major SMASH matrix in storage
@@ -117,10 +115,10 @@ pub fn for_each_nz_block<T: Scalar>(a: &SmashMatrix<T>, mut f: impl FnMut(usize,
 /// serial `smash_kernels::native::spmm_dense_smash` and the parallel
 /// `smash_parallel::par_spmm_dense_smash` both call it, so their
 /// arithmetic order can never diverge. The columns of `b` are processed in
-/// register-blocked tiles of width 8/4/1; within a tile each accumulator
-/// follows exactly the serial element order of [`block_dot`], so column
-/// `j` of the batched result is bit-identical to a SMASH SpMV against
-/// column `j` alone.
+/// register-blocked tiles of width 8/4/1; within a tile each column
+/// follows exactly the lane-striped order of [`block_dot`], so column `j`
+/// of the batched result is bit-identical to a SMASH SpMV against column
+/// `j` alone, under every `smash_matrix::simd` ISA tier.
 ///
 /// # Panics
 ///

@@ -5,17 +5,19 @@
 //! mirror the paper's software-only comparison:
 //!
 //! * [`spmv_csr`] / [`spmm_csr`] — straightforward CSR (TACO-CSR stand-in),
-//! * [`spmv_csr_opt`] / [`spmm_csr_opt`] — unrolled, branch-light CSR
-//!   (MKL-CSR stand-in: same format, more software tuning),
+//! * [`spmv_csr_opt`] / [`spmm_csr_opt`] — branch-light CSR (MKL-CSR
+//!   stand-in: same format, more software tuning),
 //! * [`spmv_bcsr`] — blocked (TACO-BCSR stand-in),
 //! * [`spmv_smash`] / [`spmm_smash`] — Software-only SMASH: word-level
 //!   bitmap scanning with `trailing_zeros`, block-wise multiply.
 //!
 //! Every kernel is generic over [`Scalar`], so the same loop bodies serve
-//! `f64` and `f32` (and any future precision) — the per-row/per-block
-//! arithmetic order is identical at every precision, which is what lets
-//! the parallel variants in `smash-parallel` stay bit-identical for all
-//! of them.
+//! `f64` and `f32` (and any future precision). The hot reductions all run
+//! through the lane-striped `smash_matrix::simd` dispatch layer (AVX2 /
+//! SSE4.2 / scalar, chosen at runtime), whose fixed accumulation order is
+//! identical at every precision *and* ISA tier — which is what lets the
+//! parallel variants in `smash-parallel` stay bit-identical for all of
+//! them. See `docs/SIMD.md`.
 //!
 //! # Cancellation policy (sparse × sparse)
 //!
@@ -47,9 +49,15 @@ pub fn spmv_csr<T: Scalar>(a: &Csr<T>, x: &[T], y: &mut [T]) {
     }
 }
 
-/// Optimized CSR SpMV: 4-way unrolled with independent accumulators, the
-/// kind of software tuning MKL layers over the same format. The per-row
-/// body is [`Csr::row_dot_unrolled`].
+/// Optimized CSR SpMV — the "more software tuning over the same format"
+/// slot (MKL-CSR stand-in). Since the SIMD dispatch layer landed, the
+/// tuned body *is* [`Csr::row_dot`]: the historical 4-way hand-unrolled
+/// variant was folded into the single lane-striped definition in
+/// `smash_matrix::simd`, so this mechanism is now distinguished from
+/// [`spmv_csr`] only in the planner's cost model (the two share one body
+/// and are bit-identical). It is kept as a separate entry point so
+/// dispatch tables, calibration rows, and the experiment grids keep their
+/// mechanism axis.
 ///
 /// # Panics
 ///
@@ -58,12 +66,14 @@ pub fn spmv_csr_opt<T: Scalar>(a: &Csr<T>, x: &[T], y: &mut [T]) {
     assert_eq!(x.len(), a.cols());
     assert_eq!(y.len(), a.rows());
     for (i, yi) in y.iter_mut().enumerate() {
-        *yi = a.row_dot_unrolled(i, x);
+        *yi = a.row_dot(i, x);
     }
 }
 
-/// BCSR SpMV (blocked baseline), allocation-free with a tight interior
-/// path for full blocks.
+/// BCSR SpMV (blocked baseline), allocation-free. The per-block-row body
+/// is [`Bcsr::block_row_spmv`], shared with
+/// `smash_parallel::par_spmv_bcsr`, which keeps serial and parallel
+/// bit-identical under every `smash_matrix::simd` ISA tier.
 ///
 /// # Panics
 ///
@@ -72,38 +82,11 @@ pub fn spmv_bcsr<T: Scalar>(a: &Bcsr<T>, x: &[T], y: &mut [T]) {
     assert_eq!(x.len(), a.cols());
     assert_eq!(y.len(), a.rows());
     y.fill(T::ZERO);
-    let (br, bc) = a.block_shape();
-    let bs = br * bc;
-    let vals = a.values();
-    let ind = a.block_col_ind();
-    let ptr = a.block_row_ptr();
+    let (br, _) = a.block_shape();
     for bi in 0..a.num_block_rows() {
-        let (lo, hi) = (ptr[bi] as usize, ptr[bi + 1] as usize);
-        let ybase = bi * br;
-        for k in lo..hi {
-            let cbase = ind[k] as usize * bc;
-            let tile = &vals[k * bs..(k + 1) * bs];
-            if ybase + br <= a.rows() && cbase + bc <= a.cols() {
-                // Interior block: no edge clipping.
-                let xs = &x[cbase..cbase + bc];
-                for lr in 0..br {
-                    let trow = &tile[lr * bc..(lr + 1) * bc];
-                    let mut acc = T::ZERO;
-                    for (&t, &xv) in trow.iter().zip(xs) {
-                        acc += t * xv;
-                    }
-                    y[ybase + lr] += acc;
-                }
-            } else {
-                for lr in 0..br.min(a.rows() - ybase) {
-                    let mut acc = T::ZERO;
-                    for lc in 0..bc.min(a.cols() - cbase) {
-                        acc += tile[lr * bc + lc] * x[cbase + lc];
-                    }
-                    y[ybase + lr] += acc;
-                }
-            }
-        }
+        let ylo = bi * br;
+        let yhi = (ylo + br).min(a.rows());
+        a.block_row_spmv(bi, x, &mut y[ylo..yhi]);
     }
 }
 

@@ -29,7 +29,9 @@
 //!   reproducing the pre-planner behavior exactly.
 //! * [`Plan`] — the chosen [`Choice`] plus its predicted cost and a
 //!   human-readable `rationale` naming the matched zoo matrix, the
-//!   scores, and the runner-up.
+//!   scores, the runner-up, and the active `smash_matrix::simd` ISA tier
+//!   (flagging when the calibration table was measured under a
+//!   different one).
 //!
 //! **Determinism guarantee:** the planner only ever picks *which*
 //! bit-identical kernel runs — every candidate it can name produces the
@@ -545,6 +547,9 @@ struct CalRow {
 pub struct Planner {
     matrices: Vec<(String, MatrixProfile)>,
     rows: Vec<CalRow>,
+    /// SIMD tier the table's measurements were taken under (`meta isa=…`
+    /// record), when the calibrator recorded one. Older tables have none.
+    isa: Option<String>,
 }
 
 impl Planner {
@@ -649,6 +654,17 @@ impl Planner {
                         ns_per_work: ns / work,
                     });
                 }
+                "meta" => {
+                    // Free-form provenance: every token (including the one
+                    // parsed as `name`) is a `key=value` pair; unknown keys
+                    // are ignored for forward compatibility.
+                    for field in std::iter::once(name.as_str()).chain(parts) {
+                        let (k, v) = field.split_once('=').ok_or_else(|| err("want key=value"))?;
+                        if k == "isa" {
+                            planner.isa = Some(v.to_string());
+                        }
+                    }
+                }
                 _ => return Err(err("unknown record kind")),
             }
         }
@@ -658,6 +674,29 @@ impl Planner {
     /// Whether any calibration rows are loaded.
     pub fn is_calibrated(&self) -> bool {
         !self.rows.is_empty()
+    }
+
+    /// SIMD tier the calibration table was measured under (its
+    /// `meta isa=…` record), if the calibrator recorded one. Plans note
+    /// when this differs from the currently active tier, and
+    /// `planner_calibrate --check` reports (but tolerates) the mismatch —
+    /// predicted *ratios* between candidates transfer across tiers far
+    /// better than absolute nanoseconds do.
+    pub fn table_isa(&self) -> Option<&str> {
+        self.isa.as_deref()
+    }
+
+    /// The `simd:` line appended to every rationale: the tier the kernels
+    /// will actually execute under, plus a provenance warning when the
+    /// calibration table was measured under a different one.
+    fn simd_note(&self) -> String {
+        let active = smash_matrix::simd::active().name();
+        match self.isa.as_deref() {
+            Some(t) if t != active => {
+                format!("\n  simd: {active} (calibration table measured under {t})")
+            }
+            _ => format!("\n  simd: {active}"),
+        }
     }
 
     /// Names of the zoo matrices this planner was calibrated on.
@@ -726,11 +765,12 @@ impl Planner {
                 });
                 let rationale = format!(
                     "{} over {}:\n  calibrated against '{mname}' (feature distance {dist:.2})\n  \
-                     -> {choice}: predicted {}{}",
+                     -> {choice}: predicted {}{}{}",
                     req.op,
                     profile.summary(),
                     fmt_ns(score),
-                    runner_up.unwrap_or_default()
+                    runner_up.unwrap_or_default(),
+                    self.simd_note()
                 );
                 return Plan {
                     choice,
@@ -807,9 +847,10 @@ impl Planner {
             alternatives: Vec::new(),
             calibrated: false,
             rationale: format!(
-                "{} over {}:\n  threshold tier ({why})\n  -> {rule}",
+                "{} over {}:\n  threshold tier ({why})\n  -> {rule}{}",
                 req.op,
-                profile.summary()
+                profile.summary(),
+                self.simd_note()
             ),
         }
     }
@@ -909,6 +950,56 @@ row big op=spmv format=smash threads=1 tile=1 work=400000 ns=500000
         assert!(plan.calibrated);
         assert_eq!(plan.choice.threads, 1, "{}", plan.rationale);
         assert!(plan.rationale.contains("'small'"));
+    }
+
+    #[test]
+    fn meta_isa_record_parses_and_flows_into_rationale() {
+        let with_meta = format!("meta isa=scalar build=test\n{TABLE}");
+        let p = Planner::from_table(&with_meta).unwrap();
+        assert_eq!(p.table_isa(), Some("scalar"));
+
+        // No meta record (older tables): no provenance, still valid.
+        let bare = Planner::from_table(TABLE).unwrap();
+        assert_eq!(bare.table_isa(), None);
+
+        // Malformed meta fields are rejected, unknown keys are ignored.
+        assert!(Planner::from_table("meta isa\n").is_err());
+        assert_eq!(
+            Planner::from_table("meta vendor=acme\n")
+                .unwrap()
+                .table_isa(),
+            None
+        );
+
+        // Every rationale (calibrated or threshold) names the active tier,
+        // and a mismatched table is called out.
+        let active = smash_matrix::simd::active().name();
+        let plan = p.plan(
+            &profile(4096, 4096, 380_000),
+            &PlanRequest::pinned(Op::Spmv, Format::Csr, 4),
+        );
+        assert!(
+            plan.rationale.contains(&format!("simd: {active}")),
+            "{}",
+            plan.rationale
+        );
+        if active != "scalar" {
+            assert!(
+                plan.rationale
+                    .contains("calibration table measured under scalar"),
+                "{}",
+                plan.rationale
+            );
+        }
+        let plan = Planner::empty().plan(
+            &profile(64, 64, 500),
+            &PlanRequest::pinned(Op::Spmv, Format::Csr, 1),
+        );
+        assert!(
+            plan.rationale.contains(&format!("simd: {active}")),
+            "{}",
+            plan.rationale
+        );
     }
 
     #[test]

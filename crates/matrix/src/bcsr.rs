@@ -455,6 +455,50 @@ impl<T: Scalar> Bcsr<T> {
         y
     }
 
+    /// Multiplies block row `bi` against the dense vector `x`, accumulating
+    /// into `out` — the clipped output rows of this block row
+    /// (`min(block_rows, rows - bi * block_rows)` entries). `out` must be
+    /// zero-initialized (or hold a partial sum) by the caller.
+    ///
+    /// This is *the* per-block-row body of the blocked SpMV, shared by the
+    /// serial `smash_kernels::native::spmv_bcsr` and the parallel
+    /// `smash_parallel::par_spmv_bcsr`: per stored block, each clipped row
+    /// takes one lane-striped [`crate::simd`] contiguous dot against the
+    /// matching slice of `x` and adds it into `out`. That is exactly the
+    /// per-column order of [`block_row_spmm_dense`](Bcsr::block_row_spmm_dense),
+    /// which is what keeps batched column `j` bit-identical to this SpMV on
+    /// column `j` — under every ISA tier and thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bi >= num_block_rows()`, `x.len() != cols`, or
+    /// `out.len() != min(block_rows, rows - bi * block_rows)`.
+    #[inline]
+    pub fn block_row_spmv(&self, bi: usize, x: &[T], out: &mut [T]) {
+        assert!(bi < self.num_block_rows(), "block row out of bounds");
+        assert_eq!(x.len(), self.cols, "vector length must equal cols");
+        let (br, bc) = (self.block_rows, self.block_cols);
+        let rows_here = br.min(self.rows - bi * br);
+        assert_eq!(
+            out.len(),
+            rows_here,
+            "output must cover the clipped block row"
+        );
+        let bs = br * bc;
+        let lo = self.block_row_ptr[bi] as usize;
+        let hi = self.block_row_ptr[bi + 1] as usize;
+        for k in lo..hi {
+            let cbase = self.block_col_ind[k] as usize * bc;
+            let lc_max = bc.min(self.cols - cbase);
+            let tile = &self.values[k * bs..(k + 1) * bs];
+            let xs = &x[cbase..cbase + lc_max];
+            for (lr, o) in out.iter_mut().enumerate() {
+                let trow = &tile[lr * bc..lr * bc + lc_max];
+                *o += T::simd_dot_contiguous(trow, xs);
+            }
+        }
+    }
+
     /// Multiplies block row `bi` against every column of the dense
     /// right-hand-side batch `b`, accumulating into `out` — the flattened
     /// (row-major, `b.cols()`-wide) output rows of this block row, clipped
@@ -464,10 +508,11 @@ impl<T: Scalar> Bcsr<T> {
     /// the serial `smash_kernels::native::spmm_dense_bcsr` and the parallel
     /// `smash_parallel::par_spmm_dense_bcsr`. The columns of `b` are
     /// processed in register-blocked tiles of width 8/4/1; within a tile,
-    /// every accumulator follows the per-column order of the native blocked
-    /// SpMV (per stored block, accumulate over the block's columns, then add
-    /// into the output), so column `j` of the result is bit-identical to a
-    /// blocked SpMV against column `j`.
+    /// every column follows the lane-striped per-column order of
+    /// [`block_row_spmv`](Bcsr::block_row_spmv) (per stored block, a striped
+    /// dot over the block's columns, then add into the output), so column
+    /// `j` of the result is bit-identical to a blocked SpMV against
+    /// column `j`, under every [`crate::simd`] ISA tier.
     ///
     /// # Panics
     ///

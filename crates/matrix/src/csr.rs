@@ -405,11 +405,14 @@ impl<T: Scalar> Csr<T> {
     }
 
     /// Dot product of row `i` against the dense vector `x`, accumulated in
-    /// serial order with separate multiplies and adds (paper Code
-    /// Listing 1). This is *the* per-row body of the plain CSR SpMV: both
-    /// the serial `smash_kernels::native::spmv_csr` and the parallel
-    /// `smash_parallel::par_spmv_csr` call it, which is what keeps the two
-    /// bit-identical at every thread count.
+    /// the lane-striped order of [`crate::simd`] (stripe `k % LANES`, then
+    /// a pairwise fold) by whichever ISA body [`crate::simd::active`]
+    /// dispatches — AVX2, SSE4.2, or the scalar emulation of the same
+    /// order. This is *the* per-row body of the plain CSR SpMV: both the
+    /// serial `smash_kernels::native::spmv_csr` and the parallel
+    /// `smash_parallel::par_spmv_csr` call it, and because every ISA body
+    /// realizes the same accumulation order the results stay bit-identical
+    /// across ISAs *and* thread counts.
     ///
     /// # Panics
     ///
@@ -417,42 +420,7 @@ impl<T: Scalar> Csr<T> {
     #[inline]
     pub fn row_dot(&self, i: usize, x: &[T]) -> T {
         let (cols, vals) = self.row(i);
-        let mut acc = T::ZERO;
-        for (&c, &v) in cols.iter().zip(vals) {
-            acc += v * x[c as usize];
-        }
-        acc
-    }
-
-    /// Dot product of row `i` against `x`, 4-way unrolled with independent
-    /// accumulators — the software tuning MKL layers over the same format.
-    /// Shared by `smash_kernels::native::spmv_csr_opt`; note the different
-    /// reassociation means its result can differ from
-    /// [`row_dot`](Csr::row_dot) by rounding error.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `i >= rows` or a column index of the row is `>= x.len()`.
-    #[inline]
-    pub fn row_dot_unrolled(&self, i: usize, x: &[T]) -> T {
-        assert!(i < self.rows, "row out of bounds");
-        let lo = self.row_ptr[i] as usize;
-        let hi = self.row_ptr[i + 1] as usize;
-        let (mut s0, mut s1, mut s2, mut s3) = (T::ZERO, T::ZERO, T::ZERO, T::ZERO);
-        let mut j = lo;
-        while j + 4 <= hi {
-            s0 += self.values[j] * x[self.col_ind[j] as usize];
-            s1 += self.values[j + 1] * x[self.col_ind[j + 1] as usize];
-            s2 += self.values[j + 2] * x[self.col_ind[j + 2] as usize];
-            s3 += self.values[j + 3] * x[self.col_ind[j + 3] as usize];
-            j += 4;
-        }
-        let mut acc = (s0 + s1) + (s2 + s3);
-        while j < hi {
-            acc += self.values[j] * x[self.col_ind[j] as usize];
-            j += 1;
-        }
-        acc
+        T::simd_dot_indexed(cols, vals, x)
     }
 
     /// Multiplies row `i` against every column of the dense right-hand-side
@@ -465,10 +433,11 @@ impl<T: Scalar> Csr<T> {
     /// two bit-identical at every thread count. The columns of `b` are
     /// processed in register-blocked tiles of width 8, then 4, then one —
     /// the row's indices and values are streamed once per *tile* instead
-    /// of once per right-hand side, and within each tile every accumulator
-    /// follows exactly the serial order of [`row_dot`](Csr::row_dot), so
-    /// column `j` of the result is bit-identical to an independent SpMV
-    /// against column `j`.
+    /// of once per right-hand side, and within each tile every output
+    /// column follows exactly the lane-striped order of
+    /// [`row_dot`](Csr::row_dot), so column `j` of the result is
+    /// bit-identical to an independent SpMV against column `j`, under
+    /// every [`crate::simd`] ISA tier.
     ///
     /// # Panics
     ///
@@ -479,10 +448,8 @@ impl<T: Scalar> Csr<T> {
         let (cols, vals) = self.row(i);
         let n = b.cols();
         assert_eq!(out.len(), n, "output row length must equal b.cols()");
-        crate::for_each_rhs_tile(n, |j0, w| match w {
-            8 => row_tile::<T, 8>(cols, vals, b, j0, out),
-            4 => row_tile::<T, 4>(cols, vals, b, j0, out),
-            _ => row_tile::<T, 1>(cols, vals, b, j0, out),
+        crate::for_each_rhs_tile(n, |j0, w| {
+            T::simd_row_tile(cols, vals, b.as_slice(), n, j0, w, out)
         });
     }
 
@@ -746,27 +713,6 @@ impl<T: Scalar> CsrBuilder<T> {
     }
 }
 
-/// One width-`W` column tile of [`Csr::row_spmm_dense`]: `W` independent
-/// accumulators, each following the serial per-non-zero order of
-/// [`Csr::row_dot`], written out in one shot when the row is exhausted.
-#[inline]
-fn row_tile<T: Scalar, const W: usize>(
-    cols: &[u32],
-    vals: &[T],
-    b: &Dense<T>,
-    j0: usize,
-    out: &mut [T],
-) {
-    let mut acc = [T::ZERO; W];
-    for (&c, &v) in cols.iter().zip(vals) {
-        let brow = &b.row(c as usize)[j0..j0 + W];
-        for (a, &bv) in acc.iter_mut().zip(brow) {
-            *a += v * bv;
-        }
-    }
-    out[j0..j0 + W].copy_from_slice(&acc);
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -953,7 +899,6 @@ mod tests {
         let x = [1.0, 2.0, 3.0, 4.0];
         for (i, want) in a.spmv(&x).into_iter().enumerate() {
             assert!((a.row_dot(i, &x) - want).abs() < 1e-12);
-            assert!((a.row_dot_unrolled(i, &x) - want).abs() < 1e-12);
         }
     }
 

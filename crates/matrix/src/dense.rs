@@ -32,45 +32,22 @@ pub fn for_each_rhs_tile(n: usize, mut f: impl FnMut(usize, usize)) {
 /// the output row `out` (`out[j] += Σ_k vals[k] * b[cbase + k][j]`),
 /// tiled through [`for_each_rhs_tile`].
 ///
-/// Within each tile every accumulator runs from zero over `vals` in order
-/// and is then added into `out` — the exact per-column order of the
-/// corresponding blocked SpMV bodies, which is what keeps
-/// `Bcsr::block_row_spmm_dense` and `smash_core::block_axpy_dense` (both
-/// one call to this) bit-identical per column to their SpMV twins.
+/// Within each tile every column's partial sums run from zero over `vals`
+/// in the lane-striped order of [`crate::simd`] and are then added into
+/// `out` — the exact per-column order of the corresponding blocked SpMV
+/// bodies, which is what keeps `Bcsr::block_row_spmm_dense` and
+/// `smash_core::block_axpy_dense` (both one call to this) bit-identical
+/// per column to their SpMV twins, under every [`crate::simd`] ISA tier.
 ///
 /// # Panics
 ///
 /// Panics if `out.len() != b.cols()` or `cbase + vals.len() > b.rows()`.
 pub fn axpy_dense_tiles<T: Scalar>(vals: &[T], b: &Dense<T>, cbase: usize, out: &mut [T]) {
     assert_eq!(out.len(), b.cols(), "output row length must equal b.cols()");
-    for_each_rhs_tile(b.cols(), |j0, w| match w {
-        8 => axpy_tile::<T, 8>(vals, b, cbase, j0, out),
-        4 => axpy_tile::<T, 4>(vals, b, cbase, j0, out),
-        _ => axpy_tile::<T, 1>(vals, b, cbase, j0, out),
+    let n = b.cols();
+    for_each_rhs_tile(n, |j0, w| {
+        T::simd_axpy_tile(vals, b.as_slice(), n, cbase, j0, w, out)
     });
-}
-
-/// One width-`W` column tile of [`axpy_dense_tiles`]: `W` independent
-/// accumulators over `vals`, added into the output row when the values
-/// are exhausted (mirroring the `y[row] += acc` of the blocked SpMVs).
-#[inline]
-fn axpy_tile<T: Scalar, const W: usize>(
-    vals: &[T],
-    b: &Dense<T>,
-    cbase: usize,
-    j0: usize,
-    out: &mut [T],
-) {
-    let mut acc = [T::ZERO; W];
-    for (k, &v) in vals.iter().enumerate() {
-        let brow = &b.row(cbase + k)[j0..j0 + W];
-        for (a, &bv) in acc.iter_mut().zip(brow) {
-            *a += v * bv;
-        }
-    }
-    for (o, a) in out[j0..j0 + W].iter_mut().zip(acc) {
-        *o += a;
-    }
 }
 
 /// Row-major dense matrix.

@@ -36,6 +36,7 @@ pub mod generators;
 pub mod locality;
 pub mod market;
 mod scalar;
+pub mod simd;
 pub mod suite;
 
 pub use bcsr::Bcsr;

@@ -35,6 +35,7 @@ pub trait Scalar:
     + Send
     + Sync
     + 'static
+    + crate::simd::SimdElem
 {
     /// Additive identity.
     const ZERO: Self;

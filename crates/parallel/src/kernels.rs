@@ -61,13 +61,9 @@ pub fn par_spmv_csr<T: Scalar>(pool: &ThreadPool, a: &Csr<T>, x: &[T], y: &mut [
 pub fn par_spmv_bcsr<T: Scalar>(pool: &ThreadPool, a: &Bcsr<T>, x: &[T], y: &mut [T]) {
     assert_eq!(x.len(), a.cols());
     assert_eq!(y.len(), a.rows());
-    let (br, bc) = a.block_shape();
-    let bs = br * bc;
-    let vals = a.values();
-    let ind = a.block_col_ind();
+    let (br, _) = a.block_shape();
     let ptr = a.block_row_ptr();
     let rows = a.rows();
-    let cols = a.cols();
     let ranges = partition_rows(ptr, pool.threads());
     pool.scoped(|s| {
         let mut rest = y;
@@ -84,32 +80,12 @@ pub fn par_spmv_bcsr<T: Scalar>(pool: &ThreadPool, a: &Bcsr<T>, x: &[T], y: &mut
             s.execute(move || {
                 chunk.fill(T::ZERO);
                 for bi in range {
-                    let (lo, hi) = (ptr[bi] as usize, ptr[bi + 1] as usize);
-                    let ybase = bi * br - row_lo;
-                    for k in lo..hi {
-                        let cbase = ind[k] as usize * bc;
-                        let tile = &vals[k * bs..(k + 1) * bs];
-                        if bi * br + br <= rows && cbase + bc <= cols {
-                            // Interior block: no edge clipping.
-                            let xs = &x[cbase..cbase + bc];
-                            for lr in 0..br {
-                                let trow = &tile[lr * bc..(lr + 1) * bc];
-                                let mut acc = T::ZERO;
-                                for (&t, &xv) in trow.iter().zip(xs) {
-                                    acc += t * xv;
-                                }
-                                chunk[ybase + lr] += acc;
-                            }
-                        } else {
-                            for lr in 0..br.min(rows - bi * br) {
-                                let mut acc = T::ZERO;
-                                for lc in 0..bc.min(cols - cbase) {
-                                    acc += tile[lr * bc + lc] * x[cbase + lc];
-                                }
-                                chunk[ybase + lr] += acc;
-                            }
-                        }
-                    }
+                    // The same per-block-row body as the serial kernel
+                    // (`Bcsr::block_row_spmv`) — sharing it keeps the two
+                    // bit-identical at every precision and ISA tier.
+                    let ylo = bi * br - row_lo;
+                    let yhi = ((bi + 1) * br).min(rows) - row_lo;
+                    a.block_row_spmv(bi, x, &mut chunk[ylo..yhi]);
                 }
             });
         }

@@ -38,10 +38,12 @@
 //! The repository's `docs/` directory holds the long-form guides:
 //! `docs/ARCHITECTURE.md` (crate map and the data flow of one SpMV),
 //! `docs/DISPATCH.md` (the measured cost-model planner behind
-//! [`Executor::auto`]), `docs/BENCHMARKS.md` (what every perf snapshot
-//! asserts), and `docs/ROBUSTNESS.md` (the error taxonomy, the
-//! degradation ladder, and the fault-injection suite). Their code
-//! snippets compile as doctests of this crate.
+//! [`Executor::auto`]), `docs/SIMD.md` (the runtime-dispatched vector
+//! kernel bodies and the lane-striped accumulation contract),
+//! `docs/BENCHMARKS.md` (what every perf snapshot asserts), and
+//! `docs/ROBUSTNESS.md` (the error taxonomy, the degradation ladder,
+//! and the fault-injection suite). Their code snippets compile as
+//! doctests of this crate.
 //!
 //! # Quickstart
 //!
@@ -99,6 +101,10 @@ pub struct ArchitectureDoctests;
 #[cfg(doctest)]
 #[doc = include_str!("../docs/DISPATCH.md")]
 pub struct DispatchDoctests;
+
+#[cfg(doctest)]
+#[doc = include_str!("../docs/SIMD.md")]
+pub struct SimdDoctests;
 
 #[cfg(doctest)]
 #[doc = include_str!("../docs/BENCHMARKS.md")]
