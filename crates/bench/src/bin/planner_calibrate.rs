@@ -92,6 +92,9 @@ fn measure(z: &ZooMatrix, c: &Candidate, pool: impl Fn(usize) -> ThreadPool) -> 
                         })
                     }
                 }
+                (Format::Dynamic, _) => {
+                    unreachable!("the candidate grid has no dynamic rows")
+                }
             };
             (nnz as f64, ns)
         }
@@ -141,6 +144,9 @@ fn measure(z: &ZooMatrix, c: &Candidate, pool: impl Fn(usize) -> ThreadPool) -> 
                         })
                     }
                 }
+                (Format::Dynamic, _) => {
+                    unreachable!("the candidate grid has no dynamic rows")
+                }
             };
             ((nnz * CALIBRATION_RHS) as f64, ns)
         }
@@ -172,6 +178,11 @@ fn measure(z: &ZooMatrix, c: &Candidate, pool: impl Fn(usize) -> ThreadPool) -> 
                 zoo::time_ns(3, 1, || par_csr_to_smash(&p, a, cfg.clone()).nza().len())
             };
             (nnz as f64, ns)
+        }
+        // The dynamic ops plan through the threshold tier only — the
+        // candidate grid never emits them, so there is nothing to measure.
+        Op::DynSpmv | Op::DynSpmmDense => {
+            unreachable!("dynamic ops are not calibrated (threshold tier only)")
         }
     }
 }

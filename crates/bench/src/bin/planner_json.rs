@@ -95,6 +95,9 @@ fn main() {
                             par_spmv_smash(&p, &sm, &x, &mut y);
                             y.len()
                         }),
+                        Format::Dynamic => {
+                            unreachable!("the candidate grid has no dynamic rows")
+                        }
                     }
                 }
             };
@@ -164,6 +167,7 @@ fn main() {
                 exec.spmv(&sm, &x, &mut auto_y);
                 native::spmv_smash(&sm, &x, &mut explicit);
             }
+            Format::Dynamic => unreachable!("the calibration table has no dynamic rows"),
         }
         assert_eq!(
             auto_y, explicit,

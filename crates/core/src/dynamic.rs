@@ -1,0 +1,662 @@
+//! Dynamic matrices: an immutable base tier plus a mutable delta overlay,
+//! merged on access and compacted explicitly.
+//!
+//! Every format in this workspace is immutable — good for kernels, bad
+//! for live graphs where edges arrive continuously. Following the tiered
+//! shape of the SMASH hierarchy itself (and SpArch's partial-matrix
+//! merging), [`DynamicMatrix`] presents one logical matrix as two tiers:
+//!
+//! * the **base**: a [`Csr`] or row-major [`SmashMatrix`], untouched;
+//! * the **overlay**: a [`DeltaOverlay`] absorbing point mutations —
+//!   `set` (insert/update), `add` (accumulate, SpAdd semantics) and
+//!   `delete`.
+//!
+//! Kernels run through the [`RowRead`] operand layer: rows without
+//! overlay entries execute the base format's exact serial body, touched
+//! rows are merged on the fly with the same sorted two-cursor merge (and
+//! the same cancellation rule — a merged value that is exact `±0.0` is
+//! dropped, never stored) as the native `spadd` kernel. The result is
+//! **bit-identical** to rebuilding the merged matrix from scratch and
+//! running the base format's kernel over it, at every thread count.
+//!
+//! [`DynamicMatrix::compact`] absorbs the overlay into a fresh base via
+//! the same per-line encoder routine as a from-scratch build, so a
+//! compacted matrix is `==` to one encoded from the merged triplets.
+//!
+//! See `docs/DYNAMIC.md` for the tier model and the full contracts.
+
+use crate::{block_axpy_dense, block_dot, for_each_line_block, Layout, SmashConfig, SmashMatrix};
+use smash_matrix::{for_each_rhs_tile, Csr, CsrBuilder, Dense, RowRead, Scalar};
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+/// One overlay mutation for a single matrix cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Delta<T> {
+    /// Replace the cell with this value (insert or update).
+    Set(T),
+    /// Accumulate onto the cell (SpAdd semantics: merged value is
+    /// `base + delta`).
+    Add(T),
+    /// Remove the cell.
+    Delete,
+}
+
+/// A sorted overlay of point mutations, independent of any base matrix.
+///
+/// Entries are keyed `(row, col)` and kept sorted (BTree), so merging a
+/// row against a sorted base row is a linear two-cursor sweep. Repeated
+/// mutations of the same cell **fold**:
+///
+/// | existing ↓ \ incoming → | `set(v)` | `add(d)`       | `delete` |
+/// |-------------------------|----------|----------------|----------|
+/// | none                    | Set(v)   | Add(d)         | Delete   |
+/// | Set(u)                  | Set(v)   | Set(u + d)     | Delete   |
+/// | Add(u)                  | Set(v)   | Add(u + d)     | Delete   |
+/// | Delete                  | Set(v)   | Set(d)         | Delete   |
+///
+/// (`add` after `delete` becomes `Set(d)`: the base cell was deleted, so
+/// there is nothing to accumulate onto.)
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeltaOverlay<T> {
+    rows: BTreeMap<u32, BTreeMap<u32, Delta<T>>>,
+    len: usize,
+}
+
+impl<T: Scalar> DeltaOverlay<T> {
+    /// An empty overlay.
+    pub fn new() -> Self {
+        DeltaOverlay {
+            rows: BTreeMap::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of overlay entries (cells with a pending mutation).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the overlay holds no mutations.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of distinct rows with at least one pending mutation.
+    pub fn touched_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Pending mutations of row `r`, sorted by column, if any.
+    pub fn row(&self, r: usize) -> Option<&BTreeMap<u32, Delta<T>>> {
+        self.rows.get(&(r as u32))
+    }
+
+    /// Number of pending mutations in row `r`.
+    pub fn row_len(&self, r: usize) -> usize {
+        self.row(r).map_or(0, BTreeMap::len)
+    }
+
+    /// Iterates all pending mutations in `(row, col)` order.
+    pub fn deltas(&self) -> impl Iterator<Item = (usize, usize, &Delta<T>)> + '_ {
+        self.rows
+            .iter()
+            .flat_map(|(&r, row)| row.iter().map(move |(&c, d)| (r as usize, c as usize, d)))
+    }
+
+    fn entry(&mut self, r: usize) -> &mut BTreeMap<u32, Delta<T>> {
+        self.rows.entry(r as u32).or_default()
+    }
+
+    /// Records `set(r, c, v)`: the merged cell becomes exactly `v`.
+    pub fn set(&mut self, r: usize, c: usize, v: T) {
+        let row = self.entry(r);
+        if row.insert(c as u32, Delta::Set(v)).is_none() {
+            self.len += 1;
+        }
+    }
+
+    /// Records `delete(r, c)`: the merged cell disappears.
+    pub fn delete(&mut self, r: usize, c: usize) {
+        let row = self.entry(r);
+        if row.insert(c as u32, Delta::Delete).is_none() {
+            self.len += 1;
+        }
+    }
+
+    /// Records `add(r, c, d)`: the merged cell becomes `base + d` (or the
+    /// folded equivalent per the table in the type docs).
+    pub fn add(&mut self, r: usize, c: usize, d: T) {
+        let row = self.entry(r);
+        let folded = match row.get(&(c as u32)) {
+            None => Delta::Add(d),
+            Some(Delta::Set(u)) => Delta::Set(*u + d),
+            Some(Delta::Add(u)) => Delta::Add(*u + d),
+            Some(Delta::Delete) => Delta::Set(d),
+        };
+        if row.insert(c as u32, folded).is_none() {
+            self.len += 1;
+        }
+    }
+
+    /// Drops every pending mutation.
+    pub fn clear(&mut self) {
+        self.rows.clear();
+        self.len = 0;
+    }
+}
+
+/// Merges one sorted base row with one overlay row into `(out_cols,
+/// out_vals)` — the same sorted two-cursor merge as the native `spadd`
+/// kernel, with the same cancellation rule: any overlay-affected merged
+/// value that is exact `±0.0` is dropped (so `set(r, c, 0.0)` behaves
+/// like `delete`). Base-only entries pass through verbatim.
+pub fn merge_row<T: Scalar>(
+    base_cols: &[u32],
+    base_vals: &[T],
+    delta: &BTreeMap<u32, Delta<T>>,
+    out_cols: &mut Vec<u32>,
+    out_vals: &mut Vec<T>,
+) {
+    out_cols.clear();
+    out_vals.clear();
+    let mut push = |c: u32, v: T| {
+        out_cols.push(c);
+        out_vals.push(v);
+    };
+    let mut p = 0usize;
+    let mut dit = delta.iter().peekable();
+    loop {
+        match (base_cols.get(p), dit.peek()) {
+            (Some(&bc), Some(&(&dc, d))) if dc == bc => {
+                match d {
+                    Delta::Set(v) => {
+                        if !v.is_zero() {
+                            push(bc, *v);
+                        }
+                    }
+                    Delta::Add(dv) => {
+                        let v = base_vals[p] + *dv;
+                        if !v.is_zero() {
+                            push(bc, v);
+                        }
+                    }
+                    Delta::Delete => {}
+                }
+                p += 1;
+                dit.next();
+            }
+            (Some(&bc), Some(&(&dc, _))) if bc < dc => {
+                push(bc, base_vals[p]);
+                p += 1;
+            }
+            (_, Some(&(&dc, d))) => {
+                match d {
+                    Delta::Set(v) | Delta::Add(v) => {
+                        if !v.is_zero() {
+                            push(dc, *v);
+                        }
+                    }
+                    Delta::Delete => {}
+                }
+                dit.next();
+            }
+            (Some(&bc), None) => {
+                push(bc, base_vals[p]);
+                p += 1;
+            }
+            (None, None) => break,
+        }
+    }
+}
+
+/// The immutable tier under a [`DynamicMatrix`]: plain CSR or the
+/// row-major SMASH compressed form.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DynamicBase<T> {
+    /// Compressed sparse row.
+    Csr(Csr<T>),
+    /// SMASH-compressed, row-major.
+    Smash(SmashMatrix<T>),
+}
+
+/// A logically mutable sparse matrix: immutable base tier + delta
+/// overlay, merged on access.
+///
+/// Kernels consume it through [`RowRead`], so the executor's
+/// `spmv`/`spmm_dense` (serial or parallel) run over it unchanged and
+/// produce results bit-identical to rebuilding the merged matrix from
+/// scratch in the base's format. See the module docs and
+/// `docs/DYNAMIC.md`.
+///
+/// ```
+/// use smash_core::DynamicMatrix;
+/// use smash_matrix::{generators, spmv_rows};
+///
+/// let a = generators::uniform(32, 32, 120, 3);
+/// let mut dm = DynamicMatrix::from_csr(a);
+/// dm.set(0, 5, 2.5); // insert
+/// dm.add(1, 7, 1.0); // accumulate
+/// dm.delete(2, 2); // remove (no-op if absent)
+///
+/// let x = vec![1.0f64; 32];
+/// let mut y = vec![0.0f64; 32];
+/// spmv_rows(&dm, &x, &mut y);
+///
+/// // Bit-identical to a from-scratch rebuild of the merged matrix:
+/// let rebuilt = dm.merged_csr();
+/// let mut want = vec![0.0f64; 32];
+/// spmv_rows(&rebuilt, &x, &mut want);
+/// assert_eq!(y, want);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicMatrix<T> {
+    base: DynamicBase<T>,
+    overlay: DeltaOverlay<T>,
+}
+
+impl<T: Scalar> DynamicMatrix<T> {
+    /// Wraps a CSR base with an empty overlay.
+    pub fn from_csr(base: Csr<T>) -> Self {
+        DynamicMatrix {
+            base: DynamicBase::Csr(base),
+            overlay: DeltaOverlay::new(),
+        }
+    }
+
+    /// Wraps a row-major SMASH base with an empty overlay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the base is column-major — the kernel stack walks row
+    /// lines.
+    pub fn from_smash(base: SmashMatrix<T>) -> Self {
+        assert_eq!(
+            base.config().layout(),
+            Layout::RowMajor,
+            "dynamic SMASH base must be row-major"
+        );
+        DynamicMatrix {
+            base: DynamicBase::Smash(base),
+            overlay: DeltaOverlay::new(),
+        }
+    }
+
+    /// The immutable base tier.
+    pub fn base(&self) -> &DynamicBase<T> {
+        &self.base
+    }
+
+    /// The pending-mutation overlay tier.
+    pub fn overlay(&self) -> &DeltaOverlay<T> {
+        &self.overlay
+    }
+
+    /// Logical rows.
+    pub fn rows(&self) -> usize {
+        match &self.base {
+            DynamicBase::Csr(a) => a.rows(),
+            DynamicBase::Smash(a) => a.rows(),
+        }
+    }
+
+    /// Logical columns.
+    pub fn cols(&self) -> usize {
+        match &self.base {
+            DynamicBase::Csr(a) => a.cols(),
+            DynamicBase::Smash(a) => a.cols(),
+        }
+    }
+
+    fn check_bounds(&self, r: usize, c: usize) {
+        assert!(
+            r < self.rows() && c < self.cols(),
+            "({r}, {c}) out of bounds for {}x{}",
+            self.rows(),
+            self.cols()
+        );
+    }
+
+    /// Sets cell `(r, c)` to `v` (insert or update).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(r, c)` is out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, v: T) {
+        self.check_bounds(r, c);
+        self.overlay.set(r, c, v);
+    }
+
+    /// Accumulates `d` onto cell `(r, c)` (SpAdd semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(r, c)` is out of bounds.
+    pub fn add(&mut self, r: usize, c: usize, d: T) {
+        self.check_bounds(r, c);
+        self.overlay.add(r, c, d);
+    }
+
+    /// Deletes cell `(r, c)` (a no-op on the merged view if absent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(r, c)` is out of bounds.
+    pub fn delete(&mut self, r: usize, c: usize) {
+        self.check_bounds(r, c);
+        self.overlay.delete(r, c);
+    }
+
+    /// Copies the base's logical row `i` (decode semantics for a SMASH
+    /// base: explicit padding zeros are skipped).
+    fn base_row_into(&self, i: usize, cols: &mut Vec<u32>, vals: &mut Vec<T>) {
+        match &self.base {
+            DynamicBase::Csr(a) => RowRead::row_into(a, i, cols, vals),
+            DynamicBase::Smash(a) => RowRead::row_into(a, i, cols, vals),
+        }
+    }
+
+    /// Exact logical non-zero count of the merged view, in O(base rows +
+    /// touched-row entries).
+    pub fn nnz(&self) -> usize {
+        let base_nnz = match &self.base {
+            DynamicBase::Csr(a) => a.nnz(),
+            DynamicBase::Smash(a) => a.nnz(),
+        };
+        let (mut bc, mut bv) = (Vec::new(), Vec::new());
+        let (mut mc, mut mv) = (Vec::new(), Vec::new());
+        let mut nnz = base_nnz;
+        for (&r, delta) in &self.overlay.rows {
+            self.base_row_into(r as usize, &mut bc, &mut bv);
+            merge_row(&bc, &bv, delta, &mut mc, &mut mv);
+            nnz = nnz - bc.len() + mc.len();
+        }
+        nnz
+    }
+
+    /// Materializes the merged view as a plain CSR — exactly the matrix a
+    /// from-scratch rebuild would produce from the merged triplets.
+    pub fn merged_csr(&self) -> Csr<T> {
+        let (mut bc, mut bv) = (Vec::new(), Vec::new());
+        let (mut mc, mut mv) = (Vec::new(), Vec::new());
+        let mut b = CsrBuilder::with_capacity(self.cols(), self.rows(), self.nnz());
+        for i in 0..self.rows() {
+            self.base_row_into(i, &mut bc, &mut bv);
+            match self.overlay.row(i) {
+                None => b.push_row(&bc, &bv),
+                Some(delta) => {
+                    merge_row(&bc, &bv, delta, &mut mc, &mut mv);
+                    b.push_row(&mc, &mv);
+                }
+            }
+        }
+        b.finish()
+    }
+
+    /// Absorbs the overlay into a fresh base tier (serial encoder) and
+    /// clears it. The new base is `==` to a from-scratch build of the
+    /// merged matrix: `Csr` bases become [`merged_csr`](Self::merged_csr),
+    /// SMASH bases are re-encoded with [`SmashMatrix::encode`] under the
+    /// same [`SmashConfig`].
+    pub fn compact(&mut self) {
+        self.compact_with(SmashMatrix::encode);
+    }
+
+    /// [`compact`](Self::compact) with an injected CSR → SMASH encoder,
+    /// so callers holding a thread pool can compact through the parallel
+    /// encoder (`smash_parallel::par_csr_to_smash`), which is `==` to the
+    /// serial one at every thread count. The closure is only invoked for
+    /// a SMASH base.
+    pub fn compact_with(&mut self, encode: impl FnOnce(&Csr<T>, SmashConfig) -> SmashMatrix<T>) {
+        if self.overlay.is_empty() {
+            return;
+        }
+        let merged = self.merged_csr();
+        self.base = match &self.base {
+            DynamicBase::Csr(_) => DynamicBase::Csr(merged),
+            DynamicBase::Smash(a) => DynamicBase::Smash(encode(&merged, a.config().clone())),
+        };
+        self.overlay.clear();
+    }
+}
+
+impl<T: Scalar> RowRead<T> for DynamicMatrix<T> {
+    fn rows(&self) -> usize {
+        DynamicMatrix::rows(self)
+    }
+
+    fn cols(&self) -> usize {
+        DynamicMatrix::cols(self)
+    }
+
+    fn stored_work(&self) -> usize {
+        let base = match &self.base {
+            DynamicBase::Csr(a) => a.nnz(),
+            DynamicBase::Smash(a) => a.nza().len(),
+        };
+        base + self.overlay.len()
+    }
+
+    fn granules(&self) -> usize {
+        self.rows()
+    }
+
+    fn granule_weight(&self, g: usize) -> u64 {
+        let base = match &self.base {
+            DynamicBase::Csr(a) => RowRead::granule_weight(a, g),
+            DynamicBase::Smash(a) => RowRead::granule_weight(a, g),
+        };
+        base + self.overlay.row_len(g) as u64
+    }
+
+    fn granule_row(&self, g: usize) -> usize {
+        g
+    }
+
+    fn row_into(&self, i: usize, cols: &mut Vec<u32>, vals: &mut Vec<T>) {
+        match self.overlay.row(i) {
+            None => self.base_row_into(i, cols, vals),
+            Some(delta) => {
+                let (mut bc, mut bv) = (Vec::new(), Vec::new());
+                self.base_row_into(i, &mut bc, &mut bv);
+                merge_row(&bc, &bv, delta, cols, vals);
+            }
+        }
+    }
+
+    fn spmv_granules(&self, g: Range<usize>, x: &[T], y: &mut [T]) {
+        let (mut bc, mut bv) = (Vec::new(), Vec::new());
+        let (mut mc, mut mv) = (Vec::new(), Vec::new());
+        match &self.base {
+            DynamicBase::Csr(a) => {
+                let lo = g.start;
+                for i in g {
+                    y[i - lo] = match self.overlay.row(i) {
+                        // Untouched rows run the exact CSR serial body.
+                        None => a.row_dot(i, x),
+                        Some(delta) => {
+                            let (rc, rv) = a.row(i);
+                            merge_row(rc, rv, delta, &mut mc, &mut mv);
+                            // The rebuilt matrix's row_dot over the merged
+                            // entries — the same SIMD body, bit for bit.
+                            T::simd_dot_indexed(&mc, &mv, x)
+                        }
+                    };
+                }
+            }
+            DynamicBase::Smash(a) => {
+                let b0 = a.config().block_size();
+                let cols = a.cols();
+                let mut scratch = vec![T::ZERO; b0];
+                y.fill(T::ZERO);
+                for row in g.clone() {
+                    match self.overlay.row(row) {
+                        // Untouched rows run the exact SMASH cursor body.
+                        None => {
+                            a.spmv_granules(row..row + 1, x, &mut y[row - g.start..=row - g.start])
+                        }
+                        Some(delta) => {
+                            RowRead::row_into(a, row, &mut bc, &mut bv);
+                            merge_row(&bc, &bv, delta, &mut mc, &mut mv);
+                            // Re-blocked merged row: the same blocks (and
+                            // the same per-block dot) a re-encoded matrix
+                            // would store for this row.
+                            let yi = &mut y[row - g.start];
+                            for_each_line_block(&mc, &mv, &mut scratch, |blk, block| {
+                                let col = blk * b0;
+                                let n = b0.min(cols - col);
+                                *yi += block_dot(block, x, col, n);
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn spmm_dense_granules(&self, g: Range<usize>, b: &Dense<T>, c: &mut [T]) {
+        let n = b.cols();
+        let (mut bc, mut bv) = (Vec::new(), Vec::new());
+        let (mut mc, mut mv) = (Vec::new(), Vec::new());
+        match &self.base {
+            DynamicBase::Csr(a) => {
+                let lo = g.start;
+                for i in g {
+                    let out = &mut c[(i - lo) * n..(i - lo + 1) * n];
+                    match self.overlay.row(i) {
+                        None => a.row_spmm_dense(i, b, out),
+                        Some(delta) => {
+                            let (rc, rv) = a.row(i);
+                            merge_row(rc, rv, delta, &mut mc, &mut mv);
+                            // The rebuilt matrix's tiled row body over the
+                            // merged entries.
+                            for_each_rhs_tile(n, |j0, w| {
+                                T::simd_row_tile(&mc, &mv, b.as_slice(), n, j0, w, out);
+                            });
+                        }
+                    }
+                }
+            }
+            DynamicBase::Smash(a) => {
+                let b0 = a.config().block_size();
+                let cols = a.cols();
+                let mut scratch = vec![T::ZERO; b0];
+                c.fill(T::ZERO);
+                for row in g.clone() {
+                    let out = &mut c[(row - g.start) * n..(row - g.start + 1) * n];
+                    match self.overlay.row(row) {
+                        None => a.spmm_dense_granules(row..row + 1, b, out),
+                        Some(delta) => {
+                            RowRead::row_into(a, row, &mut bc, &mut bv);
+                            merge_row(&bc, &bv, delta, &mut mc, &mut mv);
+                            for_each_line_block(&mc, &mv, &mut scratch, |blk, block| {
+                                let col = blk * b0;
+                                let nb = b0.min(cols - col);
+                                block_axpy_dense(block, b, col, nb, out);
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smash_matrix::{generators, spmm_dense_rows, spmv_rows};
+
+    fn base() -> Csr<f64> {
+        generators::uniform(48, 40, 300, 17)
+    }
+
+    fn x(n: usize) -> Vec<f64> {
+        (0..n).map(|i| 0.5 + (i % 5) as f64 * 0.75).collect()
+    }
+
+    #[test]
+    fn untouched_dynamic_matches_base_exactly() {
+        let a = base();
+        let dm = DynamicMatrix::from_csr(a.clone());
+        let x = x(40);
+        let (mut y, mut want) = (vec![0.0; 48], vec![0.0; 48]);
+        spmv_rows(&dm, &x, &mut y);
+        spmv_rows(&a, &x, &mut want);
+        assert_eq!(y, want);
+        assert_eq!(dm.merged_csr(), a);
+        assert_eq!(dm.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn overlay_fold_table() {
+        let mut ov = DeltaOverlay::<f64>::new();
+        ov.set(0, 0, 2.0);
+        ov.add(0, 0, 1.0); // Set(2) + add(1) -> Set(3)
+        assert_eq!(ov.row(0).unwrap()[&0], Delta::Set(3.0));
+        ov.delete(0, 0);
+        assert_eq!(ov.row(0).unwrap()[&0], Delta::Delete);
+        ov.add(0, 0, 5.0); // add after delete -> Set(5)
+        assert_eq!(ov.row(0).unwrap()[&0], Delta::Set(5.0));
+        ov.add(0, 1, 1.0);
+        ov.add(0, 1, 2.0); // Add(1) + add(2) -> Add(3)
+        assert_eq!(ov.row(0).unwrap()[&1], Delta::Add(3.0));
+        assert_eq!(ov.len(), 2);
+    }
+
+    #[test]
+    fn merge_drops_exact_zeros_but_keeps_base_entries() {
+        let mut dm = DynamicMatrix::from_csr(base());
+        let a = base();
+        let (rc, rv) = a.row(3);
+        assert!(!rc.is_empty(), "seed row must have entries");
+        let (c0, v0) = (rc[0] as usize, rv[0]);
+        dm.add(3, c0, -v0); // exact cancellation
+        dm.set(3, (c0 + 1) % 40, 0.0); // set-to-zero == delete
+        let merged = dm.merged_csr();
+        let (mc, _) = merged.row(3);
+        assert!(!mc.contains(&(c0 as u32)), "cancelled entry must vanish");
+        assert!(merged.values().iter().all(|v| *v != 0.0), "no stored zeros");
+    }
+
+    #[test]
+    fn dynamic_smash_matches_rebuilt_smash_exactly() {
+        let cfg = SmashConfig::row_major(&[2, 4]).unwrap();
+        let sm = SmashMatrix::encode(&base(), cfg.clone());
+        let mut dm = DynamicMatrix::from_smash(sm);
+        dm.set(0, 11, 4.5);
+        dm.delete(5, 3);
+        dm.add(17, 39, -2.0);
+        dm.set(47, 0, 1.0);
+        let rebuilt = SmashMatrix::encode(&dm.merged_csr(), cfg);
+        let xv = x(40);
+        let (mut y, mut want) = (vec![0.0; 48], vec![0.0; 48]);
+        spmv_rows(&dm, &xv, &mut y);
+        spmv_rows(&rebuilt, &xv, &mut want);
+        assert_eq!(y, want);
+
+        let b = generators::dense_batch(40, 6, 9);
+        let (mut c, mut cw) = (Dense::zeros(48, 6), Dense::zeros(48, 6));
+        spmm_dense_rows(&dm, &b, &mut c);
+        spmm_dense_rows(&rebuilt, &b, &mut cw);
+        assert_eq!(c, cw);
+    }
+
+    #[test]
+    fn compact_rebuilds_the_base_and_clears_the_overlay() {
+        let cfg = SmashConfig::row_major(&[4, 4]).unwrap();
+        let mut dm = DynamicMatrix::from_smash(SmashMatrix::encode(&base(), cfg.clone()));
+        dm.set(1, 1, 9.0);
+        dm.delete(2, 0);
+        let merged = dm.merged_csr();
+        dm.compact();
+        assert!(dm.overlay().is_empty());
+        match dm.base() {
+            DynamicBase::Smash(sm) => {
+                assert_eq!(*sm, SmashMatrix::encode(&merged, cfg));
+            }
+            DynamicBase::Csr(_) => panic!("base format must be preserved"),
+        }
+        assert_eq!(dm.merged_csr(), merged);
+    }
+}

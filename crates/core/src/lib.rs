@@ -40,6 +40,7 @@
 mod bitmap;
 mod config;
 mod directory;
+mod dynamic;
 mod error;
 mod hierarchy;
 mod nza;
@@ -50,6 +51,7 @@ pub mod storage;
 pub use bitmap::{Bitmap, Ones};
 pub use config::{Layout, SmashConfig, MAX_LEVELS, MAX_RATIO};
 pub use directory::{LineCursor, LineDirectory};
+pub use dynamic::{merge_row, Delta, DeltaOverlay, DynamicBase, DynamicMatrix};
 pub use error::SmashError;
 pub use hierarchy::{BitmapHierarchy, Blocks, Visit, Visits};
 pub use nza::Nza;

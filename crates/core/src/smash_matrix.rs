@@ -1,7 +1,7 @@
 use crate::{
     Bitmap, BitmapHierarchy, Layout, LineCursor, LineDirectory, Nza, SmashConfig, SmashError,
 };
-use smash_matrix::{Coo, Csr, Dense, Scalar};
+use smash_matrix::{Coo, Csr, Dense, RowRead, Scalar};
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Invokes `f(local_block_index, block_values)` for each occupied block of
@@ -720,6 +720,105 @@ impl<T: Scalar> SmashMatrix<T> {
     /// (all construction paths validate, so this is normally `true`).
     pub fn is_verified(&self) -> bool {
         self.verified.load(Ordering::Acquire)
+    }
+}
+
+/// The row-operand view of a row-major SMASH matrix: one granule per row
+/// line, weighted by the line's occupied-block count (straight out of the
+/// [`LineDirectory`], no rank scans). The granule bodies walk each row
+/// with a [`LineCursor`] and run the shared [`block_dot`] /
+/// [`block_axpy_dense`] per-block routines — exactly the serial SMASH
+/// kernel bodies, so the generic drivers stay bit-identical to them.
+///
+/// # Panics
+///
+/// The granule methods panic if the matrix is column-major: the kernel
+/// stack walks row lines.
+impl<T: Scalar> RowRead<T> for SmashMatrix<T> {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn cols(&self) -> usize {
+        self.cols
+    }
+
+    fn stored_work(&self) -> usize {
+        self.nza().len()
+    }
+
+    fn granules(&self) -> usize {
+        assert_eq!(self.config.layout(), Layout::RowMajor, "row-major SpMV");
+        self.rows
+    }
+
+    fn granule_weight(&self, g: usize) -> u64 {
+        let starts = self.line_block_starts();
+        u64::from(starts[g + 1] - starts[g])
+    }
+
+    fn granule_row(&self, g: usize) -> usize {
+        g
+    }
+
+    fn row_into(&self, i: usize, cols: &mut Vec<u32>, vals: &mut Vec<T>) {
+        assert_eq!(self.config.layout(), Layout::RowMajor, "row-major rows");
+        cols.clear();
+        vals.clear();
+        let b0 = self.config.block_size();
+        let bpl = self.blocks_per_line();
+        let nza = self.nza().values();
+        for (ordinal, logical) in self.line_cursor(i) {
+            let col0 = (logical % bpl) * b0;
+            let n = b0.min(self.cols - col0);
+            let block = &nza[ordinal * b0..ordinal * b0 + n];
+            for (k, v) in block.iter().enumerate() {
+                // Decode semantics: explicit padding zeros inside a stored
+                // block are not logical entries.
+                if !v.is_zero() {
+                    cols.push((col0 + k) as u32);
+                    vals.push(*v);
+                }
+            }
+        }
+    }
+
+    fn spmv_granules(&self, g: std::ops::Range<usize>, x: &[T], y: &mut [T]) {
+        assert_eq!(self.config.layout(), Layout::RowMajor, "row-major SpMV");
+        let b0 = self.config.block_size();
+        let bpl = self.blocks_per_line();
+        let cols = self.cols;
+        let nza = self.nza().values();
+        y.fill(T::ZERO);
+        for row in g.clone() {
+            for (ordinal, logical) in self.line_cursor(row) {
+                let col = (logical % bpl) * b0;
+                let block = &nza[ordinal * b0..(ordinal + 1) * b0];
+                let n = b0.min(cols - col);
+                // The shared per-block body of every SMASH SpMV.
+                y[row - g.start] += block_dot(block, x, col, n);
+            }
+        }
+    }
+
+    fn spmm_dense_granules(&self, g: std::ops::Range<usize>, b: &Dense<T>, c: &mut [T]) {
+        assert_eq!(self.config.layout(), Layout::RowMajor, "row-major SpMM");
+        let n = b.cols();
+        let b0 = self.config.block_size();
+        let bpl = self.blocks_per_line();
+        let cols = self.cols;
+        let nza = self.nza().values();
+        c.fill(T::ZERO);
+        for row in g.clone() {
+            let out = &mut c[(row - g.start) * n..(row - g.start + 1) * n];
+            for (ordinal, logical) in self.line_cursor(row) {
+                let col = (logical % bpl) * b0;
+                let block = &nza[ordinal * b0..(ordinal + 1) * b0];
+                let nb = b0.min(cols - col);
+                // The shared per-block body of every batched SMASH SpMM.
+                block_axpy_dense(block, b, col, nb, out);
+            }
+        }
     }
 }
 

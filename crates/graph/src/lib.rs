@@ -22,6 +22,7 @@ pub mod batched;
 pub mod bc;
 pub mod generators;
 mod graph;
+pub mod incremental;
 pub mod pagerank;
 pub mod parallel;
 pub mod triangles;
@@ -33,6 +34,7 @@ pub use batched::{
 pub use bc::{betweenness, betweenness_reference, BcConfig};
 pub use generators::{generate_graphs, paper_graphs, GraphSpec};
 pub use graph::Graph;
+pub use incremental::{pagerank_power, uniform_ranks, IncrementalPageRank, PowerSolve};
 pub use pagerank::{pagerank, pagerank_reference, GraphMechanism, PageRankConfig};
 pub use parallel::{
     betweenness_parallel, betweenness_parallel_smash, pagerank_parallel, pagerank_parallel_smash,

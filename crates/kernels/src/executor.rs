@@ -5,7 +5,8 @@
 //! functions (`spmv_csr`, `spmv_bcsr`, `spmv_smash`, their `par_*` twins,
 //! the SpMM variants, the compressor…). The [`Executor`] hides that fan-out
 //! behind a single dispatcher: callers hand it any supported operand
-//! format — [`Csr`], [`Bcsr`] or a compressed [`SmashMatrix`] — at any
+//! format — [`Csr`], [`Bcsr`](smash_matrix::Bcsr), a compressed
+//! [`SmashMatrix`] or a [`DynamicMatrix`] overlay — at any
 //! [`Scalar`] precision, and the executor picks the matching kernel and
 //! decides whether to run it serially or across a thread pool.
 //!
@@ -48,12 +49,12 @@
 
 use crate::error::{panic_detail, SmashError};
 use crate::native;
+pub use crate::operand::SpmvOperand;
 use crate::planner::{Format, MatrixProfile, Op, Plan, PlanRequest, Planner};
-use smash_core::{Layout, SmashConfig, SmashMatrix};
-use smash_matrix::{Bcsr, Coo, Csc, Csr, Dense, Scalar};
+use smash_core::{DynamicMatrix, Layout, SmashConfig, SmashMatrix};
+use smash_matrix::{spmm_dense_rows, spmv_rows, Coo, Csc, Csr, Dense, Scalar};
 use smash_parallel::{
-    default_threads, par_csr_to_smash, par_spmm_dense_bcsr, par_spmm_dense_csr,
-    par_spmm_dense_smash, par_spmv_bcsr, par_spmv_csr, par_spmv_smash, threads_from_env,
+    default_threads, par_csr_to_smash, par_spmm_dense_rows, par_spmv_rows, threads_from_env,
     ThreadPool,
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -224,123 +225,6 @@ impl ExecReport {
     /// Whether the call had to degrade from its planned execution.
     pub fn degraded(&self) -> bool {
         !self.degradations.is_empty()
-    }
-}
-
-/// Any matrix format the executor can run an SpMV over, borrowed from the
-/// caller. Construct it implicitly through `Into` (`exec.spmv(&csr, …)`)
-/// or explicitly for dynamic format choice.
-#[derive(Debug, Clone, Copy)]
-pub enum SpmvOperand<'a, T> {
-    /// Plain compressed sparse row.
-    Csr(&'a Csr<T>),
-    /// Blocked CSR.
-    Bcsr(&'a Bcsr<T>),
-    /// SMASH-compressed (hierarchical bitmap + NZA), row-major.
-    Smash(&'a SmashMatrix<T>),
-}
-
-impl<'a, T> From<&'a Csr<T>> for SpmvOperand<'a, T> {
-    fn from(a: &'a Csr<T>) -> Self {
-        SpmvOperand::Csr(a)
-    }
-}
-
-impl<'a, T> From<&'a Bcsr<T>> for SpmvOperand<'a, T> {
-    fn from(a: &'a Bcsr<T>) -> Self {
-        SpmvOperand::Bcsr(a)
-    }
-}
-
-impl<'a, T> From<&'a SmashMatrix<T>> for SpmvOperand<'a, T> {
-    fn from(a: &'a SmashMatrix<T>) -> Self {
-        SpmvOperand::Smash(a)
-    }
-}
-
-impl<T: Scalar> SpmvOperand<'_, T> {
-    /// Rows of the operand.
-    pub fn rows(&self) -> usize {
-        match self {
-            SpmvOperand::Csr(a) => a.rows(),
-            SpmvOperand::Bcsr(a) => a.rows(),
-            SpmvOperand::Smash(a) => a.rows(),
-        }
-    }
-
-    /// Columns of the operand.
-    pub fn cols(&self) -> usize {
-        match self {
-            SpmvOperand::Csr(a) => a.cols(),
-            SpmvOperand::Bcsr(a) => a.cols(),
-            SpmvOperand::Smash(a) => a.cols(),
-        }
-    }
-
-    /// Stored work items: true non-zeros for CSR, stored (padded) values
-    /// for the blocked formats — the quantity dispatch cost competes with.
-    pub fn work(&self) -> usize {
-        match self {
-            SpmvOperand::Csr(a) => a.nnz(),
-            SpmvOperand::Bcsr(a) => a.nnz_stored(),
-            SpmvOperand::Smash(a) => a.nza().len(),
-        }
-    }
-
-    /// The planner [`Format`] of this operand.
-    pub fn format(&self) -> Format {
-        match self {
-            SpmvOperand::Csr(_) => Format::Csr,
-            SpmvOperand::Bcsr(_) => Format::Bcsr,
-            SpmvOperand::Smash(_) => Format::Smash,
-        }
-    }
-
-    /// The structural [`MatrixProfile`] dispatch decisions key on —
-    /// `O(rows)` for CSR/BCSR, `O(lines)` for SMASH (the line directory
-    /// and block fill are already materialized at encode time).
-    pub fn profile(&self) -> MatrixProfile {
-        match self {
-            SpmvOperand::Csr(a) => MatrixProfile::of_csr(a),
-            SpmvOperand::Bcsr(a) => MatrixProfile::of_bcsr(a),
-            SpmvOperand::Smash(a) => MatrixProfile::of_smash(a),
-        }
-    }
-
-    /// The operand's stored values, whatever the format — what the
-    /// [`NonFinitePolicy::Reject`] scan inspects.
-    pub fn stored_values(&self) -> &'_ [T] {
-        match self {
-            SpmvOperand::Csr(a) => a.values(),
-            SpmvOperand::Bcsr(a) => a.values(),
-            SpmvOperand::Smash(a) => a.nza().values(),
-        }
-    }
-
-    /// Structural validation of the operand, routed to its format's
-    /// `validate()` (cached after the first success) and mapped into the
-    /// unified taxonomy. Row-major is required of SMASH operands: the
-    /// executor's kernels walk row lines.
-    fn check(&self, op: &'static str) -> Result<(), SmashError> {
-        match self {
-            SpmvOperand::Csr(a) => a.validate().map_err(|source| SmashError::InvalidStructure {
-                format: "csr",
-                source,
-            }),
-            SpmvOperand::Bcsr(a) => a.validate().map_err(|source| SmashError::InvalidStructure {
-                format: "bcsr",
-                source,
-            }),
-            SpmvOperand::Smash(a) => {
-                if a.config().layout() != Layout::RowMajor {
-                    return Err(SmashError::Unsupported {
-                        op,
-                        detail: "SMASH operand must be row-major".into(),
-                    });
-                }
-                a.validate().map_err(SmashError::Encoding)
-            }
-        }
     }
 }
 
@@ -586,7 +470,7 @@ impl Executor {
     /// anything.
     pub fn plan_spmv<'a, T: Scalar>(&self, a: impl Into<SpmvOperand<'a, T>>) -> Plan {
         let a = a.into();
-        self.make_plan(Op::Spmv, a.format(), &a.profile(), 1, None)
+        self.make_plan(a.op_spmv(), a.format(), &a.profile(), 1, None)
     }
 
     /// The [`Plan`] that [`Executor::spmm_dense`] would act on for this
@@ -597,7 +481,7 @@ impl Executor {
         rhs_cols: usize,
     ) -> Plan {
         let a = a.into();
-        self.make_plan(Op::SpmmDense, a.format(), &a.profile(), rhs_cols, None)
+        self.make_plan(a.op_spmm_dense(), a.format(), &a.profile(), rhs_cols, None)
     }
 
     /// The [`Plan`] that [`Executor::spgemm`] would act on, including
@@ -648,14 +532,12 @@ impl Executor {
     /// ```
     pub fn spmv<'a, T: Scalar>(&self, a: impl Into<SpmvOperand<'a, T>>, x: &[T], y: &mut [T]) {
         let a = a.into();
-        let wide = self.planned_wide(Op::Spmv, a.format(), || a.profile(), 1, None);
-        match (a, wide) {
-            (SpmvOperand::Csr(a), false) => native::spmv_csr(a, x, y),
-            (SpmvOperand::Csr(a), true) => par_spmv_csr(self.pool(), a, x, y),
-            (SpmvOperand::Bcsr(a), false) => native::spmv_bcsr(a, x, y),
-            (SpmvOperand::Bcsr(a), true) => par_spmv_bcsr(self.pool(), a, x, y),
-            (SpmvOperand::Smash(a), false) => native::spmv_smash(a, x, y),
-            (SpmvOperand::Smash(a), true) => par_spmv_smash(self.pool(), a, x, y),
+        let wide = self.planned_wide(a.op_spmv(), a.format(), || a.profile(), 1, None);
+        let r = a.row_read();
+        if wide {
+            par_spmv_rows(self.pool(), r, x, y);
+        } else {
+            spmv_rows(r, x, y);
         }
     }
 
@@ -703,14 +585,18 @@ impl Executor {
         c: &mut Dense<T>,
     ) {
         let a = a.into();
-        let wide = self.planned_wide(Op::SpmmDense, a.format(), || a.profile(), b.cols(), None);
-        match (a, wide) {
-            (SpmvOperand::Csr(a), false) => native::spmm_dense_csr(a, b, c),
-            (SpmvOperand::Csr(a), true) => par_spmm_dense_csr(self.pool(), a, b, c),
-            (SpmvOperand::Bcsr(a), false) => native::spmm_dense_bcsr(a, b, c),
-            (SpmvOperand::Bcsr(a), true) => par_spmm_dense_bcsr(self.pool(), a, b, c),
-            (SpmvOperand::Smash(a), false) => native::spmm_dense_smash(a, b, c),
-            (SpmvOperand::Smash(a), true) => par_spmm_dense_smash(self.pool(), a, b, c),
+        let wide = self.planned_wide(
+            a.op_spmm_dense(),
+            a.format(),
+            || a.profile(),
+            b.cols(),
+            None,
+        );
+        let r = a.row_read();
+        if wide {
+            par_spmm_dense_rows(self.pool(), r, b, c);
+        } else {
+            spmm_dense_rows(r, b, c);
         }
     }
 
@@ -837,6 +723,27 @@ impl Executor {
         }
     }
 
+    /// Merges a dynamic matrix's overlay into its base tier
+    /// ([`DynamicMatrix::compact`]), re-encoding a SMASH base through the
+    /// executor's serial/parallel encoder dispatch. The compacted base is
+    /// `==` to building it from scratch from the merged matrix, whichever
+    /// path runs.
+    pub fn compact<T: Scalar>(&self, m: &mut DynamicMatrix<T>) {
+        m.compact_with(|merged, config| {
+            if self.planned_wide(
+                Op::Encode,
+                Format::Csr,
+                || MatrixProfile::of_csr(merged),
+                1,
+                None,
+            ) {
+                par_csr_to_smash(self.pool(), merged, config)
+            } else {
+                SmashMatrix::encode(merged, config)
+            }
+        });
+    }
+
     // ------------------------------------------------------------------
     // The fallible tier: validated operands, typed errors, graceful
     // degradation. The documented front door for untrusted input — the
@@ -863,6 +770,20 @@ impl Executor {
             });
         }
         report
+    }
+
+    /// The [`NonFinitePolicy::Reject`] scan over a matrix operand —
+    /// operand-level (not a slice scan) because a dynamic operand's
+    /// values live in both its base tier and its overlay.
+    fn check_operand_finite<T: Scalar>(
+        &self,
+        op: &'static str,
+        a: &SpmvOperand<'_, T>,
+    ) -> Result<(), SmashError> {
+        if self.nonfinite == NonFinitePolicy::Reject && !a.values_finite() {
+            return Err(SmashError::NonFinite { op, operand: "A" });
+        }
+        Ok(())
     }
 
     /// The [`NonFinitePolicy::Reject`] scan over one operand's values.
@@ -928,16 +849,13 @@ impl Executor {
             });
         }
         a.check(OP)?;
-        self.check_finite(OP, "A", a.stored_values())?;
+        self.check_operand_finite(OP, &a)?;
         self.check_finite(OP, "x", x)?;
-        let plan = self.make_plan(Op::Spmv, a.format(), &a.profile(), 1, None);
+        let plan = self.make_plan(a.op_spmv(), a.format(), &a.profile(), 1, None);
         let mut report = self.start_report(plan);
+        let r = a.row_read();
         if self.wide_for(&report.plan) {
-            let wide = catch_unwind(AssertUnwindSafe(|| match a {
-                SpmvOperand::Csr(m) => par_spmv_csr(self.pool(), m, x, y),
-                SpmvOperand::Bcsr(m) => par_spmv_bcsr(self.pool(), m, x, y),
-                SpmvOperand::Smash(m) => par_spmv_smash(self.pool(), m, x, y),
-            }));
+            let wide = catch_unwind(AssertUnwindSafe(|| par_spmv_rows(self.pool(), r, x, y)));
             match wide {
                 Ok(()) => return Ok(report),
                 Err(payload) => {
@@ -950,11 +868,7 @@ impl Executor {
                 }
             }
         }
-        let serial = catch_unwind(AssertUnwindSafe(|| match a {
-            SpmvOperand::Csr(m) => native::spmv_csr(m, x, y),
-            SpmvOperand::Bcsr(m) => native::spmv_bcsr(m, x, y),
-            SpmvOperand::Smash(m) => native::spmv_smash(m, x, y),
-        }));
+        let serial = catch_unwind(AssertUnwindSafe(|| spmv_rows(r, x, y)));
         match serial {
             Ok(()) => Ok(report),
             Err(payload) => Err(SmashError::Panicked {
@@ -995,15 +909,14 @@ impl Executor {
             });
         }
         a.check(OP)?;
-        self.check_finite(OP, "A", a.stored_values())?;
+        self.check_operand_finite(OP, &a)?;
         self.check_finite(OP, "B", b.as_slice())?;
-        let plan = self.make_plan(Op::SpmmDense, a.format(), &a.profile(), b.cols(), None);
+        let plan = self.make_plan(a.op_spmm_dense(), a.format(), &a.profile(), b.cols(), None);
         let mut report = self.start_report(plan);
+        let r = a.row_read();
         if self.wide_for(&report.plan) {
-            let wide = catch_unwind(AssertUnwindSafe(|| match a {
-                SpmvOperand::Csr(m) => par_spmm_dense_csr(self.pool(), m, b, c),
-                SpmvOperand::Bcsr(m) => par_spmm_dense_bcsr(self.pool(), m, b, c),
-                SpmvOperand::Smash(m) => par_spmm_dense_smash(self.pool(), m, b, c),
+            let wide = catch_unwind(AssertUnwindSafe(|| {
+                par_spmm_dense_rows(self.pool(), r, b, c)
             }));
             match wide {
                 Ok(()) => return Ok(report),
@@ -1015,11 +928,7 @@ impl Executor {
                 }
             }
         }
-        let serial = catch_unwind(AssertUnwindSafe(|| match a {
-            SpmvOperand::Csr(m) => native::spmm_dense_csr(m, b, c),
-            SpmvOperand::Bcsr(m) => native::spmm_dense_bcsr(m, b, c),
-            SpmvOperand::Smash(m) => native::spmm_dense_smash(m, b, c),
-        }));
+        let serial = catch_unwind(AssertUnwindSafe(|| spmm_dense_rows(r, b, c)));
         match serial {
             Ok(()) => Ok(report),
             Err(payload) => Err(SmashError::Panicked {
@@ -1164,7 +1073,7 @@ impl Default for Executor {
 mod tests {
     use super::*;
     use crate::common::test_vector;
-    use smash_matrix::generators;
+    use smash_matrix::{generators, Bcsr};
 
     fn modes() -> Vec<(&'static str, Executor)> {
         vec![
@@ -1535,6 +1444,82 @@ mod tests {
         assert!(!MemoryBudget::reject_over(8).degrades());
         assert_eq!(MemoryBudget::reject_over(8).bytes(), 8);
         assert_eq!(Executor::serial().budget(), None);
+    }
+
+    #[test]
+    fn dynamic_operand_matches_rebuilt_matrix_across_modes() {
+        use smash_core::DynamicMatrix;
+        let a = generators::clustered(256, 256, 20_000, 5, 3);
+        let mut dm = DynamicMatrix::from_csr(a.clone());
+        dm.set(3, 7, 2.5);
+        dm.add(100, 100, -1.25);
+        dm.delete(0, a.row(0).0.first().map_or(0, |&c| c as usize));
+        let rebuilt = dm.merged_csr();
+        let x = test_vector::<f64>(256);
+        let b = test_batch(256, 8);
+        let mut want = vec![0.0; 256];
+        Executor::serial().spmv(&rebuilt, &x, &mut want);
+        let mut want_c = Dense::zeros(256, 8);
+        Executor::serial().spmm_dense(&rebuilt, &b, &mut want_c);
+        for (mode, exec) in modes() {
+            let mut y = vec![f64::NAN; 256];
+            exec.spmv(&dm, &x, &mut y);
+            assert_eq!(y, want, "spmv dynamic via {mode}");
+            let mut c = Dense::zeros(256, 8);
+            c.as_mut_slice().fill(f64::NAN);
+            exec.spmm_dense(&dm, &b, &mut c);
+            assert_eq!(c, want_c, "spmm_dense dynamic via {mode}");
+            let mut y = vec![f64::NAN; 256];
+            let report = exec.try_spmv(&dm, &x, &mut y).unwrap();
+            assert_eq!(y, want, "try_spmv dynamic via {mode}");
+            assert!(!report.degraded());
+        }
+        // The plan names the dynamic op and format, and (with no
+        // calibration rows for it) lands in the threshold tier.
+        let plan = Executor::auto().plan_spmv(&dm);
+        assert!(!plan.calibrated, "{}", plan.rationale);
+        assert_eq!(plan.choice.format, Format::Dynamic);
+        assert!(plan.rationale.contains("dyn_spmv"), "{}", plan.rationale);
+    }
+
+    #[test]
+    fn dynamic_operand_non_finite_overlay_is_rejected() {
+        use smash_core::DynamicMatrix;
+        let a = generators::uniform(16, 16, 60, 3);
+        let mut dm = DynamicMatrix::from_csr(a);
+        dm.set(2, 2, f64::NAN);
+        let exec = Executor::serial().with_non_finite_policy(NonFinitePolicy::Reject);
+        let mut y = vec![0.0; 16];
+        let err = exec
+            .try_spmv(&dm, &test_vector::<f64>(16), &mut y)
+            .unwrap_err();
+        assert!(
+            matches!(err, SmashError::NonFinite { operand: "A", .. }),
+            "{err}"
+        );
+        // Deletes carry no value, so deleting the bad entry clears the scan.
+        let mut dm2 = DynamicMatrix::from_csr(generators::uniform(16, 16, 60, 3));
+        dm2.delete(2, 2);
+        assert!(exec.try_spmv(&dm2, &test_vector::<f64>(16), &mut y).is_ok());
+    }
+
+    #[test]
+    fn executor_compact_matches_direct_compaction() {
+        use smash_core::DynamicMatrix;
+        let a = generators::power_law(128, 128, 20_000, 1.3, 5);
+        let sm = SmashMatrix::encode(&a, SmashConfig::row_major(&[2, 4]).unwrap());
+        for (mode, exec) in modes() {
+            let mut dm = DynamicMatrix::from_smash(sm.clone());
+            dm.set(5, 9, 4.0);
+            dm.delete(17, 3);
+            let want = SmashMatrix::encode(&dm.merged_csr(), sm.config().clone());
+            exec.compact(&mut dm);
+            assert!(dm.overlay().is_empty(), "{mode}");
+            match dm.base() {
+                smash_core::DynamicBase::Smash(got) => assert_eq!(*got, want, "{mode}"),
+                other => panic!("expected a SMASH base, got {other:?}"),
+            }
+        }
     }
 
     #[test]

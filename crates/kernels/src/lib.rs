@@ -62,6 +62,7 @@ pub mod error;
 pub mod executor;
 pub mod harness;
 pub mod native;
+pub mod operand;
 pub mod parallel;
 pub mod planner;
 pub mod spadd;

@@ -32,8 +32,9 @@
 //! lists (`tests/spgemm.rs` pins this with adversarial cancelling
 //! inputs).
 
-use smash_core::{block_axpy_dense, block_dot, for_each_nz_block, Layout, SmashMatrix};
-use smash_matrix::{Bcsr, Coo, Csc, Csr, Dense, Scalar};
+use crate::operand::{check_smash_spmm_operands, spmm_smash_row, SmashMergeOperand};
+use smash_core::SmashMatrix;
+use smash_matrix::{spmm_dense_rows, spmv_rows, Bcsr, Coo, Csc, Csr, CsrBuilder, Dense, Scalar};
 
 /// Plain CSR SpMV (paper Code Listing 1). The per-row body is
 /// [`Csr::row_dot`], shared with `smash_parallel::par_spmv_csr`.
@@ -42,11 +43,7 @@ use smash_matrix::{Bcsr, Coo, Csc, Csr, Dense, Scalar};
 ///
 /// Panics if `x.len() != a.cols()`.
 pub fn spmv_csr<T: Scalar>(a: &Csr<T>, x: &[T], y: &mut [T]) {
-    assert_eq!(x.len(), a.cols());
-    assert_eq!(y.len(), a.rows());
-    for (i, yi) in y.iter_mut().enumerate() {
-        *yi = a.row_dot(i, x);
-    }
+    spmv_rows(a, x, y);
 }
 
 /// Optimized CSR SpMV — the "more software tuning over the same format"
@@ -63,11 +60,7 @@ pub fn spmv_csr<T: Scalar>(a: &Csr<T>, x: &[T], y: &mut [T]) {
 ///
 /// Panics if `x.len() != a.cols()`.
 pub fn spmv_csr_opt<T: Scalar>(a: &Csr<T>, x: &[T], y: &mut [T]) {
-    assert_eq!(x.len(), a.cols());
-    assert_eq!(y.len(), a.rows());
-    for (i, yi) in y.iter_mut().enumerate() {
-        *yi = a.row_dot(i, x);
-    }
+    spmv_rows(a, x, y);
 }
 
 /// BCSR SpMV (blocked baseline), allocation-free. The per-block-row body
@@ -79,15 +72,7 @@ pub fn spmv_csr_opt<T: Scalar>(a: &Csr<T>, x: &[T], y: &mut [T]) {
 ///
 /// Panics if `x.len() != a.cols()` or `y.len() != a.rows()`.
 pub fn spmv_bcsr<T: Scalar>(a: &Bcsr<T>, x: &[T], y: &mut [T]) {
-    assert_eq!(x.len(), a.cols());
-    assert_eq!(y.len(), a.rows());
-    y.fill(T::ZERO);
-    let (br, _) = a.block_shape();
-    for bi in 0..a.num_block_rows() {
-        let ylo = bi * br;
-        let yhi = (ylo + br).min(a.rows());
-        a.block_row_spmv(bi, x, &mut y[ylo..yhi]);
-    }
+    spmv_rows(a, x, y);
 }
 
 /// Software-only SMASH SpMV: scans the stored bitmap hierarchy with
@@ -98,17 +83,7 @@ pub fn spmv_bcsr<T: Scalar>(a: &Bcsr<T>, x: &[T], y: &mut [T]) {
 ///
 /// Panics if `x.len() != a.cols()` or the matrix is not row-major.
 pub fn spmv_smash<T: Scalar>(a: &SmashMatrix<T>, x: &[T], y: &mut [T]) {
-    assert_eq!(x.len(), a.cols());
-    assert_eq!(y.len(), a.rows());
-    assert_eq!(a.config().layout(), Layout::RowMajor, "row-major SpMV");
-    y.fill(T::ZERO);
-    let b0 = a.config().block_size();
-    let nza = a.nza().values();
-    for_each_nz_block(a, |row, col, ordinal| {
-        let block = &nza[ordinal * b0..(ordinal + 1) * b0];
-        let n = b0.min(a.cols() - col);
-        y[row] += block_dot(block, x, col, n);
-    });
+    spmv_rows(a, x, y);
 }
 
 /// Batched CSR sparse × dense multiply (`C = A * B`, `B` a dense batch of
@@ -125,12 +100,7 @@ pub fn spmv_smash<T: Scalar>(a: &SmashMatrix<T>, x: &[T], y: &mut [T]) {
 /// Panics if `b.rows() != a.cols()`, `c.rows() != a.rows()`, or
 /// `c.cols() != b.cols()`.
 pub fn spmm_dense_csr<T: Scalar>(a: &Csr<T>, b: &Dense<T>, c: &mut Dense<T>) {
-    assert_eq!(b.rows(), a.cols(), "inner dimensions must agree");
-    assert_eq!(c.rows(), a.rows(), "output rows must equal a.rows()");
-    assert_eq!(c.cols(), b.cols(), "output cols must equal b.cols()");
-    for i in 0..a.rows() {
-        a.row_spmm_dense(i, b, c.row_mut(i));
-    }
+    spmm_dense_rows(a, b, c);
 }
 
 /// Batched BCSR sparse × dense multiply. The per-block-row body is
@@ -143,24 +113,13 @@ pub fn spmm_dense_csr<T: Scalar>(a: &Csr<T>, b: &Dense<T>, c: &mut Dense<T>) {
 /// Panics if `b.rows() != a.cols()`, `c.rows() != a.rows()`, or
 /// `c.cols() != b.cols()`.
 pub fn spmm_dense_bcsr<T: Scalar>(a: &Bcsr<T>, b: &Dense<T>, c: &mut Dense<T>) {
-    assert_eq!(b.rows(), a.cols(), "inner dimensions must agree");
-    assert_eq!(c.rows(), a.rows(), "output rows must equal a.rows()");
-    assert_eq!(c.cols(), b.cols(), "output cols must equal b.cols()");
-    c.as_mut_slice().fill(T::ZERO);
-    let (br, _) = a.block_shape();
-    let n = b.cols();
-    let rows = a.rows();
-    for bi in 0..a.num_block_rows() {
-        let row_lo = bi * br;
-        let row_hi = (row_lo + br).min(rows);
-        a.block_row_spmm_dense(bi, b, &mut c.as_mut_slice()[row_lo * n..row_hi * n]);
-    }
+    spmm_dense_rows(a, b, c);
 }
 
 /// Batched software-SMASH sparse × dense multiply over the compressed
 /// form: the same bitmap scan as [`spmv_smash`] (word-level
 /// `trailing_zeros` on one level, depth-first cursor otherwise), with the
-/// per-block body [`block_axpy_dense`] shared with
+/// per-block body `block_axpy_dense` shared with
 /// `smash_parallel::par_spmm_dense_smash`. Column `j` of `C` is
 /// bit-identical to [`spmv_smash`] against column `j` of `B`.
 ///
@@ -169,18 +128,7 @@ pub fn spmm_dense_bcsr<T: Scalar>(a: &Bcsr<T>, b: &Dense<T>, c: &mut Dense<T>) {
 /// Panics if `b.rows() != a.cols()`, `c.rows() != a.rows()`,
 /// `c.cols() != b.cols()`, or the matrix is not row-major.
 pub fn spmm_dense_smash<T: Scalar>(a: &SmashMatrix<T>, b: &Dense<T>, c: &mut Dense<T>) {
-    assert_eq!(b.rows(), a.cols(), "inner dimensions must agree");
-    assert_eq!(c.rows(), a.rows(), "output rows must equal a.rows()");
-    assert_eq!(c.cols(), b.cols(), "output cols must equal b.cols()");
-    assert_eq!(a.config().layout(), Layout::RowMajor, "row-major SpMM");
-    c.as_mut_slice().fill(T::ZERO);
-    let b0 = a.config().block_size();
-    let nza = a.nza().values();
-    for_each_nz_block(a, |row, col, ordinal| {
-        let block = &nza[ordinal * b0..(ordinal + 1) * b0];
-        let n = b0.min(a.cols() - col);
-        block_axpy_dense(block, b, col, n, c.row_mut(row));
-    });
+    spmm_dense_rows(a, b, c);
 }
 
 /// Plain CSR×CSC inner-product SpMM (paper Code Listing 2).
@@ -334,102 +282,65 @@ pub fn spmm_smash<T: Scalar>(a: &SmashMatrix<T>, b: &SmashMatrix<T>) -> Coo<T> {
     c
 }
 
-/// Validates the operand pair for a SMASH × SMASH product: `a` row-major,
-/// `b` column-major, one-level hierarchies with equal block sizes and
-/// conforming dimensions.
-pub(crate) fn check_smash_spmm_operands<T: Scalar>(a: &SmashMatrix<T>, b: &SmashMatrix<T>) {
-    assert_eq!(a.cols(), b.rows());
-    assert_eq!(a.config().layout(), Layout::RowMajor);
-    assert_eq!(b.config().layout(), Layout::ColMajor);
-    assert_eq!(a.config().block_size(), b.config().block_size());
-}
-
-/// A SMASH operand prepared for block-granular line merges: per-line in-line
-/// block offsets, flattened and addressed through the directory's per-line
-/// starts — O(nnz blocks + lines) auxiliary memory, never the O(dense) full
-/// Bitmap-0 expansion.
+/// First-class native sparse + sparse addition `C = A + B`, both operands
+/// CSR: a per-row two-cursor merge with direct [`CsrBuilder`] emission.
 ///
-/// Shared between the serial [`spmm_smash`] loop and the row-parallel variant
-/// in the SpGEMM engine so that both run the identical per-row arithmetic.
-pub(crate) struct SmashMergeOperand<'a, T> {
-    offs: Vec<u32>,
-    starts: &'a [u32],
-    nza: &'a [T],
-    b0: usize,
-    lines: usize,
-}
-
-impl<'a, T: Scalar> SmashMergeOperand<'a, T> {
-    pub(crate) fn new(sm: &'a SmashMatrix<T>) -> Self {
-        let bpl = sm.blocks_per_line();
-        let mut offs = vec![0u32; sm.num_blocks()];
-        for (ordinal, logical) in sm.hierarchy().blocks().enumerate() {
-            offs[ordinal] = (logical % bpl) as u32;
-        }
-        let lines = sm.line_block_starts().len() - 1;
-        Self {
-            offs,
-            starts: sm.line_block_starts(),
-            nza: sm.nza().values(),
-            b0: sm.config().block_size(),
-            lines,
-        }
-    }
-
-    /// `(base ordinal, in-line offsets)` for line `l`.
-    fn line(&self, l: usize) -> (usize, &[u32]) {
-        let base = self.starts[l] as usize;
-        (base, &self.offs[base..self.starts[l + 1] as usize])
-    }
-}
-
-/// One output row of the SMASH × SMASH product: merges row-line `i` of `a`
-/// against every column-line of `b`, emitting `(col, value)` for each
-/// structural hit whose accumulated dot is non-zero (the cancellation policy
-/// documented in the module docs).
+/// The cancellation policy matches the SpGEMM engine's (see the module
+/// docs) and the instrumented [`spadd_csr`](crate::spadd::spadd_csr):
+/// **exact zeros are dropped** — an output position whose value is exactly
+/// `±0.0` is not stored, whether it cancelled on a structural overlap or
+/// arrived as a stored zero from a single side. Stored results therefore
+/// contain no explicit zeros, and this kernel's triplets equal the
+/// instrumented kernel's result exactly.
 ///
-/// This is the exact per-row body of [`spmm_smash`]; the parallel variant
-/// dispatches disjoint row ranges to it, so outputs are bit-identical to the
-/// serial kernel at any thread count.
-pub(crate) fn spmm_smash_row<T: Scalar>(
-    i: usize,
-    a: &SmashMergeOperand<'_, T>,
-    b: &SmashMergeOperand<'_, T>,
-    mut emit: impl FnMut(usize, T),
-) {
-    let b0 = a.b0;
-    let (a_base, al) = a.line(i);
-    if al.is_empty() {
-        return;
-    }
-    for j in 0..b.lines {
-        let (b_base, bl) = b.line(j);
-        if bl.is_empty() {
-            continue;
-        }
+/// # Panics
+///
+/// Panics if the operand shapes disagree.
+pub fn spadd<T: Scalar>(a: &Csr<T>, b: &Csr<T>) -> Csr<T> {
+    assert_eq!(a.rows(), b.rows(), "row counts must agree");
+    assert_eq!(a.cols(), b.cols(), "column counts must agree");
+    let mut out = CsrBuilder::with_capacity(a.cols(), a.rows(), a.nnz() + b.nnz());
+    let (mut cols, mut vals) = (Vec::new(), Vec::new());
+    for i in 0..a.rows() {
+        cols.clear();
+        vals.clear();
+        let mut push = |c: u32, v: T| {
+            if !v.is_zero() {
+                cols.push(c);
+                vals.push(v);
+            }
+        };
+        let (ac, av) = a.row(i);
+        let (bc, bv) = b.row(i);
         let (mut p, mut q) = (0usize, 0usize);
-        let mut acc = T::ZERO;
-        let mut hit = false;
-        while p < al.len() && q < bl.len() {
-            match al[p].cmp(&bl[q]) {
+        while p < ac.len() && q < bc.len() {
+            match ac[p].cmp(&bc[q]) {
+                std::cmp::Ordering::Less => {
+                    push(ac[p], av[p]);
+                    p += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    push(bc[q], bv[q]);
+                    q += 1;
+                }
                 std::cmp::Ordering::Equal => {
-                    let oa = (a_base + p) * b0;
-                    let ob = (b_base + q) * b0;
-                    for k in 0..b0 {
-                        acc += a.nza[oa + k] * b.nza[ob + k];
-                    }
-                    hit = true;
+                    push(ac[p], av[p] + bv[q]);
                     p += 1;
                     q += 1;
                 }
-                std::cmp::Ordering::Less => p += 1,
-                std::cmp::Ordering::Greater => q += 1,
             }
         }
-        if hit && !acc.is_zero() {
-            emit(j, acc);
+        while p < ac.len() {
+            push(ac[p], av[p]);
+            p += 1;
         }
+        while q < bc.len() {
+            push(bc[q], bv[q]);
+            q += 1;
+        }
+        out.push_row(&cols, &vals);
     }
+    out.finish()
 }
 
 #[cfg(test)]
@@ -557,6 +468,36 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn spadd_matches_instrumented_kernel_exactly() {
+        let a = generators::uniform(50, 60, 300, 3);
+        let b = generators::banded(50, 60, 4, 250, 4);
+        let mut e = smash_sim::CountEngine::new();
+        let want = crate::spadd::spadd_csr(&mut e, &a, &b);
+        assert_eq!(spadd(&a, &b), want);
+        // Empty + empty, and identity-like sanity.
+        let z = Csr::<f64>::from_coo(&Coo::new(50, 60));
+        assert_eq!(spadd(&a, &z), a);
+        assert_eq!(spadd(&z, &z).nnz(), 0);
+    }
+
+    #[test]
+    fn spadd_drops_exact_cancellations() {
+        // a holds +v where b holds -v at overlapping positions: the merged
+        // sum is exactly ±0.0 and must not be stored.
+        let mut ca = Coo::<f64>::new(4, 4);
+        let mut cb = Coo::<f64>::new(4, 4);
+        ca.push(1, 2, 3.5);
+        cb.push(1, 2, -3.5);
+        ca.push(2, 0, 1.0);
+        cb.push(2, 0, 2.0);
+        cb.push(3, 3, -7.0);
+        let c = spadd(&Csr::from_coo(&ca), &Csr::from_coo(&cb));
+        assert_eq!(c.nnz(), 2, "cancelled entry must vanish");
+        assert_eq!(c.row(2), (&[0u32][..], &[3.0][..]));
+        assert_eq!(c.row(3), (&[3u32][..], &[-7.0][..]));
     }
 
     fn assert_close(y: &[f64], want: &[f64]) {

@@ -84,6 +84,11 @@ pub enum Op {
     Spgemm,
     /// CSR → SMASH compression (`Executor::encode`).
     Encode,
+    /// SpMV over a dynamic (base + overlay) operand — the merge-on-access
+    /// kernels, a different cost regime from the static formats.
+    DynSpmv,
+    /// Batched SpMM over a dynamic operand.
+    DynSpmmDense,
 }
 
 impl Op {
@@ -94,6 +99,8 @@ impl Op {
             Op::SpmmDense => "spmm_dense",
             Op::Spgemm => "spgemm",
             Op::Encode => "encode",
+            Op::DynSpmv => "dyn_spmv",
+            Op::DynSpmmDense => "dyn_spmm_dense",
         }
     }
 
@@ -103,6 +110,8 @@ impl Op {
             "spmm_dense" => Op::SpmmDense,
             "spgemm" => Op::Spgemm,
             "encode" => Op::Encode,
+            "dyn_spmv" => Op::DynSpmv,
+            "dyn_spmm_dense" => Op::DynSpmmDense,
             _ => return None,
         })
     }
@@ -123,6 +132,9 @@ pub enum Format {
     Bcsr,
     /// SMASH hierarchical-bitmap compression.
     Smash,
+    /// Dynamic matrix: a static base tier plus a delta overlay, merged
+    /// on access.
+    Dynamic,
 }
 
 impl Format {
@@ -132,6 +144,7 @@ impl Format {
             Format::Csr => "csr",
             Format::Bcsr => "bcsr",
             Format::Smash => "smash",
+            Format::Dynamic => "dynamic",
         }
     }
 
@@ -140,6 +153,7 @@ impl Format {
             "csr" => Format::Csr,
             "bcsr" => Format::Bcsr,
             "smash" => Format::Smash,
+            "dynamic" => Format::Dynamic,
             _ => return None,
         })
     }
@@ -449,8 +463,8 @@ impl PlanRequest {
     /// count for SpGEMM.
     fn predict_work(&self, profile: &MatrixProfile) -> f64 {
         match self.op {
-            Op::Spmv | Op::Encode => profile.nnz as f64,
-            Op::SpmmDense => profile.nnz as f64 * self.rhs_cols.max(1) as f64,
+            Op::Spmv | Op::DynSpmv | Op::Encode => profile.nnz as f64,
+            Op::SpmmDense | Op::DynSpmmDense => profile.nnz as f64 * self.rhs_cols.max(1) as f64,
             Op::Spgemm => self.work.unwrap_or(profile.nnz as u64) as f64,
         }
     }
@@ -460,8 +474,10 @@ impl PlanRequest {
     /// an empty calibration table reproduces the pre-planner dispatch.
     fn fallback_work(&self, profile: &MatrixProfile) -> usize {
         match self.op {
-            Op::Spmv => profile.stored_work,
-            Op::SpmmDense => profile.stored_work.saturating_mul(self.rhs_cols.max(1)),
+            Op::Spmv | Op::DynSpmv => profile.stored_work,
+            Op::SpmmDense | Op::DynSpmmDense => {
+                profile.stored_work.saturating_mul(self.rhs_cols.max(1))
+            }
             Op::Spgemm => {
                 usize::try_from(self.work.unwrap_or(profile.nnz as u64)).unwrap_or(usize::MAX)
             }
@@ -861,7 +877,7 @@ impl Planner {
 /// batch width: 8, then 4, then scalar columns.
 fn lead_tile(req: &PlanRequest) -> usize {
     match req.op {
-        Op::SpmmDense => {
+        Op::SpmmDense | Op::DynSpmmDense => {
             let n = req.rhs_cols.max(1);
             if n >= 8 {
                 8
@@ -1017,6 +1033,48 @@ row big op=spmv format=smash threads=1 tile=1 work=400000 ns=500000
             "{}",
             plan.rationale
         );
+    }
+
+    #[test]
+    fn dynamic_ops_fall_back_to_thresholds_without_panicking() {
+        // The checked-in calibration table has no rows for the dynamic
+        // ops — every plan must land in the threshold tier with the
+        // standard rationale, never a MAX_MATCH_DISTANCE mis-match or a
+        // panic, and without requiring new measurements.
+        let p = Planner::from_table(TABLE).unwrap();
+        for (op, rhs) in [(Op::DynSpmv, 1usize), (Op::DynSpmmDense, 8)] {
+            let plan = p.plan(
+                &profile(4096, 4096, 380_000),
+                &PlanRequest::pinned(op, Format::Dynamic, 4).with_rhs(rhs),
+            );
+            assert!(!plan.calibrated, "{op}: {}", plan.rationale);
+            assert_eq!(plan.choice.format, Format::Dynamic);
+            // 380k stored work >= threshold, 4096 rows >= 16 -> parallel.
+            assert_eq!(plan.choice.threads, 4, "{op}: {}", plan.rationale);
+            assert!(
+                plan.rationale.contains("threshold tier"),
+                "{op}: {}",
+                plan.rationale
+            );
+            assert!(
+                plan.rationale
+                    .contains(&format!("no calibration rows for op {op}")),
+                "{op}: {}",
+                plan.rationale
+            );
+        }
+        // A batched dynamic product still gets the RHS lead tile.
+        let plan = p.plan(
+            &profile(64, 64, 500),
+            &PlanRequest::pinned(Op::DynSpmmDense, Format::Dynamic, 1).with_rhs(8),
+        );
+        assert_eq!(plan.choice.tile, 8);
+        // Round-trip the new names through the table grammar.
+        assert_eq!(Op::parse("dyn_spmv"), Some(Op::DynSpmv));
+        assert_eq!(Op::parse("dyn_spmm_dense"), Some(Op::DynSpmmDense));
+        assert_eq!(Format::parse("dynamic"), Some(Format::Dynamic));
+        assert_eq!(Op::DynSpmv.name(), "dyn_spmv");
+        assert_eq!(Format::Dynamic.name(), "dynamic");
     }
 
     #[test]

@@ -55,7 +55,7 @@
 //! ```
 
 use crate::error::SmashError;
-use crate::native::{check_smash_spmm_operands, spmm_smash_row, SmashMergeOperand};
+use crate::operand::{check_smash_spmm_operands, spmm_smash_row, SmashMergeOperand};
 use smash_core::{for_each_line_block, Layout, SmashConfig, SmashMatrix};
 use smash_matrix::{Coo, Csr, CsrBuilder, Scalar};
 use smash_parallel::{partition_by_weight, ThreadPool};

@@ -35,6 +35,7 @@ mod error;
 pub mod generators;
 pub mod locality;
 pub mod market;
+mod rowread;
 mod scalar;
 pub mod simd;
 pub mod suite;
@@ -45,6 +46,7 @@ pub use csc::Csc;
 pub use csr::{Csr, CsrBuilder};
 pub use dense::{axpy_dense_tiles, for_each_rhs_tile, Dense};
 pub use error::MatrixError;
+pub use rowread::{spmm_dense_rows, spmv_rows, RowRead};
 pub use scalar::Scalar;
 
 /// Result alias used throughout this crate.

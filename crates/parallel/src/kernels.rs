@@ -17,10 +17,85 @@
 
 use crate::partition::{partition_by_weight, partition_rows};
 use crate::pool::ThreadPool;
-use smash_core::{
-    block_axpy_dense, block_dot, for_each_line_block, Layout, SmashConfig, SmashMatrix,
-};
-use smash_matrix::{Bcsr, Coo, Csc, Csr, Dense, Scalar};
+use smash_core::{for_each_line_block, Layout, SmashConfig, SmashMatrix};
+use smash_matrix::{Bcsr, Coo, Csc, Csr, Dense, RowRead, Scalar};
+
+/// Parallel `y = A·x` over any [`RowRead`] operand — *the* parallel SpMV
+/// driver of the kernel stack, and the single definition behind every
+/// format-specific `par_spmv_*` wrapper below.
+///
+/// The operand's granules (rows, or block rows for BCSR) are split into
+/// contiguous ranges balanced by [`RowRead::granule_weight`]; each worker
+/// runs [`RowRead::spmv_granules`] — the format's exact serial loop body —
+/// over its range into a disjoint slice of `y`. No reduction ever
+/// reorders floating-point additions, so the result is bit-identical to
+/// the serial driver `smash_matrix::spmv_rows` at every thread count.
+///
+/// # Panics
+///
+/// Panics if `x.len() != a.cols()` or `y.len() != a.rows()` (plus any
+/// format-specific granule panics, e.g. column-major SMASH).
+pub fn par_spmv_rows<T: Scalar, R: RowRead<T> + ?Sized>(
+    pool: &ThreadPool,
+    a: &R,
+    x: &[T],
+    y: &mut [T],
+) {
+    assert_eq!(x.len(), a.cols(), "x length must equal matrix cols");
+    assert_eq!(y.len(), a.rows(), "y length must equal matrix rows");
+    let ranges = partition_by_weight(a.granules(), pool.threads(), |g| a.granule_weight(g));
+    pool.scoped(|s| {
+        let mut rest = y;
+        let mut consumed = 0usize;
+        for range in ranges {
+            // Granule range [range.start, range.end) covers matrix rows
+            // [granule_row(range.start), granule_row(range.end)) — the
+            // last granule of a blocked format may be clipped.
+            let row_hi = a.granule_row(range.end);
+            let (chunk, tail) = rest.split_at_mut(row_hi - consumed);
+            consumed = row_hi;
+            rest = tail;
+            s.execute(move || a.spmv_granules(range, x, chunk));
+        }
+        // Rows beyond the last granule cannot exist for non-degenerate
+        // decompositions, but guard against an all-empty operand.
+        rest.fill(T::ZERO);
+    });
+}
+
+/// Parallel `C = A·B` (B dense) over any [`RowRead`] operand — the single
+/// parallel driver behind every format-specific `par_spmm_dense_*`
+/// wrapper, bit-identical to `smash_matrix::spmm_dense_rows` at every
+/// thread count. Workers write disjoint row slabs of `C`.
+///
+/// # Panics
+///
+/// Panics if `b.rows() != a.cols()`, `c.rows() != a.rows()`, or
+/// `c.cols() != b.cols()`.
+pub fn par_spmm_dense_rows<T: Scalar, R: RowRead<T> + ?Sized>(
+    pool: &ThreadPool,
+    a: &R,
+    b: &Dense<T>,
+    c: &mut Dense<T>,
+) {
+    assert_eq!(b.rows(), a.cols(), "inner dimensions must agree");
+    assert_eq!(c.rows(), a.rows(), "output rows must equal a.rows()");
+    assert_eq!(c.cols(), b.cols(), "output cols must equal b.cols()");
+    let n = b.cols();
+    let ranges = partition_by_weight(a.granules(), pool.threads(), |g| a.granule_weight(g));
+    pool.scoped(|s| {
+        let mut rest = c.as_mut_slice();
+        let mut consumed = 0usize;
+        for range in ranges {
+            let row_hi = a.granule_row(range.end);
+            let (chunk, tail) = rest.split_at_mut((row_hi - consumed) * n);
+            consumed = row_hi;
+            rest = tail;
+            s.execute(move || a.spmm_dense_granules(range, b, chunk));
+        }
+        rest.fill(T::ZERO);
+    });
+}
 
 /// Parallel plain CSR SpMV; bit-identical to
 /// [`spmv_csr`](../../smash_kernels/native/fn.spmv_csr.html) at any
@@ -30,25 +105,10 @@ use smash_matrix::{Bcsr, Coo, Csc, Csr, Dense, Scalar};
 ///
 /// Panics if `x.len() != a.cols()` or `y.len() != a.rows()`.
 pub fn par_spmv_csr<T: Scalar>(pool: &ThreadPool, a: &Csr<T>, x: &[T], y: &mut [T]) {
-    assert_eq!(x.len(), a.cols());
-    assert_eq!(y.len(), a.rows());
-    let ranges = partition_rows(a.row_ptr(), pool.threads());
-    pool.scoped(|s| {
-        let mut rest = y;
-        for range in ranges {
-            let (chunk, tail) = rest.split_at_mut(range.len());
-            rest = tail;
-            s.execute(move || {
-                let lo = range.start;
-                for i in range {
-                    // The same per-row body as the serial kernel
-                    // (`Csr::row_dot`) — sharing it keeps the two
-                    // bit-identical at every precision.
-                    chunk[i - lo] = a.row_dot(i, x);
-                }
-            });
-        }
-    });
+    // One row per granule, weighted by row nnz: the generic driver
+    // reproduces the historical `partition_rows(a.row_ptr(), …)` split
+    // and runs the same per-row `Csr::row_dot` body.
+    par_spmv_rows(pool, a, x, y);
 }
 
 /// Parallel BCSR SpMV over block-row ranges; bit-identical to
@@ -59,40 +119,10 @@ pub fn par_spmv_csr<T: Scalar>(pool: &ThreadPool, a: &Csr<T>, x: &[T], y: &mut [
 ///
 /// Panics if `x.len() != a.cols()` or `y.len() != a.rows()`.
 pub fn par_spmv_bcsr<T: Scalar>(pool: &ThreadPool, a: &Bcsr<T>, x: &[T], y: &mut [T]) {
-    assert_eq!(x.len(), a.cols());
-    assert_eq!(y.len(), a.rows());
-    let (br, _) = a.block_shape();
-    let ptr = a.block_row_ptr();
-    let rows = a.rows();
-    let ranges = partition_rows(ptr, pool.threads());
-    pool.scoped(|s| {
-        let mut rest = y;
-        let mut consumed = 0usize;
-        for range in ranges {
-            // Block-row range [range.start, range.end) covers matrix rows
-            // up to min(range.end * br, rows) — the last block row may be
-            // clipped.
-            let row_hi = (range.end * br).min(rows);
-            let (chunk, tail) = rest.split_at_mut(row_hi - consumed);
-            let row_lo = consumed;
-            consumed = row_hi;
-            rest = tail;
-            s.execute(move || {
-                chunk.fill(T::ZERO);
-                for bi in range {
-                    // The same per-block-row body as the serial kernel
-                    // (`Bcsr::block_row_spmv`) — sharing it keeps the two
-                    // bit-identical at every precision and ISA tier.
-                    let ylo = bi * br - row_lo;
-                    let yhi = ((bi + 1) * br).min(rows) - row_lo;
-                    a.block_row_spmv(bi, x, &mut chunk[ylo..yhi]);
-                }
-            });
-        }
-        // Rows beyond the last block row cannot exist (BCSR pads upward),
-        // but guard against an all-empty matrix with zero block rows.
-        rest.fill(T::ZERO);
-    });
+    // One block row per granule, weighted by its stored block count; each
+    // range runs the shared `Bcsr::block_row_spmv` body (the last block
+    // row may be clipped to the matrix height).
+    par_spmv_rows(pool, a, x, y);
 }
 
 /// Parallel software-SMASH SpMV over the compressed form: the matrix's
@@ -110,38 +140,10 @@ pub fn par_spmv_bcsr<T: Scalar>(pool: &ThreadPool, a: &Bcsr<T>, x: &[T], y: &mut
 /// Panics if `x.len() != a.cols()`, `y.len() != a.rows()`, or the matrix
 /// is not row-major.
 pub fn par_spmv_smash<T: Scalar>(pool: &ThreadPool, a: &SmashMatrix<T>, x: &[T], y: &mut [T]) {
-    assert_eq!(x.len(), a.cols());
-    assert_eq!(y.len(), a.rows());
-    assert_eq!(a.config().layout(), Layout::RowMajor, "row-major SpMV");
-    let b0 = a.config().block_size();
-    let bpl = a.blocks_per_line();
-    let cols = a.cols();
-    let nza = a.nza().values();
-    // nnz-balanced contiguous row ranges, weighted by the per-line block
-    // counts the directory already knows — no expansion, no rank scans.
-    let starts = a.line_block_starts();
-    let ranges = partition_by_weight(a.rows(), pool.threads(), |l| {
-        u64::from(starts[l + 1] - starts[l])
-    });
-    pool.scoped(|s| {
-        let mut rest = y;
-        for range in ranges {
-            let (chunk, tail) = rest.split_at_mut(range.len());
-            rest = tail;
-            s.execute(move || {
-                chunk.fill(T::ZERO);
-                for row in range.clone() {
-                    for (ordinal, logical) in a.line_cursor(row) {
-                        let col = (logical % bpl) * b0;
-                        let block = &nza[ordinal * b0..(ordinal + 1) * b0];
-                        let n = b0.min(cols - col);
-                        // The shared per-block body of every SMASH SpMV.
-                        chunk[row - range.start] += block_dot(block, x, col, n);
-                    }
-                }
-            });
-        }
-    });
+    // One row line per granule, weighted by the per-line block counts the
+    // directory already knows — no expansion, no rank scans. Each range
+    // runs the shared `LineCursor` + `block_dot` body.
+    par_spmv_rows(pool, a, x, y);
 }
 
 /// Parallel batched CSR sparse × dense multiply (`C = A * B`, `B` a dense
@@ -161,25 +163,9 @@ pub fn par_spmm_dense_csr<T: Scalar>(
     b: &Dense<T>,
     c: &mut Dense<T>,
 ) {
-    assert_eq!(b.rows(), a.cols(), "inner dimensions must agree");
-    assert_eq!(c.rows(), a.rows(), "output rows must equal a.rows()");
-    assert_eq!(c.cols(), b.cols(), "output cols must equal b.cols()");
-    let n = b.cols();
-    let ranges = partition_rows(a.row_ptr(), pool.threads());
-    pool.scoped(|s| {
-        let mut rest = c.as_mut_slice();
-        for range in ranges {
-            let (chunk, tail) = rest.split_at_mut(range.len() * n);
-            rest = tail;
-            s.execute(move || {
-                let lo = range.start;
-                for i in range {
-                    // The same per-row tiled body as the serial kernel.
-                    a.row_spmm_dense(i, b, &mut chunk[(i - lo) * n..(i - lo + 1) * n]);
-                }
-            });
-        }
-    });
+    // The generic driver over row granules: every row runs the shared
+    // `Csr::row_spmm_dense` tiled body into its disjoint slab of `C`.
+    par_spmm_dense_rows(pool, a, b, c);
 }
 
 /// Parallel batched BCSR sparse × dense multiply over block-row ranges;
@@ -198,35 +184,9 @@ pub fn par_spmm_dense_bcsr<T: Scalar>(
     b: &Dense<T>,
     c: &mut Dense<T>,
 ) {
-    assert_eq!(b.rows(), a.cols(), "inner dimensions must agree");
-    assert_eq!(c.rows(), a.rows(), "output rows must equal a.rows()");
-    assert_eq!(c.cols(), b.cols(), "output cols must equal b.cols()");
-    let n = b.cols();
-    let (br, _) = a.block_shape();
-    let rows = a.rows();
-    let ranges = partition_rows(a.block_row_ptr(), pool.threads());
-    pool.scoped(|s| {
-        let mut rest = c.as_mut_slice();
-        let mut consumed = 0usize;
-        for range in ranges {
-            let row_hi = (range.end * br).min(rows);
-            let (chunk, tail) = rest.split_at_mut((row_hi - consumed) * n);
-            let row_lo = consumed;
-            consumed = row_hi;
-            rest = tail;
-            s.execute(move || {
-                chunk.fill(T::ZERO);
-                for bi in range {
-                    let lo = (bi * br - row_lo) * n;
-                    let hi = ((bi * br + br).min(rows) - row_lo) * n;
-                    a.block_row_spmm_dense(bi, b, &mut chunk[lo..hi]);
-                }
-            });
-        }
-        // Rows beyond the last block row cannot exist (BCSR pads upward),
-        // but guard against an all-empty matrix with zero block rows.
-        rest.fill(T::ZERO);
-    });
+    // The generic driver over block-row granules: every block row runs
+    // the shared `Bcsr::block_row_spmm_dense` body.
+    par_spmm_dense_rows(pool, a, b, c);
 }
 
 /// Parallel batched SMASH sparse × dense multiply over the compressed
@@ -235,7 +195,7 @@ pub fn par_spmm_dense_bcsr<T: Scalar>(
 /// word-level [`LineCursor`](smash_core::LineCursor) — the logical
 /// Bitmap-0 is never expanded. Bit-identical to
 /// [`spmm_dense_smash`](../../smash_kernels/native/fn.spmm_dense_smash.html)
-/// at any thread count — every block runs the shared [`block_axpy_dense`]
+/// at any thread count — every block runs the shared `block_axpy_dense`
 /// body in the serial block order.
 ///
 /// # Panics
@@ -248,40 +208,9 @@ pub fn par_spmm_dense_smash<T: Scalar>(
     b: &Dense<T>,
     c: &mut Dense<T>,
 ) {
-    assert_eq!(b.rows(), a.cols(), "inner dimensions must agree");
-    assert_eq!(c.rows(), a.rows(), "output rows must equal a.rows()");
-    assert_eq!(c.cols(), b.cols(), "output cols must equal b.cols()");
-    assert_eq!(a.config().layout(), Layout::RowMajor, "row-major SpMM");
-    let n = b.cols();
-    let b0 = a.config().block_size();
-    let bpl = a.blocks_per_line();
-    let cols = a.cols();
-    let nza = a.nza().values();
-    let starts = a.line_block_starts();
-    let ranges = partition_by_weight(a.rows(), pool.threads(), |l| {
-        u64::from(starts[l + 1] - starts[l])
-    });
-    pool.scoped(|s| {
-        let mut rest = c.as_mut_slice();
-        for range in ranges {
-            let (chunk, tail) = rest.split_at_mut(range.len() * n);
-            rest = tail;
-            s.execute(move || {
-                chunk.fill(T::ZERO);
-                for row in range.clone() {
-                    let out = &mut chunk[(row - range.start) * n..(row - range.start + 1) * n];
-                    for (ordinal, logical) in a.line_cursor(row) {
-                        let col = (logical % bpl) * b0;
-                        let block = &nza[ordinal * b0..(ordinal + 1) * b0];
-                        let nb = b0.min(cols - col);
-                        // The shared per-block body of every batched SMASH
-                        // SpMM.
-                        block_axpy_dense(block, b, col, nb, out);
-                    }
-                }
-            });
-        }
-    });
+    // The generic driver over row-line granules: every row runs the
+    // shared `LineCursor` + `block_axpy_dense` body.
+    par_spmm_dense_rows(pool, a, b, c);
 }
 
 /// Inner-product SpMM over one row range, driving the same

@@ -44,8 +44,8 @@ mod partition;
 mod pool;
 
 pub use kernels::{
-    par_csr_to_smash, par_spmm_csr, par_spmm_dense_bcsr, par_spmm_dense_csr, par_spmm_dense_smash,
-    par_spmv_bcsr, par_spmv_csr, par_spmv_smash,
+    par_csr_to_smash, par_spmm_csr, par_spmm_dense_bcsr, par_spmm_dense_csr, par_spmm_dense_rows,
+    par_spmm_dense_smash, par_spmv_bcsr, par_spmv_csr, par_spmv_rows, par_spmv_smash,
 };
 pub use partition::{partition_by_weight, partition_rows};
 pub use pool::{

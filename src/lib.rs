@@ -28,6 +28,15 @@
 //!   Centrality built on the kernels, generic over precision through
 //!   `Graph<T>`.
 //!
+//! Mutating workloads keep their matrix in a [`DynamicMatrix`] — an
+//! immutable base tier (CSR or SMASH-compressed) plus a delta overlay of
+//! pending `set`/`add`/`delete` mutations. Kernels read the merged view
+//! directly (the overlay is a first-class executor operand,
+//! bit-identical to a from-scratch rebuild), explicit
+//! [`Executor::compact`] folds the overlay back into a fresh base, and
+//! `graph::IncrementalPageRank` builds warm-started dynamic-graph
+//! PageRank on top.
+//!
 //! For untrusted input, the executor's `try_*` tier ([`Executor::try_spmv`]
 //! and friends) validates operands up front, reports every failure mode
 //! through the unified [`SmashError`], and degrades gracefully — worker
@@ -40,10 +49,11 @@
 //! `docs/DISPATCH.md` (the measured cost-model planner behind
 //! [`Executor::auto`]), `docs/SIMD.md` (the runtime-dispatched vector
 //! kernel bodies and the lane-striped accumulation contract),
-//! `docs/BENCHMARKS.md` (what every perf snapshot asserts), and
-//! `docs/ROBUSTNESS.md` (the error taxonomy, the degradation ladder,
-//! and the fault-injection suite). Their code snippets compile as
-//! doctests of this crate.
+//! `docs/DYNAMIC.md` (the delta-overlay dynamic-matrix layer and
+//! incremental PageRank), `docs/BENCHMARKS.md` (what every perf
+//! snapshot asserts), and `docs/ROBUSTNESS.md` (the error taxonomy,
+//! the degradation ladder, and the fault-injection suite). Their code
+//! snippets compile as doctests of this crate.
 //!
 //! # Quickstart
 //!
@@ -83,6 +93,7 @@ pub use smash_matrix as matrix;
 pub use smash_parallel as parallel;
 pub use smash_sim as sim;
 
+pub use smash_core::{Delta, DeltaOverlay, DynamicBase, DynamicMatrix};
 pub use smash_kernels::{
     Degradation, ExecMode, ExecReport, Executor, MemoryBudget, NonFinitePolicy, SmashError,
     SpmvOperand,
@@ -105,6 +116,10 @@ pub struct DispatchDoctests;
 #[cfg(doctest)]
 #[doc = include_str!("../docs/SIMD.md")]
 pub struct SimdDoctests;
+
+#[cfg(doctest)]
+#[doc = include_str!("../docs/DYNAMIC.md")]
+pub struct DynamicDoctests;
 
 #[cfg(doctest)]
 #[doc = include_str!("../docs/BENCHMARKS.md")]

@@ -45,6 +45,7 @@ fn run_choice_spmv(choice: &Choice, a: &Csr<f64>, x: &[f64], y: &mut [f64]) {
                 smash::parallel::par_spmv_smash(&ThreadPool::new(t), &sm, x, y)
             }
         }
+        (Format::Dynamic, _) => unreachable!("CSR-pinned plans never choose dynamic"),
     }
 }
 
